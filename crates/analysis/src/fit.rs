@@ -1,0 +1,210 @@
+//! Least-squares fits of asymptotic growth models.
+
+use std::fmt;
+
+/// A one-parameter-family growth model `y ≈ a·g(x) + b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// `g(x) = 1` — constant.
+    Constant,
+    /// `g(x) = log2 x`.
+    Logarithmic,
+    /// `g(x) = x`.
+    Linear,
+    /// `g(x) = x·log2 x`.
+    NLogN,
+    /// `g(x) = x²`.
+    Quadratic,
+}
+
+impl Model {
+    /// The models compared when classifying a measured growth curve.
+    pub const ALL: [Model; 5] = [
+        Model::Constant,
+        Model::Logarithmic,
+        Model::Linear,
+        Model::NLogN,
+        Model::Quadratic,
+    ];
+
+    /// Evaluates the basis function `g(x)`.
+    pub fn basis(&self, x: f64) -> f64 {
+        match self {
+            Model::Constant => 1.0,
+            Model::Logarithmic => x.max(1.0).log2(),
+            Model::Linear => x,
+            Model::NLogN => x * x.max(2.0).log2(),
+            Model::Quadratic => x * x,
+        }
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Constant => "O(1)",
+            Model::Logarithmic => "O(log n)",
+            Model::Linear => "O(n)",
+            Model::NLogN => "O(n log n)",
+            Model::Quadratic => "O(n^2)",
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fitted model `y ≈ a·g(x) + b` with its goodness of fit.
+#[derive(Debug, Clone, Copy)]
+pub struct Fit {
+    /// The fitted model family.
+    pub model: Model,
+    /// Slope `a`.
+    pub a: f64,
+    /// Intercept `b`.
+    pub b: f64,
+    /// Coefficient of determination `R² ∈ (−∞, 1]`.
+    pub r_squared: f64,
+}
+
+impl Fit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.a * self.model.basis(x) + self.b
+    }
+}
+
+/// Ordinary least squares of `y` against `a·g(x) + b`.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 points are supplied or `xs.len() != ys.len()`.
+pub fn fit_model(model: Model, xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len(), "mismatched point counts");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let gs: Vec<f64> = xs.iter().map(|&x| model.basis(x)).collect();
+    let mean_g = gs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sgg = 0.0;
+    let mut sgy = 0.0;
+    for (g, y) in gs.iter().zip(ys) {
+        sgg += (g - mean_g) * (g - mean_g);
+        sgy += (g - mean_g) * (y - mean_y);
+    }
+    let a = if sgg == 0.0 { 0.0 } else { sgy / sgg };
+    let b = mean_y - a * mean_g;
+    // R² = 1 − SS_res / SS_tot.
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = gs
+        .iter()
+        .zip(ys)
+        .map(|(g, y)| {
+            let e = y - (a * g + b);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Fit {
+        model,
+        a,
+        b,
+        r_squared,
+    }
+}
+
+/// Fits every model in [`Model::ALL`] and returns them sorted best-first
+/// by `R²`.
+pub fn best_model(xs: &[f64], ys: &[f64]) -> Vec<Fit> {
+    let mut fits: Vec<Fit> = Model::ALL
+        .iter()
+        .map(|&m| fit_model(m, xs, ys))
+        .collect();
+    fits.sort_by(|p, q| q.r_squared.partial_cmp(&p.r_squared).expect("finite R²"));
+    fits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs() -> Vec<f64> {
+        (4..12).map(|k| (1u64 << k) as f64).collect()
+    }
+
+    #[test]
+    fn exact_linear_data_fits_perfectly() {
+        let x = xs();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v + 7.0).collect();
+        let fit = fit_model(Model::Linear, &x, &y);
+        assert!((fit.a - 3.0).abs() < 1e-9);
+        assert!((fit.b - 7.0).abs() < 1e-6);
+        assert!(fit.r_squared > 1.0 - 1e-12);
+        assert!((fit.predict(100.0) - 307.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nlogn_data_prefers_nlogn_model() {
+        let x = xs();
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 * v * v.log2() + 5.0).collect();
+        let ranked = best_model(&x, &y);
+        assert_eq!(ranked[0].model, Model::NLogN);
+        assert!(ranked[0].r_squared > 0.999999);
+        // And strictly better than the pure-linear explanation.
+        let linear = ranked.iter().find(|f| f.model == Model::Linear).unwrap();
+        assert!(ranked[0].r_squared > linear.r_squared);
+    }
+
+    #[test]
+    fn quadratic_data_prefers_quadratic() {
+        let x = xs();
+        let y: Vec<f64> = x.iter().map(|&v| 0.5 * v * v).collect();
+        let ranked = best_model(&x, &y);
+        assert_eq!(ranked[0].model, Model::Quadratic);
+    }
+
+    #[test]
+    fn constant_data_gets_r2_one_for_constant() {
+        let x = xs();
+        let y = vec![42.0; x.len()];
+        let fit = fit_model(Model::Constant, &x, &y);
+        assert_eq!(fit.r_squared, 1.0);
+        assert!((fit.predict(9.0) - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_linear_still_recovers_slope() {
+        let x = xs();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 3.0 * v + if i % 2 == 0 { 10.0 } else { -10.0 })
+            .collect();
+        let fit = fit_model(Model::Linear, &x, &y);
+        assert!((fit.a - 3.0).abs() < 0.1, "a = {}", fit.a);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_rejected() {
+        fit_model(Model::Linear, &[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn model_names_distinct() {
+        let mut names: Vec<&str> = Model::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Model::ALL.len());
+    }
+}

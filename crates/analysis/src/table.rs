@@ -1,0 +1,160 @@
+//! Markdown and CSV rendering of experiment tables.
+
+use std::fmt::Write as _;
+
+/// A simple column-oriented table: a header row plus string cells.
+///
+/// # Examples
+///
+/// ```
+/// use oraclesize_analysis::Table;
+///
+/// let mut t = Table::new(["n", "messages"]);
+/// t.row(["8", "7"]);
+/// t.row(["16", "15"]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| n | messages |"));
+/// assert_eq!(t.to_csv().lines().count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavored Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (no quoting — cells are expected to be plain numbers
+    /// and identifiers; commas in cells are replaced by semicolons).
+    pub fn to_csv(&self) -> String {
+        let clean = |s: &str| s.replace(',', ";");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| clean(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible experiment-table precision: integers
+/// verbatim, otherwise two decimals.
+pub fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[3], "| 3 | 4 |");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(["x"]);
+        t.row(["a,b"]);
+        assert_eq!(t.to_csv(), "x\na;b\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_num_modes() {
+        assert_eq!(fmt_num(42.0), "42");
+        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(-7.0), "-7");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the analysis toolkit.
+
+use oraclesize_analysis::fit::{best_model, fit_model, Model};
+use oraclesize_analysis::stats::{mean, median, min_max, percentile, stddev, Summary};
+use oraclesize_analysis::Table;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn perfect_linear_recovered(a in -100.0f64..100.0, b in -1000.0f64..1000.0) {
+        prop_assume!(a.abs() > 1e-6);
+        let xs: Vec<f64> = (1..=10).map(|k| (k * k) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+        let fit = fit_model(Model::Linear, &xs, &ys);
+        prop_assert!((fit.a - a).abs() < 1e-6 * a.abs().max(1.0));
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn r_squared_never_exceeds_one(
+        ys in proptest::collection::vec(-1e6f64..1e6, 3..40),
+    ) {
+        let xs: Vec<f64> = (1..=ys.len()).map(|k| k as f64).collect();
+        for m in Model::ALL {
+            let fit = fit_model(m, &xs, &ys);
+            prop_assert!(fit.r_squared <= 1.0 + 1e-12, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn best_model_identifies_generator(
+        scale in 0.5f64..50.0,
+        which in 0usize..3,
+    ) {
+        let xs: Vec<f64> = (4..=12).map(|k| (1u64 << k) as f64).collect();
+        let model = [Model::Linear, Model::NLogN, Model::Quadratic][which];
+        let ys: Vec<f64> = xs.iter().map(|&x| scale * model.basis(x)).collect();
+        let ranked = best_model(&xs, &ys);
+        prop_assert_eq!(ranked[0].model, model);
+    }
+
+    #[test]
+    fn stats_invariants(xs in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+        let (lo, hi) = min_max(&xs);
+        let m = mean(&xs);
+        let md = median(&xs);
+        prop_assert!(lo <= m + 1e-6 && m <= hi + 1e-6);
+        prop_assert!(lo <= md && md <= hi);
+        prop_assert!(stddev(&xs) >= 0.0);
+        let s = Summary::of(&xs);
+        prop_assert_eq!(s.count, xs.len());
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+    }
+
+    #[test]
+    fn percentiles_monotone(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..60),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi));
+    }
+
+    #[test]
+    fn tables_render_consistent_shapes(
+        rows in proptest::collection::vec(
+            (any::<u32>(), any::<u32>()),
+            0..20,
+        ),
+    ) {
+        let mut t = Table::new(["a", "b"]);
+        for (a, b) in &rows {
+            t.row([a.to_string(), b.to_string()]);
+        }
+        let md = t.to_markdown();
+        prop_assert_eq!(md.lines().count(), rows.len() + 2);
+        let csv = t.to_csv();
+        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+    }
+}

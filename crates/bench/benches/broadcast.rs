@@ -1,0 +1,59 @@
+//! T3/T4 runtime benches: light-tree construction and Scheme B execution,
+//! against the flooding baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
+use oraclesize_core::oracle::EmptyOracle;
+use oraclesize_core::execute;
+use oraclesize_graph::{families, spanning};
+use oraclesize_sim::protocol::FloodOnce;
+use oraclesize_sim::SimConfig;
+use std::time::Duration;
+
+fn bench_light_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("light_tree_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [6u32, 8, 10] {
+        let n = 1usize << k;
+        let g = families::complete_rotational(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let t = spanning::light_tree(g, 0);
+                assert!(t.contribution(g) <= 4 * n as u64);
+                t
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheme_b_vs_flooding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [6u32, 8] {
+        let n = 1usize << k;
+        let g = families::complete_rotational(n);
+        group.bench_with_input(BenchmarkId::new("scheme_b", n), &g, |b, g| {
+            b.iter(|| {
+                execute(g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default())
+                    .expect("broadcast runs")
+                    .outcome
+                    .metrics
+                    .messages
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flooding", n), &g, |b, g| {
+            b.iter(|| {
+                execute(g, 0, &EmptyOracle, &FloodOnce, &SimConfig::default())
+                    .expect("flooding runs")
+                    .outcome
+                    .metrics
+                    .messages
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_light_tree, bench_scheme_b_vs_flooding);
+criterion_main!(benches);

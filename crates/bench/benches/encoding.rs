@@ -1,0 +1,61 @@
+//! T11 runtime benches: advice codec throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oraclesize_bits::codec::{AnyCodec, Codec};
+use oraclesize_bits::lists::{decode_port_list, decode_weight_list, encode_port_list, encode_weight_list};
+use oraclesize_bits::BitString;
+use std::time::Duration;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_roundtrip_1k_values");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let values: Vec<u64> = (0..1000u64).map(|i| i * 37 % 4096).collect();
+    for codec in [
+        AnyCodec::ContinuationPairs,
+        AnyCodec::EliasGamma,
+        AnyCodec::EliasDelta,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &codec,
+            |b, codec| {
+                b.iter(|| {
+                    let mut s = BitString::new();
+                    for &v in &values {
+                        codec.encode(v, &mut s);
+                    }
+                    let mut r = s.reader();
+                    let mut sum = 0u64;
+                    while !r.is_empty() {
+                        sum += codec.decode(&mut r).expect("roundtrip");
+                    }
+                    sum
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_advice_payloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advice_payloads");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let ports: Vec<u64> = (0..256).collect();
+    group.bench_function("port_list_256_of_1024", |b| {
+        b.iter(|| {
+            let enc = encode_port_list(&ports, 1024);
+            decode_port_list(&enc).expect("roundtrip").len()
+        });
+    });
+    let weights: Vec<u64> = (0..256u64).map(|i| i * i % 512).collect();
+    group.bench_function("weight_list_256", |b| {
+        b.iter(|| {
+            let enc = encode_weight_list(&weights);
+            decode_weight_list(&enc).expect("roundtrip").len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_advice_payloads);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! T1/T2 runtime benches: wakeup oracle construction and scheme execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
+use oraclesize_core::{execute, Oracle};
+use oraclesize_graph::families;
+use oraclesize_sim::SimConfig;
+use std::time::Duration;
+
+fn bench_oracle_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wakeup_oracle_advise");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [6u32, 8, 10] {
+        let n = 1usize << k;
+        let g = families::complete_rotational(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| SpanningTreeOracle::default().advise(g, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wakeup_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_wakeup_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [6u32, 8, 10] {
+        let n = 1usize << k;
+        let g = families::complete_rotational(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let run = execute(
+                    g,
+                    0,
+                    &SpanningTreeOracle::default(),
+                    &TreeWakeup,
+                    &SimConfig::wakeup(),
+                )
+                .expect("wakeup runs");
+                assert_eq!(run.outcome.metrics.messages, n as u64 - 1);
+                run.outcome.metrics.messages
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_construction, bench_wakeup_execution);
+criterion_main!(benches);

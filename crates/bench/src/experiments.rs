@@ -1,0 +1,1250 @@
+//! One function per experiment; each returns a rendered Markdown report.
+
+use std::collections::HashSet;
+
+use oraclesize_analysis::fit::{best_model, fit_model, Model};
+use oraclesize_analysis::table::{fmt_num, Table};
+use oraclesize_core::baselines::{FullMapOracle, MapWakeup};
+use oraclesize_core::broadcast::{scheme_b_message_bound, LightTreeOracle, SchemeB};
+use oraclesize_core::oracle::EmptyOracle;
+use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
+use oraclesize_core::{advice_size, execute, Oracle};
+use oraclesize_graph::families::{self, Family};
+use oraclesize_graph::gadgets;
+use oraclesize_graph::spanning::TreeAlgorithm;
+use oraclesize_lowerbound::adversary::{all_ordered_instances, play, ExplicitAdversary};
+use oraclesize_lowerbound::counting::{
+    broadcast_bound, wakeup_bound, wakeup_bound_subdivisions_approx, wakeup_threshold,
+};
+use oraclesize_lowerbound::discovery::{
+    all_edges, AdaptiveNeighborStrategy, DiscoveryStrategy, RandomStrategy, SequentialStrategy,
+};
+use oraclesize_lowerbound::truncation::tradeoff_curve;
+use oraclesize_sim::protocol::FloodOnce;
+use oraclesize_sim::{SchedulerKind, SimConfig, TaskMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::harness::{size_sweep, Report, MASTER_SEED, SWEEP_FAMILIES};
+
+/// Experiment ids in canonical order.
+pub const ALL_IDS: [&str; 22] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t13", "t14",
+    "t15", "t16", "t17", "t18", "t19", "f1", "f2", "f3",
+];
+
+/// Dispatches an experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (callers validate against [`ALL_IDS`]).
+pub fn run_experiment(id: &str, large: bool) -> String {
+    match id {
+        "t1" => t1_wakeup_oracle_size(large),
+        "t2" => t2_wakeup_messages(large),
+        "t3" => t3_tree_contributions(large),
+        "t4" => t4_broadcast_bounds(large),
+        "t5" => t5_adversary_games(),
+        "t6" => t6_starved_wakeup(large),
+        "t7" => t7_wakeup_counting(large),
+        "t8" => t8_broadcast_gadgets(large),
+        "t9" => t9_threshold_remark(),
+        "t10" => t10_robustness_matrix(),
+        "t11" => t11_encoding_ablation(),
+        "t12" => t12_gossip(),
+        "t13" => t13_neighborhood_pricing(),
+        "t14" => t14_exploration(),
+        "t15" => t15_construction(),
+        "t16" => t16_time_knowledge(),
+        "t17" => t17_port_sensitivity(),
+        "t18" => t18_leader_election(),
+        "t19" => t19_spanner_tradeoff(),
+        "f1" => f1_size_series(large),
+        "f2" => f2_message_series(large),
+        "f3" => f3_budget_curve(large),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+fn rng_for(tag: u64) -> StdRng {
+    StdRng::seed_from_u64(MASTER_SEED ^ tag)
+}
+
+/// T1 — Theorem 2.1 size bound: wakeup oracle bits vs `n`, with fits.
+pub fn t1_wakeup_oracle_size(large: bool) -> String {
+    let mut report = Report::new("T1 — wakeup oracle size is Θ(n log n) (Theorem 2.1)");
+    let sweep = size_sweep(if large { 12 } else { 10 });
+    let mut table = Table::new(["family", "n", "oracle bits", "bits/(n·log2 n)"]);
+    let mut rng = rng_for(1);
+    for fam in SWEEP_FAMILIES {
+        let mut ns = Vec::new();
+        let mut bits = Vec::new();
+        for &n in &sweep {
+            let g = fam.build(n, &mut rng);
+            let nodes = g.num_nodes();
+            let size = advice_size(&SpanningTreeOracle::default().advise(&g, 0));
+            table.row([
+                fam.name().to_string(),
+                nodes.to_string(),
+                size.to_string(),
+                format!("{:.3}", size as f64 / (nodes as f64 * (nodes as f64).log2())),
+            ]);
+            ns.push(nodes as f64);
+            bits.push(size as f64);
+        }
+        let ranked = best_model(&ns, &bits);
+        report.para(&format!(
+            "**{}**: best fit {} (R² = {:.6}); paper predicts `n log n + o(n log n)`.",
+            fam.name(),
+            ranked[0].model,
+            ranked[0].r_squared
+        ));
+    }
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T2 — Theorem 2.1 message bound: wakeup uses exactly `n − 1` messages.
+pub fn t2_wakeup_messages(large: bool) -> String {
+    let mut report = Report::new("T2 — wakeup message complexity is exactly n − 1 (Theorem 2.1)");
+    let sweep = size_sweep(if large { 11 } else { 9 });
+    let mut table = Table::new(["family", "n", "sync msgs", "async msgs", "n − 1", "exact?"]);
+    let mut rng = rng_for(2);
+    let mut all_exact = true;
+    for fam in SWEEP_FAMILIES {
+        for &n in &sweep {
+            let g = fam.build(n, &mut rng);
+            let nodes = g.num_nodes();
+            let sync = execute(
+                &g,
+                0,
+                &SpanningTreeOracle::default(),
+                &TreeWakeup,
+                &SimConfig::wakeup(),
+            )
+            .expect("wakeup runs");
+            let async_cfg = SimConfig {
+                mode: TaskMode::Wakeup,
+                ..SimConfig::asynchronous(SchedulerKind::Random { seed: 7 })
+            };
+            let asynchronous = execute(
+                &g,
+                0,
+                &SpanningTreeOracle::default(),
+                &TreeWakeup,
+                &async_cfg,
+            )
+            .expect("wakeup runs");
+            let exact = sync.outcome.metrics.messages == (nodes - 1) as u64
+                && asynchronous.outcome.metrics.messages == (nodes - 1) as u64
+                && sync.outcome.all_informed()
+                && asynchronous.outcome.all_informed();
+            all_exact &= exact;
+            table.row([
+                fam.name().to_string(),
+                nodes.to_string(),
+                sync.outcome.metrics.messages.to_string(),
+                asynchronous.outcome.metrics.messages.to_string(),
+                (nodes - 1).to_string(),
+                if exact { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+    }
+    report.para(if all_exact {
+        "Every run used exactly n − 1 messages and informed every node — the scheme's \
+         message count is deterministic, as the paper's construction promises."
+    } else {
+        "**DEVIATION**: some run did not use exactly n − 1 messages."
+    });
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T3 — Claim 3.1: light-tree contribution vs other spanning trees.
+pub fn t3_tree_contributions(large: bool) -> String {
+    let mut report = Report::new("T3 — light spanning tree contribution ≤ 4n (Claim 3.1)");
+    let sweep = size_sweep(if large { 11 } else { 9 });
+    let mut table = Table::new([
+        "family", "n", "light", "4n", "bfs", "dfs", "min-weight", "random",
+    ]);
+    let mut rng = rng_for(3);
+    let mut light_ok = true;
+    for fam in SWEEP_FAMILIES {
+        for &n in &sweep {
+            let g = fam.build(n, &mut rng);
+            let nodes = g.num_nodes();
+            let contribution = |alg: TreeAlgorithm, rng: &mut StdRng| {
+                alg.build(&g, 0, rng).contribution(&g)
+            };
+            let light = contribution(TreeAlgorithm::Light, &mut rng);
+            light_ok &= light <= 4 * nodes as u64;
+            table.row([
+                fam.name().to_string(),
+                nodes.to_string(),
+                light.to_string(),
+                (4 * nodes).to_string(),
+                contribution(TreeAlgorithm::Bfs, &mut rng).to_string(),
+                contribution(TreeAlgorithm::Dfs, &mut rng).to_string(),
+                contribution(TreeAlgorithm::MinWeight, &mut rng).to_string(),
+                contribution(TreeAlgorithm::Random, &mut rng).to_string(),
+            ]);
+        }
+    }
+    report.para(if light_ok {
+        "The Claim 3.1 construction stayed within `4n` on every instance; BFS and \
+         random trees exceed it on the dense families (complete, lollipop), which is \
+         why the paper needs the phased construction rather than any classical tree."
+    } else {
+        "**DEVIATION**: the light tree exceeded 4n somewhere."
+    });
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T4 — Theorem 3.1: broadcast oracle ≤ 8n bits, Scheme B ≤ 3(n−1) messages.
+pub fn t4_broadcast_bounds(large: bool) -> String {
+    let mut report =
+        Report::new("T4 — broadcast: ≤ 8n oracle bits, linear messages (Theorem 3.1)");
+    let sweep = size_sweep(if large { 11 } else { 9 });
+    let mut table = Table::new([
+        "family",
+        "n",
+        "oracle bits",
+        "8n",
+        "sync msgs",
+        "async msgs",
+        "3(n−1)",
+    ]);
+    let mut rng = rng_for(4);
+    let mut ok = true;
+    for fam in SWEEP_FAMILIES {
+        for &n in &sweep {
+            let g = fam.build(n, &mut rng);
+            let nodes = g.num_nodes();
+            let sync = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default())
+                .expect("broadcast runs");
+            let async_cfg = SimConfig {
+                anonymous: true,
+                ..SimConfig::asynchronous(SchedulerKind::Lifo)
+            };
+            let asynchronous = execute(&g, 0, &LightTreeOracle, &SchemeB, &async_cfg)
+                .expect("broadcast runs");
+            ok &= sync.oracle_bits <= 8 * nodes as u64
+                && sync.outcome.metrics.messages <= scheme_b_message_bound(nodes)
+                && asynchronous.outcome.metrics.messages <= scheme_b_message_bound(nodes)
+                && sync.outcome.all_informed()
+                && asynchronous.outcome.all_informed();
+            table.row([
+                fam.name().to_string(),
+                nodes.to_string(),
+                sync.oracle_bits.to_string(),
+                (8 * nodes).to_string(),
+                sync.outcome.metrics.messages.to_string(),
+                asynchronous.outcome.metrics.messages.to_string(),
+                scheme_b_message_bound(nodes).to_string(),
+            ]);
+        }
+    }
+    report.para(if ok {
+        "Both bounds held on every instance, synchronously and under a LIFO \
+         adversary with anonymous nodes — the §1.3 robustness claims."
+    } else {
+        "**DEVIATION**: a bound was violated."
+    });
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T5 — Lemma 2.1: adversary games, measured probes vs the bound.
+pub fn t5_adversary_games() -> String {
+    let mut report = Report::new("T5 — edge-discovery adversary (Lemma 2.1)");
+    let mut table = Table::new([
+        "n", "|X|", "|Y|", "|I|", "bound", "sequential", "random", "adaptive",
+    ]);
+    let mut ok = true;
+    for n in [5usize, 6, 7] {
+        for x_size in [1usize, 2] {
+            let y: HashSet<(usize, usize)> = if n == 7 {
+                [(0, 1), (1, 2), (2, 3)].into_iter().collect()
+            } else {
+                HashSet::new()
+            };
+            let pool: Vec<(usize, usize)> = all_edges(n)
+                .into_iter()
+                .filter(|e| !y.contains(e))
+                .collect();
+            let family = all_ordered_instances(&pool, x_size);
+            let mut results = Vec::new();
+            let strategies: Vec<Box<dyn DiscoveryStrategy>> = vec![
+                Box::new(SequentialStrategy),
+                Box::new(RandomStrategy::new(MASTER_SEED)),
+                Box::new(AdaptiveNeighborStrategy),
+            ];
+            let mut bound = 0.0;
+            for mut s in strategies {
+                let result = play(n, &y, ExplicitAdversary::new(family.clone()), s.as_mut());
+                ok &= result.probes as f64 >= result.bound;
+                bound = result.bound;
+                results.push(result.probes);
+            }
+            table.row([
+                n.to_string(),
+                x_size.to_string(),
+                y.len().to_string(),
+                family.len().to_string(),
+                format!("{:.2}", bound),
+                results[0].to_string(),
+                results[1].to_string(),
+                results[2].to_string(),
+            ]);
+        }
+    }
+    report.para(if ok {
+        "Every strategy paid at least `log2(|I|/|X|!)` probes against the majority \
+         adversary; in fact the adversary forces nearly the whole edge pool, well \
+         above the information-theoretic floor."
+    } else {
+        "**DEVIATION**: a strategy beat the Lemma 2.1 bound (impossible — bug)."
+    });
+    report.block(&table.to_markdown());
+
+    // At-scale half: the closed-form adversary over the exact G_{n,S}
+    // family (|X| = n over all C(n,2) edges), far beyond enumeration.
+    use oraclesize_lowerbound::symbolic::play_symbolic;
+    let mut sym = Table::new(["n", "pool", "|X|", "log2 |I|", "bound", "probes (seq)"]);
+    let mut sym_ok = true;
+    for n in [16usize, 32, 64, 128] {
+        let pool = all_edges(n);
+        let pool_len = pool.len();
+        let result = play_symbolic(n, pool, &HashSet::new(), n, &mut SequentialStrategy);
+        sym_ok &= result.probes as f64 >= result.bound;
+        sym.row([
+            n.to_string(),
+            pool_len.to_string(),
+            n.to_string(),
+            fmt_num(result.log2_instances),
+            fmt_num(result.bound),
+            result.probes.to_string(),
+        ]);
+    }
+    report.para(if sym_ok {
+        "At scale (closed-form adversary over the exact Theorem 2.2 family, \
+         |I| up to 2^1360 on K*_128): the adversary answers *regular* until the \
+         pool is nearly exhausted, forcing ≈ C(n,2) probes — quadratically above \
+         the Lemma 2.1 floor, which is what makes the wakeup lower bound bite."
+    } else {
+        "**DEVIATION**: symbolic game beat the bound."
+    });
+    report.block(&sym.to_markdown());
+    report.render()
+}
+
+/// T6 — Theorem 2.2 constructively: starved advice blows up wakeup messages.
+pub fn t6_starved_wakeup(large: bool) -> String {
+    let mut report =
+        Report::new("T6 — starving the wakeup oracle forces superlinear messages (Theorem 2.2)");
+    let n = if large { 96 } else { 48 };
+    let mut rng = rng_for(6);
+    let (g, _) = gadgets::random_subdivided_complete(n, n, &mut rng);
+    let nodes = g.num_nodes();
+    let full = advice_size(&SpanningTreeOracle::default().advise(&g, 0));
+    let budgets: Vec<u64> = (0..=8).map(|i| full * i / 8).collect();
+    let points = tradeoff_curve(&g, 0, &budgets, 0).expect("curve runs");
+    let mut table = Table::new(["budget %", "bits", "messages", "messages/(n−1)"]);
+    for p in &points {
+        table.row([
+            format!("{}", 100 * p.budget_bits / full.max(1)),
+            p.oracle_bits.to_string(),
+            p.metrics.messages.to_string(),
+            format!("{:.1}", p.metrics.messages as f64 / (nodes - 1) as f64),
+        ]);
+    }
+    report.para(&format!(
+        "`G_{{{n},S}}` with {nodes} nodes, {} edges; full oracle {full} bits. \
+         The message count interpolates from Θ(n²) at zero budget down to exactly \
+         n − 1 at full budget — the trade-off Theorem 2.2 proves is unavoidable.",
+        g.num_edges()
+    ));
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T7 — Theorem 2.2 counting table: `P`, `Q` and the implied bound.
+pub fn t7_wakeup_counting(large: bool) -> String {
+    let mut report = Report::new("T7 — the P/Q pigeonhole of Theorem 2.2");
+    let mut table = Table::new([
+        "n",
+        "α",
+        "q bits",
+        "log2 P",
+        "log2 Q",
+        "msg bound",
+        "closed form",
+    ]);
+    let pows: Vec<u32> = if large {
+        vec![13, 14, 15, 16, 17, 18]
+    } else {
+        vec![13, 14, 15, 16]
+    };
+    for &p in &pows {
+        let n = 1u64 << p;
+        for alpha in [0.1, 0.25, 0.4] {
+            let b = wakeup_bound(n, alpha);
+            table.row([
+                format!("2^{p}"),
+                format!("{alpha}"),
+                fmt_num(b.q_bits),
+                fmt_num(b.log2_p),
+                fmt_num(b.log2_q),
+                fmt_num(b.message_bound),
+                fmt_num(oraclesize_lowerbound::counting::wakeup_bound_closed_form(
+                    n, alpha,
+                )),
+            ]);
+        }
+    }
+    report.para(
+        "For α < 1/2 the bound turns positive once n clears the asymptotic onset \
+         (≈ 2^13 at α = 0.1, ≈ 2^15 at α = 0.25) and then grows superlinearly — \
+         o(n log n) advice cannot keep wakeup at O(n) messages. The closed form \
+         `(1 − 2β) n log(n/2)` is the paper's large-n simplification.",
+    );
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T8 — Theorem 3.2 / Claim 3.3: clique gadgets, empirical and counted.
+pub fn t8_broadcast_gadgets(large: bool) -> String {
+    let mut report = Report::new("T8 — o(n) advice cannot keep broadcast linear (Theorem 3.2)");
+
+    // Empirical half: flooding vs Scheme B on G_{n,S,C}.
+    let mut rng = rng_for(8);
+    let mut table = Table::new([
+        "n", "k", "nodes", "flood msgs", "scheme B msgs", "gap",
+    ]);
+    let ks: &[usize] = if large { &[4, 8, 16] } else { &[4, 8] };
+    for &k in ks {
+        let n = 8 * k;
+        let (g, _, _) = gadgets::random_clique_gadget(n, k, &mut rng);
+        let flood = execute(&g, 0, &EmptyOracle, &FloodOnce, &SimConfig::default())
+            .expect("flooding runs");
+        let scheme = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default())
+            .expect("scheme B runs");
+        table.row([
+            n.to_string(),
+            k.to_string(),
+            g.num_nodes().to_string(),
+            flood.outcome.metrics.messages.to_string(),
+            scheme.outcome.metrics.messages.to_string(),
+            format!(
+                "{:.1}x",
+                flood.outcome.metrics.messages as f64
+                    / scheme.outcome.metrics.messages.max(1) as f64
+            ),
+        ]);
+    }
+    report.para(
+        "Empirical half: without advice the cliques must be flooded (the missing \
+         edge f_i is invisible from outside), so the zero-advice cost grows with k \
+         while the 8n-bit Scheme B stays linear — the gap the theorem formalizes.",
+    );
+    report.block(&table.to_markdown());
+
+    // Counting half: Claim 3.3's numbers.
+    let mut counting = Table::new([
+        "n", "k", "k ≤ √log n?", "log2 P'", "log2 Q", "msg bound", "target n(k−1)/8",
+    ]);
+    for (n, k) in [(1u64 << 14, 4u64), (1 << 16, 4), (1 << 18, 4), (1 << 18, 8)] {
+        let b = broadcast_bound(n, k);
+        let cond = (k as f64) <= ((n as f64).log2()).sqrt();
+        counting.row([
+            format!("2^{}", (n as f64).log2() as u32),
+            k.to_string(),
+            if cond { "yes".into() } else { "no".to_string() },
+            fmt_num(b.log2_p_prime),
+            fmt_num(b.log2_q),
+            fmt_num(b.message_bound),
+            fmt_num(b.claim_target),
+        ]);
+    }
+    report.para(
+        "Counting half: with oracle size q = n/2k, the pigeonhole bound crosses the \
+         Claim 3.3 target n(k−1)/8 exactly when k ≤ √(log n) — the claim's own \
+         side condition, reproduced sharply by the exact computation.",
+    );
+    report.block(&counting.to_markdown());
+    report.render()
+}
+
+/// T9 — the remark after Theorem 2.2: threshold `c/(c+1)`.
+pub fn t9_threshold_remark() -> String {
+    let mut report = Report::new("T9 — subdividing c·n edges lifts the threshold to c/(c+1)");
+    let mut table = Table::new(["c", "threshold", "α = 0.45", "α = 0.6", "α = 0.7", "α = 0.85"]);
+    let n = (2.0f64).powi(400);
+    for c in 1u64..=4 {
+        let mut cells = vec![c.to_string(), format!("{:.3}", wakeup_threshold(c))];
+        for alpha in [0.45, 0.6, 0.7, 0.85] {
+            let b = wakeup_bound_subdivisions_approx(n, c, alpha);
+            cells.push(if b > 0.0 {
+                format!("+ ({:.1e})", b)
+            } else {
+                "0".to_string()
+            });
+        }
+        table.row(cells);
+    }
+    report.para("Asymptotic counting at n = 2^400 (the lower-order `n log log n` term in Q \
+         delays the onset far past exactly-computable sizes): the bound is positive \
+         exactly when α < c/(c+1), matching the remark — so the paper's \
+         `n log n + o(n log n)` upper bound for wakeup is asymptotically optimal.");
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T10 — §1.3 robustness: schedulers × anonymity × zero-payload messages.
+pub fn t10_robustness_matrix() -> String {
+    let mut report = Report::new("T10 — upper bounds hold async, anonymous, bounded messages (§1.3)");
+    let mut rng = rng_for(10);
+    let g = families::random_connected(128, 0.08, &mut rng);
+    let mut table = Table::new([
+        "scheme", "scheduler", "anonymous", "completed", "messages", "max payload bits",
+    ]);
+    let mut ok = true;
+    for kind in SchedulerKind::sweep(MASTER_SEED) {
+        for anonymous in [false, true] {
+            let wakeup_cfg = SimConfig {
+                mode: TaskMode::Wakeup,
+                anonymous,
+                max_message_bits: Some(0),
+                ..SimConfig::asynchronous(kind)
+            };
+            let w = execute(
+                &g,
+                0,
+                &SpanningTreeOracle::default(),
+                &TreeWakeup,
+                &wakeup_cfg,
+            )
+            .expect("wakeup runs");
+            ok &= w.outcome.all_informed() && w.outcome.metrics.messages == 127;
+            table.row([
+                "tree-wakeup".to_string(),
+                kind.name().to_string(),
+                anonymous.to_string(),
+                w.outcome.all_informed().to_string(),
+                w.outcome.metrics.messages.to_string(),
+                w.outcome.metrics.max_message_bits.to_string(),
+            ]);
+
+            let broadcast_cfg = SimConfig {
+                anonymous,
+                max_message_bits: Some(0),
+                ..SimConfig::asynchronous(kind)
+            };
+            let b = execute(&g, 0, &LightTreeOracle, &SchemeB, &broadcast_cfg)
+                .expect("broadcast runs");
+            ok &= b.outcome.all_informed()
+                && b.outcome.metrics.messages <= scheme_b_message_bound(128);
+            table.row([
+                "scheme-b".to_string(),
+                kind.name().to_string(),
+                anonymous.to_string(),
+                b.outcome.all_informed().to_string(),
+                b.outcome.metrics.messages.to_string(),
+                b.outcome.metrics.max_message_bits.to_string(),
+            ]);
+        }
+    }
+    report.para(if ok {
+        "All 12 configurations completed within their message bounds using 0-bit \
+         payloads — both upper bounds are fully asynchronous, anonymous, and \
+         bounded-message, as §1.3 claims."
+    } else {
+        "**DEVIATION**: a configuration failed."
+    });
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T11 — encoding ablation: the advice codecs compared.
+pub fn t11_encoding_ablation() -> String {
+    use oraclesize_bits::codec::{AnyCodec, Codec};
+    use oraclesize_bits::lists::encode_port_list;
+    use oraclesize_bits::BitString;
+    use oraclesize_graph::spanning::light_tree;
+
+    let mut report = Report::new("T11 — advice encoding ablation");
+    let mut rng = rng_for(11);
+    let mut table = Table::new([
+        "family",
+        "n",
+        "paper port-list",
+        "gamma ports",
+        "delta ports",
+        "paper weights (2Σ#2)",
+        "gamma weights",
+        "unary weights",
+    ]);
+    for fam in [Family::Complete, Family::RandomSparse, Family::Lollipop] {
+        for n in [64usize, 256] {
+            let g = fam.build(n, &mut rng);
+            let nodes = g.num_nodes();
+            // Wakeup side: child-port lists under each codec.
+            let tree = oraclesize_graph::spanning::bfs_tree(&g, 0);
+            let mut paper_ports = 0usize;
+            let mut gamma_ports = 0usize;
+            let mut delta_ports = 0usize;
+            for v in 0..nodes {
+                let ports: Vec<u64> = tree.children(v).iter().map(|&(_, p)| p as u64).collect();
+                paper_ports += encode_port_list(&ports, nodes as u64).len();
+                for &p in &ports {
+                    gamma_ports += AnyCodec::EliasGamma.encoded_len(p);
+                    delta_ports += AnyCodec::EliasDelta.encoded_len(p);
+                }
+            }
+            // Broadcast side: light-tree weights under each codec.
+            let light = light_tree(&g, 0);
+            let weights: Vec<u64> = light.edges(&g).map(|e| e.weight()).collect();
+            let len_with = |codec: AnyCodec| -> usize {
+                let mut s = BitString::new();
+                for &w in &weights {
+                    codec.encode(w, &mut s);
+                }
+                s.len()
+            };
+            table.row([
+                fam.name().to_string(),
+                nodes.to_string(),
+                paper_ports.to_string(),
+                gamma_ports.to_string(),
+                delta_ports.to_string(),
+                len_with(AnyCodec::ContinuationPairs).to_string(),
+                len_with(AnyCodec::EliasGamma).to_string(),
+                len_with(AnyCodec::Unary).to_string(),
+            ]);
+        }
+    }
+    report.para(
+        "The paper's doubled-header port list pays one ⌈log n⌉ per child plus an \
+         O(log log n) header — close to gamma coding on dense trees. For weights, \
+         the 2·#2(w) continuation-pair code is within 2x of gamma and the paper \
+         prefers it for its exactly-analyzable size; unary is the degenerate case.",
+    );
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T12 — gossip (the paper's third named task): 2(n−1) messages from an
+/// O(n log n) oracle.
+pub fn t12_gossip() -> String {
+    use oraclesize_core::gossip::{decode_gossip_output, gossip_message_bound, GossipOracle, TreeGossip};
+    let mut report = Report::new("T12 — gossip with tree advice (§1.2's third task)");
+    let mut rng = rng_for(12);
+    let mut table = Table::new([
+        "family", "n", "oracle bits", "messages", "2(n−1)", "payload bits", "complete?",
+    ]);
+    let mut ok = true;
+    for fam in SWEEP_FAMILIES {
+        for n in [32usize, 128] {
+            let g = fam.build(n, &mut rng);
+            let nodes = g.num_nodes();
+            let run = execute(&g, 0, &GossipOracle::default(), &TreeGossip, &SimConfig::default())
+                .expect("gossip runs");
+            let complete = run.outcome.outputs.iter().all(|o| {
+                o.as_ref()
+                    .and_then(decode_gossip_output)
+                    .is_some_and(|set| set.len() == nodes)
+            });
+            ok &= complete && run.outcome.metrics.messages == gossip_message_bound(nodes);
+            table.row([
+                fam.name().to_string(),
+                nodes.to_string(),
+                run.oracle_bits.to_string(),
+                run.outcome.metrics.messages.to_string(),
+                gossip_message_bound(nodes).to_string(),
+                run.outcome.metrics.payload_bits.to_string(),
+                complete.to_string(),
+            ]);
+        }
+    }
+    report.para(if ok {
+        "Convergecast + downcast over the advice tree: exactly 2(n−1) messages and \
+         every node ends knowing all n values. Message *payloads* grow along the \
+         tree (the payload-bits column) — gossip's intrinsic extra cost over \
+         broadcast, orthogonal to the oracle-size measure."
+    } else {
+        "**DEVIATION**: a gossip run failed."
+    });
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T13 — pricing the traditional radius-ρ knowledge assumption in bits.
+pub fn t13_neighborhood_pricing() -> String {
+    use oraclesize_core::neighborhood::NeighborhoodOracle;
+    let mut report = Report::new("T13 — what radius-ρ knowledge costs in bits (§1.1 motivation)");
+    let mut rng = rng_for(13);
+    let mut table = Table::new([
+        "family", "n", "ρ=1", "ρ=2", "ρ=3", "tree oracle", "light-tree oracle",
+    ]);
+    for fam in [Family::Grid, Family::RandomSparse, Family::Complete] {
+        for n in [64usize, 144] {
+            let g = fam.build(n, &mut rng);
+            let mut cells = vec![fam.name().to_string(), g.num_nodes().to_string()];
+            for rho in 1..=3 {
+                cells.push(advice_size(&NeighborhoodOracle::new(rho).advise(&g, 0)).to_string());
+            }
+            cells.push(advice_size(&SpanningTreeOracle::default().advise(&g, 0)).to_string());
+            cells.push(advice_size(&LightTreeOracle.advise(&g, 0)).to_string());
+            table.row(cells);
+        }
+    }
+    report.para(
+        "The oracle framework makes the traditional \"know your radius-ρ \
+         neighborhood\" assumption comparable to task-specific advice: even ρ = 1 \
+         costs orders of magnitude more bits than the Θ(n log n) wakeup oracle on \
+         dense graphs, and ρ = 2 on sparse ones — the quantitative point of the \
+         paper's introduction.",
+    );
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T14 — exploration with an oracle (the conclusion's conjecture, realized).
+pub fn t14_exploration() -> String {
+    use oraclesize_explore::agent::{walk, WalkConfig};
+    use oraclesize_explore::oracle::{tour_advice, tour_advice_bits};
+    use oraclesize_explore::strategies::{DfsBacktrack, GuidedTour, RandomWalk};
+    use oraclesize_bits::BitString;
+
+    let mut report = Report::new("T14 — exploration by a mobile agent with advice (Conclusion §4)");
+    let mut rng = rng_for(14);
+    let mut table = Table::new([
+        "family", "n", "m", "advice bits", "tour moves", "2(n−1)", "dfs moves", "2m",
+        "random-walk cover",
+    ]);
+    let mut ok = true;
+    for fam in SWEEP_FAMILIES {
+        let g = fam.build(48, &mut rng);
+        let (nodes, edges) = (g.num_nodes(), g.num_edges());
+        let advice = tour_advice(&g, 0);
+        let empty = vec![BitString::new(); nodes];
+        let tour = walk(&g, 0, &advice, &mut GuidedTour::new(), &WalkConfig::default());
+        let dfs = walk(&g, 0, &empty, &mut DfsBacktrack::new(), &WalkConfig::default());
+        let rw = walk(
+            &g,
+            0,
+            &empty,
+            &mut RandomWalk::new(MASTER_SEED),
+            &WalkConfig { max_moves: 5_000_000 },
+        );
+        ok &= tour.covered_all
+            && tour.moves == 2 * (nodes as u64 - 1)
+            && dfs.covered_all
+            && dfs.moves <= 2 * edges as u64;
+        table.row([
+            fam.name().to_string(),
+            nodes.to_string(),
+            edges.to_string(),
+            tour_advice_bits(&g, 0).to_string(),
+            tour.moves.to_string(),
+            (2 * (nodes - 1)).to_string(),
+            dfs.moves.to_string(),
+            (2 * edges).to_string(),
+            rw.cover_moves.map_or("—".into(), |c| c.to_string()),
+        ]);
+    }
+    report.para(if ok {
+        "The tour oracle (O(n log Δ) bits) explores in exactly 2(n−1) moves; \
+         advice-free DFS pays up to 2m, random walks far more — the move-complexity \
+         mirror of the paper's knowledge/messages trade-off, confirming the \
+         conclusion's conjecture is realizable for exploration."
+    } else {
+        "**DEVIATION**: an exploration bound failed."
+    });
+    report.block(&table.to_markdown());
+
+    // Budgeted half: the moves-side analogue of T6 — with a twist.
+    use oraclesize_explore::budget::exploration_tradeoff;
+    let mut curve = Table::new(["graph", "budget %", "advice bits", "moves", "moves/2(n−1)"]);
+    for (name, g) in [
+        ("grid 8x8", families::grid(8, 8)),
+        ("K_64", families::complete_rotational(64)),
+    ] {
+        let nodes = g.num_nodes() as f64;
+        let full: u64 = tour_advice(&g, 0).iter().map(|s| s.len() as u64).sum();
+        let budgets: Vec<u64> = (0..=4).map(|i| full * i / 4).collect();
+        for p in exploration_tradeoff(&g, 0, &budgets) {
+            curve.row([
+                name.to_string(),
+                format!("{}", 100 * p.budget_bits / full.max(1)),
+                p.advice_bits.to_string(),
+                p.result.moves.to_string(),
+                format!("{:.1}", p.result.moves as f64 / (2.0 * (nodes - 1.0))),
+            ]);
+        }
+    }
+    report.para(
+        "Budgeted tour advice (hybrid tour-then-DFS agent, always covering) exposes \
+         an asymmetry with the broadcast trade-off of T6: partial tour advice is \
+         essentially worthless — slightly *harmful*, since the toured prefix is \
+         retraversed — because the tour is a chain and the DFS fallback re-pays the \
+         full Θ(m) edge-discovery cost wherever it takes over. Wakeup advice \
+         degrades gracefully (T6: each advised node saves its own flood); \
+         exploration advice is all-or-nothing. The oracle-size lens makes this \
+         structural difference between tasks quantitative.",
+    );
+    report.block(&curve.to_markdown());
+    report.render()
+}
+
+/// T15 — construction tasks (§1.2's BFS tree / MST examples): advice moves
+/// the whole cost out of communication.
+pub fn t15_construction() -> String {
+    use oraclesize_core::construction::{
+        collect_parent_ports, verify_bfs_tree, verify_mst, BfsTreeOracle, DistributedBfs,
+        MstOracle, ZeroMessageTree,
+    };
+    let mut report = Report::new("T15 — BFS-tree and MST construction with advice (§1.2)");
+    let mut rng = rng_for(15);
+    let mut table = Table::new([
+        "family", "n", "task", "oracle bits", "messages", "verified",
+    ]);
+    let mut ok = true;
+    for fam in SWEEP_FAMILIES {
+        let g = fam.build(64, &mut rng);
+        let nodes = g.num_nodes();
+        // BFS with advice: zero messages.
+        let with = execute(&g, 0, &BfsTreeOracle, &ZeroMessageTree, &SimConfig::default())
+            .expect("runs");
+        let with_ok = collect_parent_ports(&with.outcome.outputs)
+            .map(|p| verify_bfs_tree(&g, 0, &p).is_ok())
+            .unwrap_or(false);
+        ok &= with_ok && with.outcome.metrics.messages == 0;
+        table.row([
+            fam.name().to_string(),
+            nodes.to_string(),
+            "bfs (oracle)".to_string(),
+            with.oracle_bits.to_string(),
+            with.outcome.metrics.messages.to_string(),
+            with_ok.to_string(),
+        ]);
+        // BFS without advice: Θ(m) messages.
+        let without = execute(&g, 0, &EmptyOracle, &DistributedBfs, &SimConfig::default())
+            .expect("runs");
+        let without_ok = collect_parent_ports(&without.outcome.outputs)
+            .map(|p| verify_bfs_tree(&g, 0, &p).is_ok())
+            .unwrap_or(false);
+        ok &= without_ok;
+        table.row([
+            fam.name().to_string(),
+            nodes.to_string(),
+            "bfs (flooding)".to_string(),
+            "0".to_string(),
+            without.outcome.metrics.messages.to_string(),
+            without_ok.to_string(),
+        ]);
+        // MST with advice.
+        let mst = execute(&g, 0, &MstOracle, &ZeroMessageTree, &SimConfig::default())
+            .expect("runs");
+        let mst_ok = collect_parent_ports(&mst.outcome.outputs)
+            .map(|p| verify_mst(&g, 0, &p).is_ok())
+            .unwrap_or(false);
+        ok &= mst_ok && mst.outcome.metrics.messages == 0;
+        table.row([
+            fam.name().to_string(),
+            nodes.to_string(),
+            "mst (oracle)".to_string(),
+            mst.oracle_bits.to_string(),
+            mst.outcome.metrics.messages.to_string(),
+            mst_ok.to_string(),
+        ]);
+    }
+    report.para(if ok {
+        "With `O(n log Δ)` bits of advice both structures are built with **zero** \
+         messages (independently verified); the advice-free BFS pays Θ(m). \
+         Construction tasks are the extreme point of the knowledge/communication \
+         exchange rate."
+    } else {
+        "**DEVIATION**: a construction failed verification."
+    });
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T16 — the time/knowledge/messages triangle (Conclusion §4: "tradeoffs
+/// between the amount of knowledge … and the efficiency (in terms of time
+/// or message complexity)").
+pub fn t16_time_knowledge() -> String {
+    let mut report = Report::new("T16 — knowledge vs messages vs time (Conclusion §4)");
+    let mut rng = rng_for(16);
+    let mut table = Table::new([
+        "family", "n", "scheme", "oracle bits", "messages", "rounds",
+    ]);
+    for fam in [Family::Grid, Family::RandomSparse, Family::Complete] {
+        let g = fam.build(100, &mut rng);
+        let nodes = g.num_nodes();
+        let mut push = |name: &str, bits: u64, msgs: u64, rounds: u64| {
+            table.row([
+                fam.name().to_string(),
+                nodes.to_string(),
+                name.to_string(),
+                bits.to_string(),
+                msgs.to_string(),
+                rounds.to_string(),
+            ]);
+        };
+        let flood = execute(&g, 0, &EmptyOracle, &FloodOnce, &SimConfig::default())
+            .expect("runs");
+        push(
+            "flooding",
+            flood.oracle_bits,
+            flood.outcome.metrics.messages,
+            flood.outcome.metrics.rounds,
+        );
+        let wakeup = execute(
+            &g,
+            0,
+            &SpanningTreeOracle::default(),
+            &TreeWakeup,
+            &SimConfig::wakeup(),
+        )
+        .expect("runs");
+        push(
+            "tree-wakeup",
+            wakeup.oracle_bits,
+            wakeup.outcome.metrics.messages,
+            wakeup.outcome.metrics.rounds,
+        );
+        let scheme_b = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default())
+            .expect("runs");
+        push(
+            "scheme-b",
+            scheme_b.oracle_bits,
+            scheme_b.outcome.metrics.messages,
+            scheme_b.outcome.metrics.rounds,
+        );
+    }
+    report.para(
+        "Flooding is time-optimal (eccentricity rounds) but message-maximal; the \
+         tree schemes are message-optimal but pay tree-depth rounds — BFS trees \
+         keep that near the eccentricity, while the light tree of Scheme B can be \
+         deeper. Knowledge, messages and time form a genuine triangle, the \
+         trade-off space the conclusion proposes to map with oracles.",
+    );
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T17 — sensitivity of the oracle sizes to the (adversarial) port
+/// numbering: the 4n/8n guarantees are worst-case over numberings.
+pub fn t17_port_sensitivity() -> String {
+    use oraclesize_analysis::stats::Summary;
+    use oraclesize_graph::PortGraphBuilder;
+
+    let mut report = Report::new("T17 — port-numbering sensitivity of the oracle sizes");
+    let mut rng = rng_for(17);
+    let n = 96;
+    let base = families::random_connected(n, 0.3, &mut rng);
+    let mut light_bits = Vec::new();
+    let mut wakeup_bits = Vec::new();
+    for _ in 0..30 {
+        let mut b = PortGraphBuilder::new(n);
+        for e in base.edges() {
+            b.add_edge(e.u, e.v).expect("copy of a simple graph");
+        }
+        b.shuffle_ports(&mut rng);
+        let g = b.build().expect("valid shuffle");
+        light_bits.push(advice_size(&LightTreeOracle.advise(&g, 0)) as f64);
+        wakeup_bits.push(advice_size(&SpanningTreeOracle::default().advise(&g, 0)) as f64);
+    }
+    let light = Summary::of(&light_bits);
+    let wakeup = Summary::of(&wakeup_bits);
+    let mut table = Table::new(["oracle", "min", "median", "max", "mean", "stddev", "bound"]);
+    table.row([
+        "light-tree (broadcast)".to_string(),
+        fmt_num(light.min),
+        fmt_num(light.median),
+        fmt_num(light.max),
+        fmt_num(light.mean),
+        fmt_num(light.stddev),
+        format!("8n = {}", 8 * n),
+    ]);
+    table.row([
+        "spanning-tree (wakeup)".to_string(),
+        fmt_num(wakeup.min),
+        fmt_num(wakeup.median),
+        fmt_num(wakeup.max),
+        fmt_num(wakeup.mean),
+        fmt_num(wakeup.stddev),
+        "Θ(n log n)".to_string(),
+    ]);
+    report.para(&format!(
+        "30 uniformly shuffled port numberings of one {n}-node graph: the \
+         light-tree oracle never exceeds its 8n-bit guarantee (max {} vs bound {}), \
+         and the wakeup oracle's size barely moves — the paper's bounds are \
+         robust to the adversary's numbering, as worst-case bounds must be.",
+        fmt_num(light.max),
+        8 * n
+    ));
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// T18 — leader election (§1.1's first-named task): 1 bit + tree vs
+/// FloodMax.
+pub fn t18_leader_election() -> String {
+    use oraclesize_core::election::{
+        verify_election, AnnouncedLeader, ElectionOracle, FloodMax,
+    };
+    let mut report = Report::new("T18 — leader election: a flag bit + tree vs FloodMax (§1.1)");
+    let mut rng = rng_for(18);
+    let mut table = Table::new([
+        "family", "n", "m", "oracle bits", "announce msgs", "floodmax msgs", "gap",
+    ]);
+    let mut ok = true;
+    for fam in SWEEP_FAMILIES {
+        let g = fam.build(64, &mut rng);
+        let (nodes, edges) = (g.num_nodes(), g.num_edges());
+        let announced =
+            execute(&g, 0, &ElectionOracle, &AnnouncedLeader, &SimConfig::default())
+                .expect("runs");
+        let flood = execute(&g, 0, &EmptyOracle, &FloodMax, &SimConfig::default())
+            .expect("runs");
+        ok &= verify_election(&g, &announced.outcome.outputs, false).is_ok()
+            && verify_election(&g, &flood.outcome.outputs, true).is_ok()
+            && announced.outcome.metrics.messages == (nodes - 1) as u64;
+        table.row([
+            fam.name().to_string(),
+            nodes.to_string(),
+            edges.to_string(),
+            announced.oracle_bits.to_string(),
+            announced.outcome.metrics.messages.to_string(),
+            flood.outcome.metrics.messages.to_string(),
+            format!(
+                "{:.1}x",
+                flood.outcome.metrics.messages as f64
+                    / announced.outcome.metrics.messages.max(1) as f64
+            ),
+        ]);
+    }
+    report.para(if ok {
+        "The oracle's flag bit dissolves the symmetry-breaking problem entirely: \
+         n − 1 messages announce the leader, while advice-free FloodMax pays up \
+         to Θ(n·m). Election is the task where a *single bit per network* of \
+         well-placed knowledge changes the complexity class of the solution."
+    } else {
+        "**DEVIATION**: an election failed verification."
+    });
+    report.block(&table.to_markdown());
+
+    // The knowledge spectrum on rings: FloodMax vs Hirschberg–Sinclair vs
+    // the oracle.
+    use oraclesize_core::election::HirschbergSinclair;
+    let mut ring = Table::new(["ring n", "floodmax msgs", "HS msgs", "oracle msgs", "oracle bits"]);
+    let mut ring_ok = true;
+    for n in [32usize, 128, 512] {
+        let g = families::cycle(n);
+        let fm = execute(&g, 0, &EmptyOracle, &FloodMax, &SimConfig::default()).expect("runs");
+        let hs = execute(&g, 0, &EmptyOracle, &HirschbergSinclair, &SimConfig::default())
+            .expect("runs");
+        let oracle = execute(&g, 0, &ElectionOracle, &AnnouncedLeader, &SimConfig::default())
+            .expect("runs");
+        ring_ok &= verify_election(&g, &hs.outcome.outputs, true).is_ok();
+        ring.row([
+            n.to_string(),
+            fm.outcome.metrics.messages.to_string(),
+            hs.outcome.metrics.messages.to_string(),
+            oracle.outcome.metrics.messages.to_string(),
+            oracle.oracle_bits.to_string(),
+        ]);
+    }
+    report.para(if ring_ok {
+        "On rings, the classic Hirschberg–Sinclair protocol sits exactly between \
+         the two extremes: Θ(n²) with no knowledge and no structure assumptions, \
+         Θ(n log n) with no knowledge but ring structure, n − 1 with Θ(n log n) \
+         bits of advice — three rungs of the knowledge ladder."
+    } else {
+        "**DEVIATION**: HS failed on a ring."
+    });
+    report.block(&ring.to_markdown());
+    report.render()
+}
+
+/// T19 — spanner construction (the conclusion's other conjecture): advice
+/// size vs allowed stretch.
+pub fn t19_spanner_tradeoff() -> String {
+    use oraclesize_core::construction::ZeroMessageTree;
+    use oraclesize_core::spanner::{collect_port_sets, verify_spanner, SpannerOracle};
+    let mut report = Report::new("T19 — spanner construction: knowledge vs stretch (Conclusion §4)");
+    let mut rng = rng_for(19);
+    let mut table = Table::new([
+        "family", "n", "m", "t", "spanner edges", "oracle bits", "verified",
+    ]);
+    let mut ok = true;
+    for fam in [Family::Complete, Family::RandomDense, Family::Torus] {
+        let g = fam.build(64, &mut rng);
+        for t in [1usize, 3, 5] {
+            let run = execute(
+                &g,
+                0,
+                &SpannerOracle::new(t),
+                &ZeroMessageTree,
+                &SimConfig::default(),
+            )
+            .expect("runs");
+            let verified = collect_port_sets(&run.outcome.outputs)
+                .and_then(|sets| verify_spanner(&g, &sets, t).ok());
+            ok &= verified.is_some() && run.outcome.metrics.messages == 0;
+            table.row([
+                fam.name().to_string(),
+                g.num_nodes().to_string(),
+                g.num_edges().to_string(),
+                t.to_string(),
+                verified.map_or("FAIL".into(), |e| e.to_string()),
+                run.oracle_bits.to_string(),
+                verified.is_some().to_string(),
+            ]);
+        }
+    }
+    report.para(if ok {
+        "Zero messages build a verified t-spanner from per-node port advice; the \
+         advice shrinks as the allowed stretch grows (t = 3 already cuts dense \
+         graphs to near-linear edge counts) — the knowledge/quality trade-off the \
+         conclusion conjectures oracles can chart."
+    } else {
+        "**DEVIATION**: a spanner failed verification."
+    });
+    report.block(&table.to_markdown());
+    report.render()
+}
+
+/// F1 — CSV series: oracle sizes vs n, with fits (the separation figure).
+pub fn f1_size_series(large: bool) -> String {
+    let mut report = Report::new("F1 — oracle size vs n (series for the separation figure)");
+    let mut rng = rng_for(101);
+    let mut csv = Table::new(["nodes", "wakeup_bits", "broadcast_bits", "fullmap_bits"]);
+    let mut ns = Vec::new();
+    let mut wk = Vec::new();
+    let mut bc = Vec::new();
+    for k in 4..=(if large { 10 } else { 8 }) {
+        let n = 1usize << k;
+        let (g, _) = gadgets::random_subdivided_complete(n, n, &mut rng);
+        let nodes = g.num_nodes();
+        let w = advice_size(&SpanningTreeOracle::default().advise(&g, 0));
+        let b = advice_size(&LightTreeOracle.advise(&g, 0));
+        // The full map is Θ(n·m·log n) bits — gigabytes past ~1k nodes.
+        let m = if nodes <= 1024 {
+            advice_size(&FullMapOracle.advise(&g, 0)).to_string()
+        } else {
+            "-".to_string()
+        };
+        csv.row([nodes.to_string(), w.to_string(), b.to_string(), m]);
+        ns.push(nodes as f64);
+        wk.push(w as f64);
+        bc.push(b as f64);
+    }
+    let wfit = &best_model(&ns, &wk)[0];
+    let bfit = &best_model(&ns, &bc)[0];
+    report.para(&format!(
+        "wakeup: {} (R²={:.6}); broadcast: {} (R²={:.6}); full map grows like n·m·log n.",
+        wfit.model, wfit.r_squared, bfit.model, bfit.r_squared
+    ));
+    report.csv(&csv.to_csv());
+    report.render()
+}
+
+/// F2 — CSV series: message complexity vs n for all schemes.
+pub fn f2_message_series(large: bool) -> String {
+    let mut report = Report::new("F2 — message complexity vs n");
+    let mut csv = Table::new([
+        "nodes",
+        "wakeup_msgs",
+        "schemeb_msgs",
+        "flood_msgs",
+        "mapwakeup_msgs",
+    ]);
+    let mut ns = Vec::new();
+    let mut floods = Vec::new();
+    for k in 4..=(if large { 9 } else { 8 }) {
+        let n = 1usize << k;
+        let g = families::complete_rotational(n);
+        let w = execute(
+            &g,
+            0,
+            &SpanningTreeOracle::default(),
+            &TreeWakeup,
+            &SimConfig::wakeup(),
+        )
+        .expect("runs");
+        let b = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default()).expect("runs");
+        let f = execute(&g, 0, &EmptyOracle, &FloodOnce, &SimConfig::default()).expect("runs");
+        let m = execute(&g, 0, &FullMapOracle, &MapWakeup, &SimConfig::wakeup()).expect("runs");
+        csv.row([
+            n.to_string(),
+            w.outcome.metrics.messages.to_string(),
+            b.outcome.metrics.messages.to_string(),
+            f.outcome.metrics.messages.to_string(),
+            m.outcome.metrics.messages.to_string(),
+        ]);
+        ns.push(n as f64);
+        floods.push(f.outcome.metrics.messages as f64);
+    }
+    let quad = fit_model(Model::Quadratic, &ns, &floods);
+    report.para(&format!(
+        "Oracle-assisted schemes are linear (wakeup exactly n−1); flooding fits \
+         O(n²) with R² = {:.6} — the cost knowledge removes.",
+        quad.r_squared
+    ));
+    report.csv(&csv.to_csv());
+    report.render()
+}
+
+/// F3 — CSV: the advice-budget trade-off curve.
+pub fn f3_budget_curve(large: bool) -> String {
+    let mut report = Report::new("F3 — knowledge vs message complexity trade-off");
+    let n = if large { 96 } else { 64 };
+    let mut rng = rng_for(103);
+    let (g, _) = gadgets::random_subdivided_complete(n, n, &mut rng);
+    let full = advice_size(&SpanningTreeOracle::default().advise(&g, 0));
+    let budgets: Vec<u64> = (0..=16).map(|i| full * i / 16).collect();
+    let points = tradeoff_curve(&g, 0, &budgets, 0).expect("curve runs");
+    let mut csv = Table::new(["budget_bits", "given_bits", "messages"]);
+    for p in &points {
+        csv.row([
+            p.budget_bits.to_string(),
+            p.oracle_bits.to_string(),
+            p.metrics.messages.to_string(),
+        ]);
+    }
+    report.para(&format!(
+        "G_{{{n},S}} ({} nodes): messages fall monotonically (modulo tree-shape \
+         noise) from Θ(n²) to n−1 as the advice budget grows to {full} bits.",
+        g.num_nodes()
+    ));
+    report.csv(&csv.to_csv());
+    report.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_experiments_render_without_deviations() {
+        // The full suite runs in release via the `experiments` binary and
+        // is recorded in EXPERIMENTS.md; here we smoke-test the fast ones.
+        for id in ["t5", "t9", "t12", "f3"] {
+            let out = run_experiment(id, false);
+            assert!(out.starts_with("## "), "{id}: missing heading");
+            assert!(out.len() > 200, "{id}: suspiciously short report");
+            assert!(!out.contains("DEVIATION"), "{id}: reported a deviation");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        run_experiment("t99", false);
+    }
+}

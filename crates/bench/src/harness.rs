@@ -1,0 +1,80 @@
+//! Shared experiment plumbing: sweeps, seeds, and report assembly.
+
+use oraclesize_graph::families::Family;
+
+/// The master seed every experiment derives from; recorded in
+/// EXPERIMENTS.md so runs are reproducible.
+pub const MASTER_SEED: u64 = 2006;
+
+/// The graph-size sweep used by the size/message experiments
+/// (`2^k` for `k = 4..=max_pow`).
+pub fn size_sweep(max_pow: u32) -> Vec<usize> {
+    (4..=max_pow).map(|k| 1usize << k).collect()
+}
+
+/// The family subset used for dense sweeps (keeps the harness fast while
+/// covering sparse, dense, tree-like and adversarial shapes).
+pub const SWEEP_FAMILIES: [Family; 5] = [
+    Family::Complete,
+    Family::Hypercube,
+    Family::RandomSparse,
+    Family::Lollipop,
+    Family::RandomTree,
+];
+
+/// A rendered experiment report: heading, prose, and one or more tables.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    sections: Vec<String>,
+}
+
+impl Report {
+    /// An empty report with a Markdown heading.
+    pub fn new(title: &str) -> Self {
+        Report {
+            sections: vec![format!("## {title}\n")],
+        }
+    }
+
+    /// Appends a paragraph.
+    pub fn para(&mut self, text: &str) -> &mut Self {
+        self.sections.push(format!("{text}\n"));
+        self
+    }
+
+    /// Appends a rendered table (Markdown or CSV fenced block).
+    pub fn block(&mut self, body: &str) -> &mut Self {
+        self.sections.push(body.to_string());
+        self
+    }
+
+    /// Appends a CSV block fenced for Markdown.
+    pub fn csv(&mut self, body: &str) -> &mut Self {
+        self.sections.push(format!("```csv\n{body}```\n"));
+        self
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        self.sections.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_sweep_is_powers_of_two() {
+        assert_eq!(size_sweep(6), vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn report_renders_in_order() {
+        let mut r = Report::new("T0");
+        r.para("hello").block("| a |\n");
+        let s = r.render();
+        assert!(s.starts_with("## T0"));
+        assert!(s.find("hello").unwrap() < s.find("| a |").unwrap());
+    }
+}

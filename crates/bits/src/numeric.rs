@@ -1,0 +1,85 @@
+//! Small numeric helpers shared by the codecs and the counting arguments.
+
+/// The paper's `#2(w)`: the number of bits of the standard binary
+/// representation of `w`, with `#2(w) = 1` for `w ∈ {0, 1}`.
+///
+/// This is the quantity the *contribution* of an edge is measured in
+/// (Theorem 3.1): `contribution(e) = #2(w(e))`.
+///
+/// ```
+/// use oraclesize_bits::bits_to_represent;
+/// assert_eq!(bits_to_represent(0), 1);
+/// assert_eq!(bits_to_represent(1), 1);
+/// assert_eq!(bits_to_represent(2), 2);
+/// assert_eq!(bits_to_represent(255), 8);
+/// assert_eq!(bits_to_represent(256), 9);
+/// ```
+pub fn bits_to_represent(w: u64) -> u32 {
+    if w <= 1 {
+        1
+    } else {
+        64 - w.leading_zeros()
+    }
+}
+
+/// `⌈log2(n)⌉` for `n ≥ 1`; the fixed width used by the Theorem 2.1 port
+/// encoding ("using exactly `⌈log n⌉` bits for each of them").
+///
+/// # Panics
+///
+/// Panics if `n == 0` (the logarithm is undefined).
+///
+/// ```
+/// use oraclesize_bits::ceil_log2;
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(3), 2);
+/// assert_eq!(ceil_log2(1024), 10);
+/// assert_eq!(ceil_log2(1025), 11);
+/// ```
+pub fn ceil_log2(n: u64) -> u32 {
+    assert!(n > 0, "ceil_log2 undefined for 0");
+    64 - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_to_represent_matches_definition() {
+        for w in 0..2000u64 {
+            let expected = if w <= 1 {
+                1
+            } else {
+                (w as f64).log2().floor() as u32 + 1
+            };
+            assert_eq!(bits_to_represent(w), expected, "w={w}");
+        }
+    }
+
+    #[test]
+    fn bits_to_represent_extremes() {
+        assert_eq!(bits_to_represent(u64::MAX), 64);
+        assert_eq!(bits_to_represent(1 << 63), 64);
+        assert_eq!(bits_to_represent((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn ceil_log2_powers_and_neighbors() {
+        for k in 0..63u32 {
+            let p = 1u64 << k;
+            assert_eq!(ceil_log2(p), k);
+            if p > 2 {
+                assert_eq!(ceil_log2(p - 1), k);
+                assert_eq!(ceil_log2(p + 1), k + 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn ceil_log2_zero_panics() {
+        ceil_log2(0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Decoding cursor over a [`BitString`].
+
+use crate::bitstring::BitString;
+
+/// A forward-only cursor used to decode advice strings and message payloads.
+///
+/// All `read_*` methods return `None` when the string is exhausted (or does
+/// not hold enough bits), leaving the cursor at the end of the available
+/// prefix; decoders treat that as "malformed advice".
+///
+/// # Examples
+///
+/// ```
+/// use oraclesize_bits::BitString;
+///
+/// let mut s = BitString::new();
+/// s.push_uint(13, 4);
+/// let mut r = s.reader();
+/// assert_eq!(r.read_uint(4), Some(13));
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    s: &'a BitString,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit of `s`.
+    pub fn new(s: &'a BitString) -> Self {
+        BitReader { s, pos: 0 }
+    }
+
+    /// Number of bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.s.len() - self.pos
+    }
+
+    /// Returns `true` if every bit has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current cursor position (bits consumed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let b = self.s.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads `width` bits as an unsigned integer, least significant bit
+    /// first (the inverse of [`BitString::push_uint`]).
+    ///
+    /// Returns `None` without consuming anything if fewer than `width` bits
+    /// remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read_uint(&mut self, width: u32) -> Option<u64> {
+        assert!(width <= 64, "width {width} exceeds u64");
+        if self.remaining() < width as usize {
+            return None;
+        }
+        let mut v = 0u64;
+        for i in 0..width {
+            if self.s.get(self.pos + i as usize).expect("length checked") {
+                v |= 1 << i;
+            }
+        }
+        self.pos += width as usize;
+        Some(v)
+    }
+
+    /// Peeks at the next bit without consuming it.
+    pub fn peek_bit(&self) -> Option<bool> {
+        self.s.get(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_bits_in_order() {
+        let s = BitString::parse("101").unwrap();
+        let mut r = s.reader();
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bit(), Some(false));
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn read_uint_roundtrips_push_uint() {
+        let mut s = BitString::new();
+        s.push_uint(0xdead_beef, 32);
+        s.push_uint(5, 3);
+        let mut r = s.reader();
+        assert_eq!(r.read_uint(32), Some(0xdead_beef));
+        assert_eq!(r.read_uint(3), Some(5));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn read_uint_insufficient_bits_consumes_nothing() {
+        let s = BitString::parse("10").unwrap();
+        let mut r = s.reader();
+        assert_eq!(r.read_uint(3), None);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.read_uint(2), Some(0b01));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let s = BitString::parse("01").unwrap();
+        let mut r = s.reader();
+        assert_eq!(r.peek_bit(), Some(false));
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.read_bit(), Some(false));
+        assert_eq!(r.peek_bit(), Some(true));
+    }
+
+    #[test]
+    fn zero_width_read_succeeds_on_empty() {
+        let s = BitString::new();
+        let mut r = s.reader();
+        assert_eq!(r.read_uint(0), Some(0));
+        assert!(r.is_empty());
+    }
+}

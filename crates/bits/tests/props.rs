@@ -1,0 +1,106 @@
+//! Property-based tests for the encoding substrate.
+
+use oraclesize_bits::codec::{
+    decode_doubled_header, encode_doubled_header, AnyCodec, Codec, ContinuationPairs, EliasDelta,
+    EliasGamma,
+};
+use oraclesize_bits::lists::{
+    decode_port_list, decode_weight_list, encode_port_list, encode_weight_list, port_list_len,
+    weight_list_len,
+};
+use oraclesize_bits::{bits_to_represent, BitString};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bitstring_roundtrip_bools(bits in proptest::collection::vec(any::<bool>(), 0..512)) {
+        let s = BitString::from_bits(bits.iter().copied());
+        prop_assert_eq!(s.len(), bits.len());
+        let back: Vec<bool> = s.iter().collect();
+        prop_assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn bitstring_push_uint_get(v in any::<u64>(), w in 0u32..=64) {
+        let v = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+        let mut s = BitString::new();
+        s.push_uint(v, w);
+        prop_assert_eq!(s.reader().read_uint(w), Some(v));
+    }
+
+    #[test]
+    fn gamma_roundtrip(v in 0u64..u64::MAX) {
+        let mut s = BitString::new();
+        EliasGamma.encode(v, &mut s);
+        prop_assert_eq!(s.len(), EliasGamma.encoded_len(v));
+        prop_assert_eq!(EliasGamma.decode(&mut s.reader()), Some(v));
+    }
+
+    #[test]
+    fn delta_roundtrip(v in 0u64..u64::MAX) {
+        let mut s = BitString::new();
+        EliasDelta.encode(v, &mut s);
+        prop_assert_eq!(s.len(), EliasDelta.encoded_len(v));
+        prop_assert_eq!(EliasDelta.decode(&mut s.reader()), Some(v));
+    }
+
+    #[test]
+    fn continuation_pairs_roundtrip_and_len(v in any::<u64>()) {
+        let mut s = BitString::new();
+        ContinuationPairs.encode(v, &mut s);
+        prop_assert_eq!(s.len(), 2 * bits_to_represent(v) as usize);
+        prop_assert_eq!(ContinuationPairs.decode(&mut s.reader()), Some(v));
+    }
+
+    #[test]
+    fn doubled_header_roundtrip(v in any::<u64>()) {
+        let mut s = BitString::new();
+        encode_doubled_header(v, &mut s);
+        prop_assert_eq!(decode_doubled_header(&mut s.reader()), Some(v));
+    }
+
+    #[test]
+    fn codec_streams_concatenate(values in proptest::collection::vec(0u64..1_000_000, 0..50)) {
+        for codec in AnyCodec::ALL {
+            if codec == AnyCodec::Unary && values.iter().any(|&v| v > 10_000) {
+                continue;
+            }
+            let mut s = BitString::new();
+            for &v in &values {
+                codec.encode(v, &mut s);
+            }
+            let mut r = s.reader();
+            for &v in &values {
+                prop_assert_eq!(codec.decode(&mut r), Some(v), "codec {}", codec.name());
+            }
+            prop_assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn port_list_roundtrip(n in 2u64..5000, raw in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let ports: Vec<u64> = raw.iter().map(|&p| p % n).collect();
+        let enc = encode_port_list(&ports, n);
+        prop_assert_eq!(enc.len(), port_list_len(ports.len(), n));
+        prop_assert_eq!(decode_port_list(&enc), Some(ports));
+    }
+
+    #[test]
+    fn weight_list_roundtrip(weights in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let enc = encode_weight_list(&weights);
+        prop_assert_eq!(enc.len(), weight_list_len(&weights));
+        prop_assert_eq!(decode_weight_list(&enc), Some(weights));
+    }
+
+    #[test]
+    fn random_bits_never_panic_decoders(bits in proptest::collection::vec(any::<bool>(), 0..256)) {
+        // Fuzz: arbitrary bit strings must decode to Some or None, never panic.
+        let s = BitString::from_bits(bits);
+        let _ = decode_port_list(&s);
+        let _ = decode_weight_list(&s);
+        let _ = decode_doubled_header(&mut s.reader());
+        for codec in AnyCodec::ALL {
+            let _ = codec.decode(&mut s.reader());
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Baselines the paper's bounds are measured against.
+//!
+//! * **No knowledge**: [`FloodOnce`](oraclesize_sim::protocol::FloodOnce)
+//!   with the [`EmptyOracle`](crate::oracle::EmptyOracle) — broadcast in
+//!   `Θ(m)` messages, the cost the `O(n)`-bit oracle removes.
+//! * **Total knowledge**: [`FullMapOracle`] + [`MapWakeup`] — every node
+//!   receives the entire port-labeled map (`Θ(n·m·log n)` bits in total)
+//!   and recomputes the same BFS tree locally; wakeup then takes `n − 1`
+//!   messages. This brackets Theorem 2.1 from the other side: the paper's
+//!   point is that `Θ(n log n)` bits — exponentially less than the full
+//!   map — already suffice.
+
+use oraclesize_bits::codec::{Codec, EliasGamma, FixedWidth};
+use oraclesize_bits::{ceil_log2, BitString};
+use oraclesize_graph::{NodeId, Port, PortGraph};
+use oraclesize_sim::protocol::{Message, NodeBehavior, NodeView, Outgoing, Protocol};
+
+use crate::oracle::Oracle;
+
+/// A decoded full map: `adj[v][p] = (neighbor, arrival_port)`, plus the
+/// source and the receiving node's own index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullMap {
+    /// Index of the node holding this advice.
+    pub own_index: usize,
+    /// Index of the source node.
+    pub source: usize,
+    /// Port-labeled adjacency of the whole network.
+    pub adj: Vec<Vec<(usize, usize)>>,
+}
+
+/// Encodes the whole network plus `own`/`source` indices.
+pub fn encode_full_map(g: &PortGraph, source: NodeId, own: NodeId) -> BitString {
+    let n = g.num_nodes() as u64;
+    let max_deg = (0..g.num_nodes()).map(|v| g.degree(v)).max().unwrap_or(0) as u64;
+    let node_w = ceil_log2(n.max(2)).max(1);
+    let port_w = ceil_log2(max_deg.max(2)).max(1);
+    let mut out = BitString::new();
+    EliasGamma.encode(own as u64, &mut out);
+    EliasGamma.encode(source as u64, &mut out);
+    EliasGamma.encode(n, &mut out);
+    EliasGamma.encode(max_deg, &mut out);
+    let node_codec = FixedWidth::new(node_w);
+    let port_codec = FixedWidth::new(port_w);
+    for v in 0..g.num_nodes() {
+        EliasGamma.encode(g.degree(v) as u64, &mut out);
+        for p in 0..g.degree(v) {
+            let (u, q) = g.neighbor_via(v, p);
+            node_codec.encode(u as u64, &mut out);
+            port_codec.encode(q as u64, &mut out);
+        }
+    }
+    out
+}
+
+/// Decodes a map produced by [`encode_full_map`]. Returns `None` on
+/// malformed input.
+pub fn decode_full_map(advice: &BitString) -> Option<FullMap> {
+    let mut r = advice.reader();
+    let own = EliasGamma.decode(&mut r)? as usize;
+    let source = EliasGamma.decode(&mut r)? as usize;
+    let n = EliasGamma.decode(&mut r)?;
+    let max_deg = EliasGamma.decode(&mut r)?;
+    if n == 0 || n > 1_000_000 {
+        return None;
+    }
+    let node_codec = FixedWidth::new(ceil_log2(n.max(2)).max(1));
+    let port_codec = FixedWidth::new(ceil_log2(max_deg.max(2)).max(1));
+    let mut adj = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let deg = EliasGamma.decode(&mut r)? as usize;
+        if deg as u64 > max_deg {
+            return None;
+        }
+        let mut ports = Vec::with_capacity(deg);
+        for _ in 0..deg {
+            let u = node_codec.decode(&mut r)? as usize;
+            let q = port_codec.decode(&mut r)? as usize;
+            if u >= n as usize {
+                return None;
+            }
+            ports.push((u, q));
+        }
+        adj.push(ports);
+    }
+    if own >= n as usize || source >= n as usize || !r.is_empty() {
+        return None;
+    }
+    Some(FullMap {
+        own_index: own,
+        source,
+        adj,
+    })
+}
+
+/// The total-knowledge oracle: every node receives the full port-labeled
+/// map plus its own index and the source index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullMapOracle;
+
+impl Oracle for FullMapOracle {
+    fn advise(&self, g: &PortGraph, source: NodeId) -> Vec<BitString> {
+        (0..g.num_nodes())
+            .map(|v| encode_full_map(g, source, v))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "full-map"
+    }
+}
+
+/// Deterministic BFS tree over a decoded map (port order), returning each
+/// node's child ports. All nodes compute the same tree, so the wakeup
+/// needs no coordination.
+pub fn map_bfs_child_ports(map: &FullMap) -> Vec<Vec<Port>> {
+    let n = map.adj.len();
+    let mut parent = vec![usize::MAX; n];
+    let mut visited = vec![false; n];
+    visited[map.source] = true;
+    let mut queue = std::collections::VecDeque::from([map.source]);
+    let mut children: Vec<Vec<Port>> = vec![Vec::new(); n];
+    while let Some(v) = queue.pop_front() {
+        for (p, &(u, _)) in map.adj[v].iter().enumerate() {
+            if !visited[u] {
+                visited[u] = true;
+                parent[u] = v;
+                children[v].push(p);
+                queue.push_back(u);
+            }
+        }
+    }
+    children
+}
+
+/// Wakeup from the full map: identical message pattern to
+/// [`TreeWakeup`](crate::wakeup::TreeWakeup) (`n − 1` messages), paid for
+/// with a far larger oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MapWakeup;
+
+struct MapWakeupState {
+    child_ports: Vec<Port>,
+    is_source: bool,
+    fired: bool,
+}
+
+impl NodeBehavior for MapWakeupState {
+    fn on_start(&mut self) -> Vec<Outgoing> {
+        if self.is_source && !self.fired {
+            self.fired = true;
+            self.child_ports
+                .iter()
+                .map(|&p| Outgoing::new(p, Message::empty()))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_receive(&mut self, _port: Port, message: &Message) -> Vec<Outgoing> {
+        if message.carries_source && !self.fired {
+            self.fired = true;
+            self.child_ports
+                .iter()
+                .map(|&p| Outgoing::new(p, Message::empty()))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Protocol for MapWakeup {
+    fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
+        let child_ports = decode_full_map(&view.advice)
+            .map(|map| {
+                let all = map_bfs_child_ports(&map);
+                all[map.own_index].clone()
+            })
+            .unwrap_or_default();
+        Box::new(MapWakeupState {
+            child_ports,
+            is_source: view.is_source,
+            fired: false,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "map-wakeup"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::advice_size;
+    use crate::runner::execute;
+    use oraclesize_graph::families::{self, Family};
+    use oraclesize_sim::SimConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = families::random_connected(12, 0.3, &mut rng);
+        for v in 0..12 {
+            let enc = encode_full_map(&g, 3, v);
+            let map = decode_full_map(&enc).unwrap();
+            assert_eq!(map.own_index, v);
+            assert_eq!(map.source, 3);
+            assert_eq!(map.adj.len(), 12);
+            for u in 0..12 {
+                assert_eq!(map.adj[u].len(), g.degree(u));
+                for p in 0..g.degree(u) {
+                    assert_eq!(map.adj[u][p], g.neighbor_via(u, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_decode_rejects_truncation() {
+        let g = families::cycle(6);
+        let enc = encode_full_map(&g, 0, 1);
+        let cut: BitString = enc.iter().take(enc.len() - 3).collect();
+        assert!(decode_full_map(&cut).is_none());
+    }
+
+    #[test]
+    fn map_wakeup_uses_n_minus_1_messages() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for fam in Family::ALL {
+            let g = fam.build(20, &mut rng);
+            let run = execute(&g, 0, &FullMapOracle, &MapWakeup, &SimConfig::wakeup()).unwrap();
+            assert!(run.outcome.all_informed(), "{}", fam.name());
+            assert_eq!(run.outcome.metrics.messages, g.num_nodes() as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn full_map_is_vastly_larger_than_tree_oracle() {
+        let g = families::complete_rotational(24);
+        let full = advice_size(&FullMapOracle.advise(&g, 0));
+        let tree = advice_size(&crate::wakeup::SpanningTreeOracle::default().advise(&g, 0));
+        assert!(
+            full > 20 * tree,
+            "full map {full} not ≫ tree oracle {tree}"
+        );
+    }
+
+    #[test]
+    fn bfs_child_ports_cover_every_non_source_once() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = families::random_connected(15, 0.3, &mut rng);
+        let map = decode_full_map(&encode_full_map(&g, 4, 0)).unwrap();
+        let children = map_bfs_child_ports(&map);
+        let mut covered = [false; 15];
+        covered[4] = true;
+        for (v, ports) in children.iter().enumerate() {
+            for &p in ports {
+                let (u, _) = g.neighbor_via(v, p);
+                assert!(!covered[u], "node {u} covered twice");
+                covered[u] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's primary contribution: **advice oracles** and the
+//! dissemination schemes they enable.
+//!
+//! An oracle (paper §1.2) is a function `O` that, given the whole labeled
+//! network `G`, assigns a binary string to every node; its *size* on `G` is
+//! the total number of assigned bits. The central results reproduced here:
+//!
+//! * [`wakeup::SpanningTreeOracle`] + [`wakeup::TreeWakeup`] — Theorem 2.1:
+//!   `O(n log n)` total advice suffices to wake a network up with exactly
+//!   `n − 1` messages.
+//! * [`broadcast::LightTreeOracle`] + [`broadcast::SchemeB`] — Theorem 3.1:
+//!   `O(n)` total advice (at most `8n` bits) suffices to broadcast with a
+//!   linear number of messages, via the Claim 3.1 light spanning tree and
+//!   the "hello"-message scheme of Figure 1.
+//! * [`baselines`] — what the bounds are measured against: oracle-free
+//!   flooding (`Θ(m)` messages) and the full-map oracle (`n − 1` messages
+//!   from a `Θ(n·m·log n)`-bit oracle).
+//!
+//! # Examples
+//!
+//! ```
+//! use oraclesize_core::{execute, advice_size};
+//! use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
+//! use oraclesize_graph::families;
+//! use oraclesize_sim::SimConfig;
+//!
+//! let g = families::complete_rotational(32);
+//! let run = execute(&g, 0, &LightTreeOracle::default(), &SchemeB,
+//!                   &SimConfig::default()).unwrap();
+//! assert!(run.outcome.all_informed());
+//! assert!(run.oracle_bits <= 8 * 32);            // Theorem 3.1 size bound
+//! assert!(run.outcome.metrics.messages <= 3 * 31); // linear messages
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod construction;
+pub mod election;
+pub mod gossip;
+pub mod neighborhood;
+pub mod broadcast;
+pub mod oracle;
+pub mod runner;
+pub mod spanner;
+pub mod wakeup;
+
+pub use oracle::{advice_size, Oracle};
+pub use runner::{execute, OracleRun};

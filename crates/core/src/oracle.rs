@@ -1,0 +1,139 @@
+//! The oracle abstraction and size accounting.
+
+use oraclesize_bits::BitString;
+use oraclesize_graph::{NodeId, PortGraph};
+
+/// An oracle `O`: looks at the entire labeled network (and the source) and
+/// assigns an advice string to every node.
+///
+/// The paper's oracles depend only on the network, but the source is part
+/// of the labeled instance (the status bit marks it), so we pass it
+/// explicitly: the constructive oracles root their spanning trees there.
+///
+/// The returned vector is indexed by node id and must have exactly
+/// `g.num_nodes()` entries.
+pub trait Oracle {
+    /// Computes the advice assignment `f = O(G)`.
+    fn advise(&self, g: &PortGraph, source: NodeId) -> Vec<BitString>;
+
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// The paper's oracle size: the sum of the lengths of all assigned strings,
+/// in bits.
+pub fn advice_size(advice: &[BitString]) -> u64 {
+    advice.iter().map(|s| s.len() as u64).sum()
+}
+
+/// The empty oracle: every node receives the empty string (size 0). The
+/// baseline against which *any* advice is compared.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyOracle;
+
+impl Oracle for EmptyOracle {
+    fn advise(&self, g: &PortGraph, _source: NodeId) -> Vec<BitString> {
+        vec![BitString::new(); g.num_nodes()]
+    }
+
+    fn name(&self) -> &'static str {
+        "empty"
+    }
+}
+
+/// An oracle that truncates another oracle's advice to a global bit budget,
+/// dropping bits string-by-string from the last node backwards.
+///
+/// Used by experiment T6/F3 to measure how message complexity degrades as
+/// the wakeup oracle is starved below `Θ(n log n)` bits. Truncation is the
+/// natural "adversarial budget cut": the protocol must cope with advice
+/// that decodes only partially.
+#[derive(Debug, Clone)]
+pub struct TruncatedOracle<O> {
+    inner: O,
+    budget_bits: u64,
+}
+
+impl<O: Oracle> TruncatedOracle<O> {
+    /// Wraps `inner`, keeping at most `budget_bits` bits in total.
+    pub fn new(inner: O, budget_bits: u64) -> Self {
+        TruncatedOracle {
+            inner,
+            budget_bits,
+        }
+    }
+}
+
+impl<O: Oracle> Oracle for TruncatedOracle<O> {
+    fn advise(&self, g: &PortGraph, source: NodeId) -> Vec<BitString> {
+        let full = self.inner.advise(g, source);
+        let mut remaining = self.budget_bits;
+        full.into_iter()
+            .map(|s| {
+                let keep = (s.len() as u64).min(remaining) as usize;
+                remaining -= keep as u64;
+                s.iter().take(keep).collect()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "truncated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oraclesize_graph::families;
+
+    #[test]
+    fn empty_oracle_has_size_zero() {
+        let g = families::cycle(5);
+        let advice = EmptyOracle.advise(&g, 0);
+        assert_eq!(advice.len(), 5);
+        assert_eq!(advice_size(&advice), 0);
+    }
+
+    #[test]
+    fn advice_size_sums_bits() {
+        let advice = vec![
+            BitString::parse("101").unwrap(),
+            BitString::new(),
+            BitString::parse("1").unwrap(),
+        ];
+        assert_eq!(advice_size(&advice), 4);
+    }
+
+    struct ConstOracle(usize);
+    impl Oracle for ConstOracle {
+        fn advise(&self, g: &PortGraph, _s: NodeId) -> Vec<BitString> {
+            (0..g.num_nodes())
+                .map(|_| BitString::from_bits(std::iter::repeat_n(true, self.0)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn truncation_respects_budget_exactly() {
+        let g = families::cycle(4);
+        for budget in [0u64, 1, 5, 11, 12, 100] {
+            let o = TruncatedOracle::new(ConstOracle(3), budget);
+            let advice = o.advise(&g, 0);
+            assert_eq!(advice_size(&advice), budget.min(12), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_prefixes_front_loaded() {
+        let g = families::cycle(4);
+        let o = TruncatedOracle::new(ConstOracle(3), 7);
+        let advice = o.advise(&g, 0);
+        assert_eq!(advice[0].len(), 3);
+        assert_eq!(advice[1].len(), 3);
+        assert_eq!(advice[2].len(), 1);
+        assert_eq!(advice[3].len(), 0);
+    }
+}

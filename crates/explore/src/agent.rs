@@ -1,0 +1,220 @@
+//! The mobile-agent walker model and runner.
+
+use oraclesize_bits::BitString;
+use oraclesize_graph::{NodeId, Port, PortGraph};
+
+/// What an agent perceives at its current node.
+#[derive(Debug)]
+pub struct SiteView<'a> {
+    /// The node's advice string (empty without an oracle).
+    pub advice: &'a BitString,
+    /// The node's degree.
+    pub degree: usize,
+    /// The node's label.
+    pub label: u64,
+    /// Port through which the agent arrived; `None` at the start node
+    /// before any move.
+    pub arrival_port: Option<Port>,
+    /// How many times the agent has been at this node (including now).
+    pub visits: usize,
+}
+
+/// An agent's decision at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Leave through this port.
+    Move(Port),
+    /// Stop walking.
+    Halt,
+}
+
+/// An exploration strategy: the agent's program. The agent has unbounded
+/// private memory (the `&mut self` state) but perceives only the
+/// [`SiteView`] — it cannot see the graph.
+pub trait Explorer {
+    /// Decides the next action at the current node.
+    fn step(&mut self, view: &SiteView<'_>) -> Action;
+
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// Runner limits.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkConfig {
+    /// Abort after this many moves (guards non-halting strategies).
+    pub max_moves: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { max_moves: 1_000_000 }
+    }
+}
+
+/// The outcome of a walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkResult {
+    /// Total edge traversals performed.
+    pub moves: u64,
+    /// Move count at which the last unvisited node was first reached;
+    /// `None` if coverage was never achieved.
+    pub cover_moves: Option<u64>,
+    /// `true` if every node was visited.
+    pub covered_all: bool,
+    /// `true` if the strategy halted (as opposed to hitting
+    /// [`WalkConfig::max_moves`]).
+    pub halted: bool,
+    /// Node where the walk ended.
+    pub final_node: NodeId,
+    /// Number of distinct nodes visited.
+    pub visited_count: usize,
+}
+
+/// Walks `explorer` on `g` from `start` with per-node advice.
+///
+/// # Panics
+///
+/// Panics if `advice.len() != g.num_nodes()`, if `start` is out of range,
+/// or if the strategy returns an out-of-range port (a buggy strategy, not
+/// a valid outcome).
+pub fn walk(
+    g: &PortGraph,
+    start: NodeId,
+    advice: &[BitString],
+    explorer: &mut dyn Explorer,
+    config: &WalkConfig,
+) -> WalkResult {
+    assert_eq!(advice.len(), g.num_nodes(), "one advice string per node");
+    assert!(start < g.num_nodes(), "start out of range");
+    let n = g.num_nodes();
+    let mut visited = vec![false; n];
+    let mut visit_counts = vec![0usize; n];
+    let mut visited_count = 0usize;
+    let mut current = start;
+    let mut arrival: Option<Port> = None;
+    let mut moves = 0u64;
+    let mut cover_moves = None;
+    let mut halted = false;
+
+    loop {
+        if !visited[current] {
+            visited[current] = true;
+            visited_count += 1;
+            if visited_count == n {
+                cover_moves = Some(moves);
+            }
+        }
+        visit_counts[current] += 1;
+        if moves >= config.max_moves {
+            break;
+        }
+        let view = SiteView {
+            advice: &advice[current],
+            degree: g.degree(current),
+            label: g.label(current),
+            arrival_port: arrival,
+            visits: visit_counts[current],
+        };
+        match explorer.step(&view) {
+            Action::Halt => {
+                halted = true;
+                break;
+            }
+            Action::Move(p) => {
+                assert!(
+                    p < g.degree(current),
+                    "strategy used port {p} at node {current} of degree {}",
+                    g.degree(current)
+                );
+                let (next, q) = g.neighbor_via(current, p);
+                current = next;
+                arrival = Some(q);
+                moves += 1;
+            }
+        }
+    }
+
+    WalkResult {
+        moves,
+        cover_moves,
+        covered_all: visited_count == n,
+        halted,
+        final_node: current,
+        visited_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oraclesize_graph::families;
+
+    /// Walks around a cycle forever (until the cap).
+    struct Clockwise;
+    impl Explorer for Clockwise {
+        fn step(&mut self, view: &SiteView<'_>) -> Action {
+            // On a cycle built by `families::cycle`, port layout varies;
+            // always leaving through a port different from the arrival
+            // keeps moving in one direction.
+            match view.arrival_port {
+                None => Action::Move(0),
+                Some(p) => Action::Move(if p == 0 { 1 } else { 0 }),
+            }
+        }
+    }
+
+    #[test]
+    fn clockwise_covers_cycle_in_n_minus_1_moves() {
+        let g = families::cycle(10);
+        let advice = vec![BitString::new(); 10];
+        let result = walk(&g, 0, &advice, &mut Clockwise, &WalkConfig { max_moves: 9 });
+        assert!(result.covered_all);
+        assert_eq!(result.cover_moves, Some(9));
+        assert!(!result.halted, "hit the cap, never halts");
+    }
+
+    struct HaltImmediately;
+    impl Explorer for HaltImmediately {
+        fn step(&mut self, _view: &SiteView<'_>) -> Action {
+            Action::Halt
+        }
+    }
+
+    #[test]
+    fn immediate_halt_visits_one_node() {
+        let g = families::path(5);
+        let advice = vec![BitString::new(); 5];
+        let result = walk(&g, 2, &advice, &mut HaltImmediately, &WalkConfig::default());
+        assert_eq!(result.moves, 0);
+        assert_eq!(result.visited_count, 1);
+        assert!(result.halted);
+        assert!(!result.covered_all);
+        assert_eq!(result.final_node, 2);
+    }
+
+    #[test]
+    fn single_node_graph_is_covered_at_zero_moves() {
+        let g = oraclesize_graph::PortGraph::from_adjacency(vec![vec![]]).unwrap();
+        let advice = vec![BitString::new()];
+        let result = walk(&g, 0, &advice, &mut HaltImmediately, &WalkConfig::default());
+        assert!(result.covered_all);
+        assert_eq!(result.cover_moves, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "port")]
+    fn out_of_range_port_panics() {
+        struct Wild;
+        impl Explorer for Wild {
+            fn step(&mut self, _view: &SiteView<'_>) -> Action {
+                Action::Move(99)
+            }
+        }
+        let g = families::path(3);
+        let advice = vec![BitString::new(); 3];
+        walk(&g, 0, &advice, &mut Wild, &WalkConfig::default());
+    }
+}

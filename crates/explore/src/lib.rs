@@ -1,0 +1,44 @@
+//! Graph exploration by a mobile agent with oracle advice.
+//!
+//! The paper's conclusion conjectures that oracle size "can be also used to
+//! assess difficulty of a broader range of distributed network problems …
+//! e.g., spanner construction or exploration by mobile agents." This crate
+//! carries that program out for exploration:
+//!
+//! * [`agent`] — the walker model: an agent moves along ports, sees only
+//!   the current node's advice string, degree, label and its own memory,
+//!   and must visit every node,
+//! * [`strategies`] — explorers: depth-first search with backtracking
+//!   (no advice, ≤ 2m moves), the advice-guided Euler tour (exactly
+//!   `2(n−1)` moves from an `O(n log Δ)`-bit oracle), and the random walk
+//!   baseline,
+//! * [`oracle`] — the tour oracle: per-node departure-port sequences
+//!   tracing an Euler tour of a spanning tree.
+//!
+//! The headline mirror of the paper's theme: *knowledge buys moves* — the
+//! oracle removes the `Θ(m)` backtracking cost exactly as the broadcast
+//! oracle removes flooding's `Θ(m)` message cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use oraclesize_explore::agent::{walk, WalkConfig};
+//! use oraclesize_explore::oracle::tour_advice;
+//! use oraclesize_explore::strategies::GuidedTour;
+//! use oraclesize_graph::families;
+//!
+//! let g = families::hypercube(4);
+//! let advice = tour_advice(&g, 0);
+//! let result = walk(&g, 0, &advice, &mut GuidedTour::new(), &WalkConfig::default());
+//! assert!(result.covered_all);
+//! assert_eq!(result.moves, 2 * (16 - 1)); // Euler tour of a spanning tree
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod budget;
+pub mod oracle;
+pub mod strategies;
+
+pub use agent::{walk, Action, Explorer, SiteView, WalkConfig, WalkResult};

@@ -1,0 +1,282 @@
+//! Exploration strategies: advice-guided, advice-free, and random.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use oraclesize_graph::Port;
+
+use crate::agent::{Action, Explorer, SiteView};
+use crate::oracle::decode_departures;
+
+/// Follows the tour oracle: at the `k`-th visit to a node, leave through
+/// the `k`-th advice port; halt when the sequence is exhausted.
+///
+/// With [`tour_advice`](crate::oracle::tour_advice) this walks the Euler
+/// tour of the DFS spanning tree: exactly `2(n − 1)` moves, ending back at
+/// the start. The agent itself is *memoryless across nodes* — it never
+/// needs node identities, only the visit count the runner exposes.
+#[derive(Debug, Default)]
+pub struct GuidedTour;
+
+impl GuidedTour {
+    /// A fresh guided-tour agent.
+    pub fn new() -> Self {
+        GuidedTour
+    }
+}
+
+impl Explorer for GuidedTour {
+    fn step(&mut self, view: &SiteView<'_>) -> Action {
+        let Some(seq) = decode_departures(view.advice) else {
+            return Action::Halt; // malformed advice: stop safely
+        };
+        match seq.get(view.visits - 1) {
+            Some(&p) if p < view.degree => Action::Move(p),
+            _ => Action::Halt,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "guided-tour"
+    }
+}
+
+/// Advice-free depth-first search with backtracking, using node labels as
+/// memory keys.
+///
+/// The agent remembers, for every node it has seen: the DFS parent port,
+/// its scan position, and *dead* ports (edges already explored from the
+/// other side). A probe into an already-visited node bounces straight
+/// back, marking the entry port dead, so every edge is traversed exactly
+/// twice — `≤ 2m` moves, the classic bound the tour oracle undercuts to
+/// `2(n − 1)`.
+#[derive(Debug, Default)]
+pub struct DfsBacktrack {
+    /// Per-node: next port index to try.
+    next_port: HashMap<u64, Port>,
+    /// Per-node: port toward the DFS parent (`None` at the start node).
+    parent_port: HashMap<u64, Option<Port>>,
+    /// Per-node: ports whose edges were already explored from the far end.
+    dead: HashMap<u64, std::collections::HashSet<Port>>,
+    /// `true` when the previous move was a probe along an unexplored edge,
+    /// so arriving at a visited node means "bounce back".
+    expect_new: bool,
+}
+
+impl DfsBacktrack {
+    /// A fresh DFS agent.
+    pub fn new() -> Self {
+        DfsBacktrack::default()
+    }
+
+    /// Declares the node labeled `label` as the DFS root (no parent): the
+    /// agent will halt there once its scan is exhausted. Used by hybrid
+    /// strategies that switch to DFS mid-walk.
+    pub fn mark_root(&mut self, label: u64) {
+        self.parent_port.insert(label, None);
+        self.next_port.entry(label).or_insert(0);
+    }
+}
+
+impl Explorer for DfsBacktrack {
+    fn step(&mut self, view: &SiteView<'_>) -> Action {
+        if self.expect_new && self.parent_port.contains_key(&view.label) {
+            // Probe landed on known territory: mark the edge dead here and
+            // bounce back the way we came.
+            self.expect_new = false;
+            let back = view.arrival_port.expect("probes arrive via a port");
+            self.dead.entry(view.label).or_default().insert(back);
+            return Action::Move(back);
+        }
+        if let std::collections::hash_map::Entry::Vacant(e) = self.parent_port.entry(view.label) {
+            // First arrival: this edge becomes a tree edge.
+            e.insert(view.arrival_port);
+            self.next_port.insert(view.label, 0);
+        }
+        self.expect_new = false;
+        // Continue this node's port scan, skipping the parent edge and
+        // dead ports.
+        loop {
+            let next = self.next_port.get_mut(&view.label).expect("initialized");
+            let p = *next;
+            if p >= view.degree {
+                // Subtree done: backtrack to the parent, or halt at the root.
+                return match self.parent_port[&view.label] {
+                    Some(parent) => Action::Move(parent),
+                    None => Action::Halt,
+                };
+            }
+            *next += 1;
+            if Some(p) == self.parent_port[&view.label] {
+                continue;
+            }
+            if self.dead.get(&view.label).is_some_and(|d| d.contains(&p)) {
+                continue;
+            }
+            self.expect_new = true;
+            return Action::Move(p);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dfs-backtrack"
+    }
+}
+
+/// Uniform random walk (seeded) — the zero-knowledge, zero-cleverness
+/// baseline; expected cover time `O(n·m)`.
+#[derive(Debug)]
+pub struct RandomWalk {
+    rng: StdRng,
+}
+
+impl RandomWalk {
+    /// A seeded random walker.
+    pub fn new(seed: u64) -> Self {
+        RandomWalk {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Explorer for RandomWalk {
+    fn step(&mut self, view: &SiteView<'_>) -> Action {
+        if view.degree == 0 {
+            return Action::Halt;
+        }
+        Action::Move(self.rng.gen_range(0..view.degree))
+    }
+
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{walk, WalkConfig};
+    use crate::oracle::tour_advice;
+    use oraclesize_bits::BitString;
+    use oraclesize_graph::families::{self, Family};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empty_advice(n: usize) -> Vec<BitString> {
+        vec![BitString::new(); n]
+    }
+
+    #[test]
+    fn guided_tour_is_exact_on_all_families() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for fam in Family::ALL {
+            for n in [8usize, 30, 64] {
+                let g = fam.build(n, &mut rng);
+                let nodes = g.num_nodes();
+                let advice = tour_advice(&g, 0);
+                let result = walk(&g, 0, &advice, &mut GuidedTour::new(), &WalkConfig::default());
+                assert!(result.covered_all, "{} n={nodes}", fam.name());
+                assert!(result.halted);
+                assert_eq!(
+                    result.moves,
+                    2 * (nodes as u64 - 1),
+                    "{} n={nodes}",
+                    fam.name()
+                );
+                assert_eq!(result.final_node, 0, "tour must end at the start");
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_backtrack_covers_within_2m_moves() {
+        let mut rng = StdRng::seed_from_u64(72);
+        for fam in Family::ALL {
+            let g = fam.build(24, &mut rng);
+            let result = walk(
+                &g,
+                0,
+                &empty_advice(g.num_nodes()),
+                &mut DfsBacktrack::new(),
+                &WalkConfig::default(),
+            );
+            assert!(result.covered_all, "{}", fam.name());
+            assert!(result.halted, "{}", fam.name());
+            assert!(
+                result.moves <= 2 * g.num_edges() as u64,
+                "{}: {} moves > 2m = {}",
+                fam.name(),
+                result.moves,
+                2 * g.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn dfs_halts_at_start_node() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let g = families::random_connected(20, 0.3, &mut rng);
+        let result = walk(
+            &g,
+            5,
+            &empty_advice(20),
+            &mut DfsBacktrack::new(),
+            &WalkConfig::default(),
+        );
+        assert!(result.halted);
+        assert_eq!(result.final_node, 5);
+    }
+
+    #[test]
+    fn random_walk_eventually_covers_small_graphs() {
+        let g = families::cycle(8);
+        let result = walk(
+            &g,
+            0,
+            &empty_advice(8),
+            &mut RandomWalk::new(99),
+            &WalkConfig { max_moves: 10_000 },
+        );
+        assert!(result.covered_all);
+        assert!(!result.halted);
+        assert!(result.cover_moves.unwrap() > 7, "cover time beats diameter?");
+    }
+
+    #[test]
+    fn guided_tour_beats_dfs_on_dense_graphs() {
+        let g = families::complete_rotational(40);
+        let tour = walk(
+            &g,
+            0,
+            &tour_advice(&g, 0),
+            &mut GuidedTour::new(),
+            &WalkConfig::default(),
+        );
+        let dfs = walk(
+            &g,
+            0,
+            &empty_advice(40),
+            &mut DfsBacktrack::new(),
+            &WalkConfig::default(),
+        );
+        assert!(tour.covered_all && dfs.covered_all);
+        assert!(
+            dfs.moves > 5 * tour.moves,
+            "dfs {} vs tour {}",
+            dfs.moves,
+            tour.moves
+        );
+    }
+
+    #[test]
+    fn guided_tour_halts_safely_on_garbage_advice() {
+        let g = families::path(4);
+        let advice = vec![BitString::parse("1").unwrap(); 4];
+        let result = walk(&g, 0, &advice, &mut GuidedTour::new(), &WalkConfig::default());
+        assert!(result.halted);
+        assert!(!result.covered_all);
+    }
+}

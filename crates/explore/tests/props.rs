@@ -1,0 +1,90 @@
+//! Property-based tests for the exploration subsystem.
+
+use oraclesize_bits::BitString;
+use oraclesize_explore::agent::{walk, WalkConfig};
+use oraclesize_explore::oracle::{decode_departures, encode_departures, tour_advice};
+use oraclesize_explore::strategies::{DfsBacktrack, GuidedTour, RandomWalk};
+use oraclesize_graph::families::{self, Family};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    proptest::sample::select(Family::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn departures_roundtrip(seq in proptest::collection::vec(0usize..512, 0..64)) {
+        let enc = encode_departures(&seq);
+        prop_assert_eq!(decode_departures(&enc), Some(seq));
+    }
+
+    #[test]
+    fn guided_tour_exact_on_random_instances(
+        fam in arb_family(),
+        n in 4usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = fam.build(n, &mut rng);
+        let nodes = g.num_nodes();
+        let start = seed as usize % nodes;
+        let advice = tour_advice(&g, start);
+        let result = walk(&g, start, &advice, &mut GuidedTour::new(), &WalkConfig::default());
+        prop_assert!(result.covered_all);
+        prop_assert!(result.halted);
+        prop_assert_eq!(result.moves, 2 * (nodes as u64 - 1));
+        prop_assert_eq!(result.final_node, start);
+    }
+
+    #[test]
+    fn dfs_covers_within_2m_on_random_instances(
+        fam in arb_family(),
+        n in 4usize..48,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = fam.build(n, &mut rng);
+        let start = seed as usize % g.num_nodes();
+        let empty = vec![BitString::new(); g.num_nodes()];
+        let result = walk(&g, start, &empty, &mut DfsBacktrack::new(), &WalkConfig::default());
+        prop_assert!(result.covered_all, "{}", fam.name());
+        prop_assert!(result.halted);
+        prop_assert_eq!(result.final_node, start);
+        prop_assert!(
+            result.moves <= 2 * g.num_edges() as u64,
+            "{}: {} > 2m = {}", fam.name(), result.moves, 2 * g.num_edges()
+        );
+    }
+
+    #[test]
+    fn random_walk_never_halts_before_cap(n in 4usize..24, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, 0.5, &mut rng);
+        let empty = vec![BitString::new(); n];
+        let result = walk(
+            &g, 0, &empty,
+            &mut RandomWalk::new(seed),
+            &WalkConfig { max_moves: 200 },
+        );
+        prop_assert!(!result.halted);
+        prop_assert_eq!(result.moves, 200);
+    }
+
+    #[test]
+    fn garbage_advice_never_panics_guided_tour(
+        n in 2usize..24,
+        seed in any::<u64>(),
+        bits in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, 0.4, &mut rng);
+        let advice = vec![BitString::from_bits(bits.iter().copied()); n];
+        let result = walk(&g, 0, &advice, &mut GuidedTour::new(), &WalkConfig { max_moves: 10_000 });
+        // Either halts safely or hits the cap; never panics or exceeds it.
+        prop_assert!(result.moves <= 10_000);
+    }
+}

@@ -1,0 +1,44 @@
+//! Port-labeled network substrate for the `oraclesize` project.
+//!
+//! The model (paper §1.2, §1.4): a network is an undirected connected graph
+//! whose nodes have distinct labels, and a node `v` of degree `deg(v)` has
+//! its incident edges numbered by *ports* `0, 1, …, deg(v)−1`. A node a
+//! priori knows only its own label, its degree, and whether it is the
+//! source; everything else must come from an oracle.
+//!
+//! This crate provides:
+//!
+//! * [`PortGraph`] — the network representation with bidirectional port
+//!   maps and invariant validation,
+//! * [`builder::PortGraphBuilder`] — incremental construction with
+//!   automatic or explicit port assignment,
+//! * [`families`] — standard graph families used by the experiments,
+//! * [`gadgets`] — the paper's lower-bound constructions: the rotationally
+//!   port-labeled complete graph `K*_n`, the subdivided graphs `G_{n,S}`
+//!   (Theorem 2.2) and the clique-gadget graphs `G_{n,S,C}` (Theorem 3.2),
+//! * [`spanning`] — rooted spanning trees, including the *light* tree of
+//!   Claim 3.1 whose total contribution `Σ #2(w(e))` is at most `4n`.
+//!
+//! # Examples
+//!
+//! ```
+//! use oraclesize_graph::families;
+//!
+//! let g = families::cycle(6);
+//! assert_eq!(g.num_nodes(), 6);
+//! assert!(g.is_connected());
+//! g.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod families;
+pub mod gadgets;
+pub mod portgraph;
+pub mod spanning;
+pub mod traverse;
+
+pub use builder::PortGraphBuilder;
+pub use portgraph::{EdgeRef, GraphError, NodeId, Port, PortGraph};
+pub use spanning::RootedTree;

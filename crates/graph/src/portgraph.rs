@@ -1,0 +1,479 @@
+//! The core port-labeled graph representation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Index of a node within a [`PortGraph`] (`0 .. num_nodes`).
+///
+/// Distinct from the node's *label* ([`PortGraph::label`]): algorithms in
+/// the anonymous model never see a `NodeId`, only ports, degrees and
+/// (optionally) labels.
+pub type NodeId = usize;
+
+/// A local port number at a node (`0 .. deg(v)`).
+pub type Port = usize;
+
+/// One undirected edge together with the port numbers at its endpoints.
+///
+/// The canonical orientation has `u < v` (by node id). The paper's edge
+/// weight `w(e) = min(port_u(e), port_v(e))` is exposed as
+/// [`EdgeRef::weight`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeRef {
+    /// Smaller endpoint (by node id).
+    pub u: NodeId,
+    /// Port at `u` leading to `v`.
+    pub port_u: Port,
+    /// Larger endpoint.
+    pub v: NodeId,
+    /// Port at `v` leading to `u`.
+    pub port_v: Port,
+}
+
+impl EdgeRef {
+    /// The paper's weight `w(e) = min(port_u(e), port_v(e))` (§3).
+    pub fn weight(&self) -> u64 {
+        self.port_u.min(self.port_v) as u64
+    }
+
+    /// The endpoint other than `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// The port at endpoint `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn port_at(&self, x: NodeId) -> Port {
+        if x == self.u {
+            self.port_u
+        } else if x == self.v {
+            self.port_v
+        } else {
+            panic!("node {x} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+/// Errors reported by [`PortGraph::validate`] and the builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// `adj[v][p] = (u, q)` but `adj[u][q] ≠ (v, p)`.
+    AsymmetricPortMap {
+        /// Node where the asymmetry was observed.
+        node: NodeId,
+        /// Port at `node`.
+        port: Port,
+    },
+    /// A self-loop was found; the model forbids them.
+    SelfLoop {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// Two parallel edges between the same pair of nodes.
+    ParallelEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// Other endpoint.
+        v: NodeId,
+    },
+    /// Two nodes share a label.
+    DuplicateLabel {
+        /// The repeated label value.
+        label: u64,
+    },
+    /// A port or node reference is out of range.
+    OutOfRange {
+        /// Node whose adjacency refers out of range.
+        node: NodeId,
+        /// Offending port slot.
+        port: Port,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::AsymmetricPortMap { node, port } => {
+                write!(f, "asymmetric port map at node {node} port {port}")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge between nodes {u} and {v}")
+            }
+            GraphError::DuplicateLabel { label } => write!(f, "duplicate node label {label}"),
+            GraphError::OutOfRange { node, port } => {
+                write!(f, "out-of-range reference at node {node} port {port}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An undirected graph with per-node port numbering — the network model of
+/// the paper.
+///
+/// Every node `v` stores a dense array of ports; port `p` holds the pair
+/// `(u, q)` meaning "port `p` at `v` is the edge to `u`, which arrives at
+/// `u`'s port `q`". The structural invariants (symmetry, no self-loops, no
+/// parallel edges, distinct labels) are checked by [`validate`] and
+/// maintained by [`crate::builder::PortGraphBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use oraclesize_graph::PortGraphBuilder;
+///
+/// let mut b = PortGraphBuilder::new(3);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 2).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.degree(1), 2);
+/// let (nbr, arrival) = g.neighbor_via(0, 0);
+/// assert_eq!(nbr, 1);
+/// assert_eq!(g.neighbor_via(1, arrival).0, 0);
+/// ```
+///
+/// [`validate`]: PortGraph::validate
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortGraph {
+    adj: Vec<Vec<(NodeId, Port)>>,
+    labels: Vec<u64>,
+}
+
+impl PortGraph {
+    /// Builds a graph directly from adjacency data; prefer
+    /// [`crate::builder::PortGraphBuilder`] unless you are constructing a
+    /// family with explicit closed-form port maps.
+    ///
+    /// Labels default to `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invariant violation found (see [`GraphError`]).
+    pub fn from_adjacency(adj: Vec<Vec<(NodeId, Port)>>) -> Result<Self, GraphError> {
+        let labels = (0..adj.len() as u64).collect();
+        let g = PortGraph { adj, labels };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// As [`from_adjacency`](Self::from_adjacency) with explicit labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invariant violation found, including duplicate
+    /// labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != adj.len()`.
+    pub fn from_adjacency_labeled(
+        adj: Vec<Vec<(NodeId, Port)>>,
+        labels: Vec<u64>,
+    ) -> Result<Self, GraphError> {
+        assert_eq!(adj.len(), labels.len(), "one label per node required");
+        let g = PortGraph { adj, labels };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Degree of `v` (also the number of ports at `v`).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The label of `v` — the identity an algorithm may see in the
+    /// non-anonymous model.
+    pub fn label(&self, v: NodeId) -> u64 {
+        self.labels[v]
+    }
+
+    /// Node with the given label, if any (linear scan).
+    pub fn node_by_label(&self, label: u64) -> Option<NodeId> {
+        self.labels.iter().position(|&l| l == label)
+    }
+
+    /// Follows port `p` out of `v`: returns `(u, q)` where `u` is the
+    /// neighbor and `q` the arrival port at `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≥ deg(v)`.
+    pub fn neighbor_via(&self, v: NodeId, p: Port) -> (NodeId, Port) {
+        self.adj[v][p]
+    }
+
+    /// The port at `v` leading to `u`, or `None` if `{u,v}` is not an edge.
+    pub fn port_toward(&self, v: NodeId, u: NodeId) -> Option<Port> {
+        self.adj[v].iter().position(|&(w, _)| w == u)
+    }
+
+    /// Returns `true` if `{u,v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.port_toward(u, v).is_some()
+    }
+
+    /// The edge `{u,v}` with its ports, or `None` if absent.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeRef> {
+        let pu = self.port_toward(u, v)?;
+        let pv = self.adj[u][pu].1;
+        let (a, pa, b, pb) = if u < v { (u, pu, v, pv) } else { (v, pv, u, pu) };
+        Some(EdgeRef {
+            u: a,
+            port_u: pa,
+            v: b,
+            port_v: pb,
+        })
+    }
+
+    /// Iterates over all undirected edges in canonical (`u < v`) order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(u, ports)| {
+            ports
+                .iter()
+                .enumerate()
+                .filter(move |&(_, &(v, _))| u < v)
+                .map(move |(pu, &(v, pv))| EdgeRef {
+                    u,
+                    port_u: pu,
+                    v,
+                    port_v: pv,
+                })
+        })
+    }
+
+    /// Iterates over the neighbors of `v` in port order.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v].iter().map(|&(u, _)| u)
+    }
+
+    /// Returns `true` if the graph is connected (the model assumes it; some
+    /// intermediate constructions check it explicitly). The empty graph is
+    /// considered connected.
+    pub fn is_connected(&self) -> bool {
+        crate::traverse::is_connected(self)
+    }
+
+    /// Checks every structural invariant of the model.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found: asymmetric port maps, self-loops,
+    /// parallel edges, out-of-range references, or duplicate labels.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let n = self.adj.len();
+        for (v, ports) in self.adj.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for (p, &(u, q)) in ports.iter().enumerate() {
+                if u >= n {
+                    return Err(GraphError::OutOfRange { node: v, port: p });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop { node: v });
+                }
+                if !seen.insert(u) {
+                    return Err(GraphError::ParallelEdge { u: v, v: u });
+                }
+                if q >= self.adj[u].len() {
+                    return Err(GraphError::OutOfRange { node: v, port: p });
+                }
+                if self.adj[u][q] != (v, p) {
+                    return Err(GraphError::AsymmetricPortMap { node: v, port: p });
+                }
+            }
+        }
+        let mut labels: Vec<u64> = self.labels.clone();
+        labels.sort_unstable();
+        for w in labels.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateLabel { label: w[0] });
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces all labels. Used by experiments that re-label nodes `1..=n`
+    /// (the lower bounds assume labels `1,…,n`) or anonymize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateLabel`] if labels repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != num_nodes()`.
+    pub fn set_labels(&mut self, labels: Vec<u64>) -> Result<(), GraphError> {
+        assert_eq!(labels.len(), self.num_nodes(), "one label per node");
+        let old = std::mem::replace(&mut self.labels, labels);
+        if let Err(e) = self.validate() {
+            self.labels = old;
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PortGraphBuilder;
+
+    fn triangle() -> PortGraph {
+        let mut b = PortGraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn triangle_basic_queries() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.is_connected());
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn ports_are_symmetric() {
+        let g = triangle();
+        for v in 0..3 {
+            for p in 0..g.degree(v) {
+                let (u, q) = g.neighbor_via(v, p);
+                assert_eq!(g.neighbor_via(u, q), (v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_between_and_weight() {
+        let g = triangle();
+        let e = g.edge_between(0, 2).unwrap();
+        assert_eq!(e.u, 0);
+        assert_eq!(e.v, 2);
+        assert_eq!(e.weight(), e.port_u.min(e.port_v) as u64);
+        assert_eq!(e.other(0), 2);
+        assert_eq!(e.port_at(2), e.port_v);
+        assert!(g.edge_between(0, 0).is_none());
+    }
+
+    #[test]
+    fn edges_iterates_each_once_canonical() {
+        let g = triangle();
+        let edges: Vec<EdgeRef> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for e in &edges {
+            assert!(e.u < e.v);
+        }
+    }
+
+    #[test]
+    fn validate_detects_asymmetry() {
+        // 0 -> (1, port 0) but 1 -> (0, port 1): bogus.
+        let adj = vec![vec![(1, 0)], vec![(0, 1)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj),
+            Err(GraphError::AsymmetricPortMap { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_self_loop() {
+        let adj = vec![vec![(0, 0)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj),
+            Err(GraphError::SelfLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_parallel_edges() {
+        let adj = vec![vec![(1, 0), (1, 1)], vec![(0, 0), (0, 1)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj),
+            Err(GraphError::ParallelEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_out_of_range() {
+        let adj = vec![vec![(5, 0)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj),
+            Err(GraphError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_duplicate_labels() {
+        let adj = vec![vec![(1, 0)], vec![(0, 0)]];
+        assert!(matches!(
+            PortGraph::from_adjacency_labeled(adj, vec![7, 7]),
+            Err(GraphError::DuplicateLabel { label: 7 })
+        ));
+    }
+
+    #[test]
+    fn set_labels_rolls_back_on_error() {
+        let mut g = triangle();
+        let before: Vec<u64> = (0..3).map(|v| g.label(v)).collect();
+        assert!(g.set_labels(vec![1, 1, 2]).is_err());
+        let after: Vec<u64> = (0..3).map(|v| g.label(v)).collect();
+        assert_eq!(before, after);
+        g.set_labels(vec![10, 20, 30]).unwrap();
+        assert_eq!(g.label(2), 30);
+        assert_eq!(g.node_by_label(20), Some(1));
+        assert_eq!(g.node_by_label(99), None);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors = [
+            GraphError::AsymmetricPortMap { node: 1, port: 2 },
+            GraphError::SelfLoop { node: 0 },
+            GraphError::ParallelEdge { u: 0, v: 1 },
+            GraphError::DuplicateLabel { label: 3 },
+            GraphError::OutOfRange { node: 4, port: 5 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = PortGraph::from_adjacency(vec![vec![]]).unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_connected());
+    }
+}

@@ -1,0 +1,553 @@
+//! Rooted spanning trees, including the *light* tree of Claim 3.1.
+//!
+//! The wakeup oracle (Theorem 2.1) encodes, for each node, the ports toward
+//! its children in *some* rooted spanning tree; the broadcast oracle
+//! (Theorem 3.1) needs the specific tree `T0` whose total contribution
+//! `Σ_{e ∈ T0} #2(w(e))` is at most `4n` — built here by
+//! [`light_tree`], a phase-based variant of Kruskal's algorithm following
+//! the proof of Claim 3.1 step by step.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use oraclesize_bits::bits_to_represent;
+
+use crate::portgraph::{EdgeRef, NodeId, Port, PortGraph};
+use crate::traverse::UnionFind;
+
+/// A spanning tree of a [`PortGraph`], rooted at a designated node, with
+/// the port numbers needed by the oracles.
+///
+/// # Examples
+///
+/// ```
+/// use oraclesize_graph::{families, spanning};
+///
+/// let g = families::cycle(5);
+/// let t = spanning::bfs_tree(&g, 0);
+/// assert_eq!(t.root(), 0);
+/// assert_eq!(t.num_nodes(), 5);
+/// assert!(t.validate(&g).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    root: NodeId,
+    /// `parent[v] = Some((parent, port_at_parent, port_at_child))`.
+    parent: Vec<Option<(NodeId, Port, Port)>>,
+    /// `children[v] = [(child, port_at_v)]`, sorted by port.
+    children: Vec<Vec<(NodeId, Port)>>,
+}
+
+impl RootedTree {
+    /// Assembles a rooted tree from a parent map (ports filled in from `g`).
+    ///
+    /// `parents[v]` is `v`'s parent, `None` exactly for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not a spanning tree of `g` rooted at `root`
+    /// (wrong `None` count, missing edges, or unreachable nodes).
+    pub fn from_parents(g: &PortGraph, root: NodeId, parents: &[Option<NodeId>]) -> Self {
+        let n = g.num_nodes();
+        assert_eq!(parents.len(), n, "one parent entry per node");
+        assert!(parents[root].is_none(), "root must have no parent");
+        let mut parent = vec![None; n];
+        let mut children: Vec<Vec<(NodeId, Port)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            match parents[v] {
+                None => assert_eq!(v, root, "non-root node {v} lacks a parent"),
+                Some(p) => {
+                    let port_at_parent = g
+                        .port_toward(p, v)
+                        .unwrap_or_else(|| panic!("tree edge {{{p},{v}}} missing from graph"));
+                    let port_at_child = g.neighbor_via(p, port_at_parent).1;
+                    parent[v] = Some((p, port_at_parent, port_at_child));
+                    children[p].push((v, port_at_parent));
+                }
+            }
+        }
+        for ch in &mut children {
+            ch.sort_by_key(|&(_, port)| port);
+        }
+        let t = RootedTree {
+            root,
+            parent,
+            children,
+        };
+        assert!(
+            t.validate(g).is_ok(),
+            "parent map does not form a spanning tree"
+        );
+        t
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes spanned.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `v`'s parent with the connecting ports
+    /// (`(parent, port_at_parent, port_at_v)`), or `None` for the root.
+    pub fn parent(&self, v: NodeId) -> Option<(NodeId, Port, Port)> {
+        self.parent[v]
+    }
+
+    /// `v`'s children as `(child, port_at_v)`, in port order.
+    pub fn children(&self, v: NodeId) -> &[(NodeId, Port)] {
+        &self.children[v]
+    }
+
+    /// `true` if `v` has no children.
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v].is_empty()
+    }
+
+    /// Iterates the tree edges as [`EdgeRef`]s of the host graph.
+    pub fn edges<'a>(&'a self, g: &'a PortGraph) -> impl Iterator<Item = EdgeRef> + 'a {
+        (0..self.num_nodes()).filter_map(move |v| {
+            self.parent[v].map(|(p, _, _)| {
+                g.edge_between(p, v)
+                    .expect("tree edges exist in the host graph")
+            })
+        })
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = v;
+        while let Some((p, _, _)) = self.parent[cur] {
+            cur = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// The paper's total contribution of this tree:
+    /// `Σ_{e ∈ T} #2(w(e))` where `w(e) = min(port_u(e), port_v(e))`.
+    pub fn contribution(&self, g: &PortGraph) -> u64 {
+        self.edges(g)
+            .map(|e| bits_to_represent(e.weight()) as u64)
+            .sum()
+    }
+
+    /// Checks that this is a spanning tree of `g` rooted at
+    /// [`root`](RootedTree::root): every non-root has a parent edge present
+    /// in `g`, ports are consistent, and every node reaches the root.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first defect.
+    pub fn validate(&self, g: &PortGraph) -> Result<(), String> {
+        let n = self.num_nodes();
+        if n != g.num_nodes() {
+            return Err(format!("tree spans {n} nodes, graph has {}", g.num_nodes()));
+        }
+        if self.parent[self.root].is_some() {
+            return Err("root has a parent".into());
+        }
+        for v in 0..n {
+            if v != self.root && self.parent[v].is_none() {
+                return Err(format!("non-root node {v} has no parent"));
+            }
+            if let Some((p, pp, pc)) = self.parent[v] {
+                if g.neighbor_via(p, pp) != (v, pc) {
+                    return Err(format!("ports of tree edge {{{p},{v}}} inconsistent"));
+                }
+                if !self.children[p].contains(&(v, pp)) {
+                    return Err(format!("child list of {p} misses {v}"));
+                }
+            }
+        }
+        // Acyclicity + reachability: walk up from every node with a step cap.
+        for v in 0..n {
+            let mut cur = v;
+            let mut steps = 0;
+            while let Some((p, _, _)) = self.parent[cur] {
+                cur = p;
+                steps += 1;
+                if steps > n {
+                    return Err(format!("cycle reached from node {v}"));
+                }
+            }
+            if cur != self.root {
+                return Err(format!("node {v} does not reach the root"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Breadth-first spanning tree rooted at `root`.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `root` out of range.
+pub fn bfs_tree(g: &PortGraph, root: NodeId) -> RootedTree {
+    let n = g.num_nodes();
+    let mut parents = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[root] = true;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        for p in 0..g.degree(v) {
+            let (u, _) = g.neighbor_via(v, p);
+            if !visited[u] {
+                visited[u] = true;
+                parents[u] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    assert!(visited.iter().all(|&x| x), "graph is disconnected");
+    RootedTree::from_parents(g, root, &parents)
+}
+
+/// Depth-first spanning tree rooted at `root`, exploring ports in order.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `root` out of range.
+pub fn dfs_tree(g: &PortGraph, root: NodeId) -> RootedTree {
+    let n = g.num_nodes();
+    let mut parents = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[root] = true;
+    let mut stack = vec![(root, 0usize)];
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        if *next >= g.degree(v) {
+            stack.pop();
+            continue;
+        }
+        let p = *next;
+        *next += 1;
+        let (u, _) = g.neighbor_via(v, p);
+        if !visited[u] {
+            visited[u] = true;
+            parents[u] = Some(v);
+            stack.push((u, 0));
+        }
+    }
+    assert!(visited.iter().all(|&x| x), "graph is disconnected");
+    RootedTree::from_parents(g, root, &parents)
+}
+
+/// A random spanning tree: Kruskal over a uniformly shuffled edge order
+/// (not uniform over all spanning trees, but an unbiased-enough baseline
+/// for the contribution experiments).
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected.
+pub fn random_spanning_tree<R: Rng>(g: &PortGraph, root: NodeId, rng: &mut R) -> RootedTree {
+    let mut edges: Vec<EdgeRef> = g.edges().collect();
+    edges.shuffle(rng);
+    let mut uf = UnionFind::new(g.num_nodes());
+    let chosen: Vec<EdgeRef> = edges
+        .into_iter()
+        .filter(|e| uf.union(e.u, e.v))
+        .collect();
+    tree_from_edge_set(g, root, &chosen)
+}
+
+/// Minimum-weight spanning tree under the paper's edge weight
+/// `w(e) = min(port_u, port_v)` (plain Kruskal) — a natural competitor to
+/// [`light_tree`] in experiment T3.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected.
+pub fn min_weight_tree(g: &PortGraph, root: NodeId) -> RootedTree {
+    let mut edges: Vec<EdgeRef> = g.edges().collect();
+    edges.sort_by_key(|e| e.weight());
+    let mut uf = UnionFind::new(g.num_nodes());
+    let chosen: Vec<EdgeRef> = edges
+        .into_iter()
+        .filter(|e| uf.union(e.u, e.v))
+        .collect();
+    tree_from_edge_set(g, root, &chosen)
+}
+
+/// The light spanning tree `T0` of **Claim 3.1**, with total contribution
+/// `Σ #2(w(e)) ≤ 4n`.
+///
+/// Follows the proof's construction: phase `k = 1, 2, …` identifies the
+/// collection of *small* trees (`|T| < 2^k`), selects for each a
+/// minimum-weight edge leaving it, adds all selected edges, and breaks any
+/// cycle created by discarding one of the selected edges on it (realized
+/// here by inserting the selected edges sequentially into a union-find and
+/// skipping those that would close a cycle — every skipped edge lies on a
+/// cycle all of whose tree-path edges were already inserted).
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected.
+pub fn light_tree(g: &PortGraph, root: NodeId) -> RootedTree {
+    let n = g.num_nodes();
+    let mut uf = UnionFind::new(n);
+    let mut chosen: Vec<EdgeRef> = Vec::with_capacity(n.saturating_sub(1));
+    let mut k = 1u32;
+    while chosen.len() + 1 < n {
+        // Group nodes by component representative.
+        let mut members: std::collections::HashMap<usize, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for v in 0..n {
+            members.entry(uf.find(v)).or_default().push(v);
+        }
+        let threshold = 1usize << k;
+        // For each small tree, the minimum-weight outgoing edge.
+        let mut selected: Vec<EdgeRef> = Vec::new();
+        for (rep, nodes) in &members {
+            if nodes.len() >= threshold {
+                continue;
+            }
+            let mut best: Option<EdgeRef> = None;
+            for &v in nodes {
+                for p in 0..g.degree(v) {
+                    let (u, q) = g.neighbor_via(v, p);
+                    if uf.find(u) == *rep {
+                        continue;
+                    }
+                    let e = if v < u {
+                        EdgeRef { u: v, port_u: p, v: u, port_v: q }
+                    } else {
+                        EdgeRef { u, port_u: q, v, port_v: p }
+                    };
+                    if best.is_none_or(|b| e.weight() < b.weight()) {
+                        best = Some(e);
+                    }
+                }
+            }
+            if let Some(e) = best {
+                selected.push(e);
+            }
+            // A small tree with no outgoing edge means a disconnected graph;
+            // caught below by the final assertion.
+        }
+        // When every remaining component has size ≥ 2^k, nothing is small at
+        // this phase; the next phase doubles the threshold. A phase with no
+        // progress is fine, but the threshold must eventually cover n.
+        for e in selected {
+            if uf.union(e.u, e.v) {
+                chosen.push(e);
+            }
+        }
+        k += 1;
+        if k > usize::BITS {
+            break; // threshold exceeds any possible component size
+        }
+    }
+    assert_eq!(chosen.len() + 1, n, "graph is disconnected");
+    tree_from_edge_set(g, root, &chosen)
+}
+
+/// Roots an (unrooted) spanning-tree edge set at `root`.
+fn tree_from_edge_set(g: &PortGraph, root: NodeId, edges: &[EdgeRef]) -> RootedTree {
+    let n = g.num_nodes();
+    let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for e in edges {
+        tree_adj[e.u].push(e.v);
+        tree_adj[e.v].push(e.u);
+    }
+    let mut parents = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[root] = true;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        for &u in &tree_adj[v] {
+            if !visited[u] {
+                visited[u] = true;
+                parents[u] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    assert!(visited.iter().all(|&x| x), "edge set does not span the graph");
+    RootedTree::from_parents(g, root, &parents)
+}
+
+/// The spanning-tree constructions compared in experiment T3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeAlgorithm {
+    /// [`bfs_tree`].
+    Bfs,
+    /// [`dfs_tree`].
+    Dfs,
+    /// [`random_spanning_tree`] (takes a seed).
+    Random,
+    /// [`min_weight_tree`].
+    MinWeight,
+    /// [`light_tree`] — Claim 3.1.
+    Light,
+}
+
+impl TreeAlgorithm {
+    /// Every algorithm, for sweeps.
+    pub const ALL: [TreeAlgorithm; 5] = [
+        TreeAlgorithm::Bfs,
+        TreeAlgorithm::Dfs,
+        TreeAlgorithm::Random,
+        TreeAlgorithm::MinWeight,
+        TreeAlgorithm::Light,
+    ];
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TreeAlgorithm::Bfs => "bfs",
+            TreeAlgorithm::Dfs => "dfs",
+            TreeAlgorithm::Random => "random",
+            TreeAlgorithm::MinWeight => "min-weight",
+            TreeAlgorithm::Light => "light(claim-3.1)",
+        }
+    }
+
+    /// Runs the algorithm on `g` rooted at `root`.
+    pub fn build<R: Rng>(&self, g: &PortGraph, root: NodeId, rng: &mut R) -> RootedTree {
+        match self {
+            TreeAlgorithm::Bfs => bfs_tree(g, root),
+            TreeAlgorithm::Dfs => dfs_tree(g, root),
+            TreeAlgorithm::Random => random_spanning_tree(g, root, rng),
+            TreeAlgorithm::MinWeight => min_weight_tree(g, root),
+            TreeAlgorithm::Light => light_tree(g, root),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bfs_tree_on_cycle() {
+        let g = families::cycle(6);
+        let t = bfs_tree(&g, 0);
+        t.validate(&g).unwrap();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.edges(&g).count(), 5);
+        assert_eq!(t.depth(3), 3);
+        assert!(t.children(0).len() == 2);
+    }
+
+    #[test]
+    fn dfs_tree_on_cycle_is_path() {
+        let g = families::cycle(6);
+        let t = dfs_tree(&g, 0);
+        t.validate(&g).unwrap();
+        assert_eq!(t.depth(5), 5.min(t.depth(5)));
+        // DFS on a cycle yields one path: exactly one child at the root.
+        assert_eq!(t.children(0).len(), 1);
+    }
+
+    #[test]
+    fn all_algorithms_produce_valid_spanning_trees() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for fam in families::Family::ALL {
+            let g = fam.build(24, &mut rng);
+            for alg in TreeAlgorithm::ALL {
+                let t = alg.build(&g, 0, &mut rng);
+                t.validate(&g)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name(), fam.name()));
+                assert_eq!(t.edges(&g).count(), g.num_nodes() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn light_tree_contribution_bound_holds() {
+        // Claim 3.1: Σ #2(w(e)) ≤ 4n on every family.
+        let mut rng = StdRng::seed_from_u64(22);
+        for fam in families::Family::ALL {
+            for n in [8usize, 40, 100] {
+                let g = fam.build(n, &mut rng);
+                let t = light_tree(&g, 0);
+                let c = t.contribution(&g);
+                let bound = 4 * g.num_nodes() as u64;
+                assert!(
+                    c <= bound,
+                    "{} n={}: contribution {c} > 4n = {bound}",
+                    fam.name(),
+                    g.num_nodes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn light_tree_beats_or_matches_bfs_on_complete() {
+        // On K_n with rotational ports, BFS from 0 uses each node's port
+        // toward 0, which can be large; the light tree prefers low ports.
+        let g = families::complete_rotational(64);
+        let light = light_tree(&g, 0).contribution(&g);
+        let bfs = bfs_tree(&g, 0).contribution(&g);
+        assert!(light <= bfs, "light {light} > bfs {bfs}");
+        assert!(light <= 4 * 64);
+    }
+
+    #[test]
+    fn min_weight_tree_is_minimal_total_weight() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = families::random_connected(20, 0.4, &mut rng);
+        let mst: u64 = min_weight_tree(&g, 0)
+            .edges(&g)
+            .map(|e| e.weight())
+            .sum();
+        let rnd: u64 = random_spanning_tree(&g, 0, &mut rng)
+            .edges(&g)
+            .map(|e| e.weight())
+            .sum();
+        assert!(mst <= rnd);
+    }
+
+    #[test]
+    fn from_parents_rejects_bogus_maps() {
+        let g = families::path(4);
+        // Missing parent for node 3.
+        let result = std::panic::catch_unwind(|| {
+            RootedTree::from_parents(&g, 0, &[None, Some(0), Some(1), None])
+        });
+        assert!(result.is_err());
+        // Non-edge parent relation.
+        let result = std::panic::catch_unwind(|| {
+            RootedTree::from_parents(&g, 0, &[None, Some(0), Some(0), Some(2)])
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn contribution_of_path_tree() {
+        // Path ports are all 0/1, so every weight is 0 → #2 = 1 per edge.
+        let g = families::path(10);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.contribution(&g), 9);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = crate::portgraph::PortGraph::from_adjacency(vec![vec![]]).unwrap();
+        let t = light_tree(&g, 0);
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.contribution(&g), 0);
+    }
+
+    #[test]
+    fn depths_consistent_with_parents() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = families::random_connected(30, 0.2, &mut rng);
+        let t = bfs_tree(&g, 5);
+        for v in 0..30 {
+            if let Some((p, _, _)) = t.parent(v) {
+                assert_eq!(t.depth(v), t.depth(p) + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the port-graph substrate.
+
+use oraclesize_graph::families::{self, Family};
+use oraclesize_graph::gadgets;
+use oraclesize_graph::spanning::{self, TreeAlgorithm};
+use oraclesize_graph::PortGraphBuilder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    proptest::sample::select(Family::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn families_validate_and_connect(fam in arb_family(), n in 4usize..80, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = fam.build(n, &mut rng);
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn port_symmetry_everywhere(fam in arb_family(), n in 4usize..60, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = fam.build(n, &mut rng);
+        for v in 0..g.num_nodes() {
+            for p in 0..g.degree(v) {
+                let (u, q) = g.neighbor_via(v, p);
+                prop_assert_eq!(g.neighbor_via(u, q), (v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_trees_valid_on_random_graphs(
+        n in 2usize..50,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+        alg in proptest::sample::select(TreeAlgorithm::ALL.to_vec()),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, p, &mut rng);
+        let root = seed as usize % n;
+        let t = alg.build(&g, root, &mut rng);
+        prop_assert!(t.validate(&g).is_ok(), "{}", alg.name());
+        prop_assert_eq!(t.root(), root);
+        prop_assert_eq!(t.edges(&g).count(), n - 1);
+    }
+
+    #[test]
+    fn light_tree_contribution_under_4n(
+        n in 2usize..120,
+        p in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, p, &mut rng);
+        let t = spanning::light_tree(&g, 0);
+        prop_assert!(t.contribution(&g) <= 4 * n as u64);
+    }
+
+    #[test]
+    fn subdivision_hides_nodes_correctly(n in 4usize..24, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = 1 + seed as usize % n;
+        let (h, s) = gadgets::random_subdivided_complete(n, m, &mut rng);
+        prop_assert!(h.validate().is_ok());
+        prop_assert!(h.is_connected());
+        prop_assert_eq!(h.num_nodes(), n + m);
+        // Each hidden node sits between the endpoints of its edge, with
+        // port 0 toward the smaller-labeled endpoint.
+        for (i, e) in s.iter().enumerate() {
+            let w = n + i;
+            prop_assert_eq!(h.degree(w), 2);
+            prop_assert_eq!(h.neighbor_via(w, 0).0, e.u);
+            prop_assert_eq!(h.neighbor_via(w, 1).0, e.v);
+            prop_assert!(!h.has_edge(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn clique_gadgets_valid(n in 6usize..30, k in 3usize..6, seed in any::<u64>()) {
+        prop_assume!(n / k >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (h, s, c) = gadgets::random_clique_gadget(n, k, &mut rng);
+        prop_assert!(h.validate().is_ok());
+        prop_assert!(h.is_connected());
+        prop_assert_eq!(s.len(), n / k);
+        prop_assert_eq!(c.len(), n / k);
+        for v in n..h.num_nodes() {
+            prop_assert_eq!(h.degree(v), k - 1);
+        }
+    }
+
+    #[test]
+    fn shuffle_ports_is_isomorphism_on_edges(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, 0.3, &mut rng);
+        let mut b = PortGraphBuilder::new(n);
+        for e in g.edges() {
+            b.add_edge(e.u, e.v).unwrap();
+        }
+        b.shuffle_ports(&mut rng);
+        let h = b.build().unwrap();
+        prop_assert!(h.validate().is_ok());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for e in g.edges() {
+            prop_assert!(h.has_edge(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn bfs_distance_triangle_inequality(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, 0.2, &mut rng);
+        let d0 = oraclesize_graph::traverse::bfs_distances(&g, 0);
+        for e in g.edges() {
+            let (du, dv) = (d0[e.u].unwrap() as isize, d0[e.v].unwrap() as isize);
+            prop_assert!((du - dv).abs() <= 1, "edge endpoints differ by >1");
+        }
+    }
+}

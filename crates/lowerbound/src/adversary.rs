@@ -1,0 +1,370 @@
+//! The Lemma 2.1 adversary, playable against any
+//! [`crate::discovery::DiscoveryStrategy`].
+//!
+//! The adversary keeps the set of still-*active* instances (all with the
+//! same `n`, `|X|`, `Y`). When an edge is probed it partitions the active
+//! set into instances where the edge is special vs regular, answers with
+//! the larger side, and — if it answers "special" — picks the plurality
+//! label so at least a `1/(2(|X|−r))` fraction survives. The proof's
+//! invariant
+//! `x_{t,r} ≥ |I| · (|X|−r)! / (2^t · |X|!)` is asserted after every probe,
+//! and the guaranteed consequence is
+//! `probes ≥ log2(|I|) − log2(|X|!)` ([`lemma_2_1_bound`]).
+
+use std::collections::HashSet;
+
+use crate::counting::log2_factorial;
+use crate::discovery::{all_edges, DiscoveryStrategy, Edge, GameView};
+
+/// One instance of edge discovery: the labeled special set `X` as an
+/// ordered tuple — `specials[ℓ]` is the edge with label `ℓ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instance {
+    /// `specials[label] = edge`.
+    pub specials: Vec<Edge>,
+}
+
+impl Instance {
+    /// Label of `e` in this instance, if special.
+    pub fn label_of(&self, e: Edge) -> Option<usize> {
+        self.specials.iter().position(|&s| s == e)
+    }
+}
+
+/// The adversary's answer to a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The probed edge is not special (in any surviving instance).
+    Regular,
+    /// The probed edge is special and carries this label.
+    Special {
+        /// The revealed label.
+        label: usize,
+    },
+}
+
+/// The explicit (instance-enumerating) adversary of Lemma 2.1.
+#[derive(Debug, Clone)]
+pub struct ExplicitAdversary {
+    active: Vec<Instance>,
+    initial_count: usize,
+    x_size: usize,
+    revealed: Vec<(Edge, usize)>,
+    probed: HashSet<Edge>,
+    probes: usize,
+}
+
+impl ExplicitAdversary {
+    /// Builds the adversary over an instance family. All instances must
+    /// have the same `|X|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or sizes differ.
+    pub fn new(instances: Vec<Instance>) -> Self {
+        assert!(!instances.is_empty(), "need at least one instance");
+        let x_size = instances[0].specials.len();
+        assert!(
+            instances.iter().all(|i| i.specials.len() == x_size),
+            "all instances must have the same |X|"
+        );
+        ExplicitAdversary {
+            initial_count: instances.len(),
+            active: instances,
+            x_size,
+            revealed: Vec::new(),
+            probed: HashSet::new(),
+            probes: 0,
+        }
+    }
+
+    /// Number of still-active instances.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// `|X|` of the family.
+    pub fn x_size(&self) -> usize {
+        self.x_size
+    }
+
+    /// Specials revealed so far.
+    pub fn revealed(&self) -> &[(Edge, usize)] {
+        &self.revealed
+    }
+
+    /// Probes answered so far (`t`).
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// The game is settled when one instance remains active and all its
+    /// specials are revealed.
+    pub fn is_settled(&self) -> bool {
+        self.active.len() == 1 && self.revealed.len() == self.x_size
+    }
+
+    /// Answers a probe with the majority side, maintaining the proof's
+    /// invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` was probed before (schemes gain nothing by repeating
+    /// a probe, and the proof charges each edge once).
+    pub fn respond(&mut self, e: Edge) -> ProbeResult {
+        assert!(self.probed.insert(e), "edge {e:?} probed twice");
+        self.probes += 1;
+        let (special, regular): (Vec<Instance>, Vec<Instance>) = self
+            .active
+            .drain(..)
+            .partition(|inst| inst.label_of(e).is_some());
+        if special.len() >= regular.len() {
+            // Plurality label among the special side.
+            let r = self.revealed.len();
+            let mut counts = vec![0usize; self.x_size];
+            for inst in &special {
+                counts[inst.label_of(e).expect("partitioned special")] += 1;
+            }
+            let label = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(l, _)| l)
+                .expect("x_size > 0");
+            self.active = special
+                .into_iter()
+                .filter(|inst| inst.label_of(e) == Some(label))
+                .collect();
+            // Invariant: the plurality class holds ≥ |J|/(2(|X|−r)).
+            debug_assert!(self.active.len() * 2 * (self.x_size - r) >= counts.iter().sum::<usize>());
+            self.revealed.push((e, label));
+            ProbeResult::Special { label }
+        } else {
+            self.active = regular;
+            ProbeResult::Regular
+        }
+    }
+
+    /// The proof's lower bound on probes for this family:
+    /// `log2(|I|) − log2(|X|!)`.
+    pub fn lemma_bound(&self) -> f64 {
+        lemma_2_1_bound(self.initial_count as f64, self.x_size)
+    }
+
+    /// The invariant mass bound after `t` probes with `r` specials
+    /// revealed: `|I| · (|X|−r)! / (2^t · |X|!)` in log2.
+    pub fn invariant_log2_mass(&self) -> f64 {
+        (self.initial_count as f64).log2() + log2_factorial((self.x_size - self.revealed.len()) as u64)
+            - self.probes as f64
+            - log2_factorial(self.x_size as u64)
+    }
+}
+
+/// Lemma 2.1: any scheme needs at least `log2(instances) − log2(|X|!)`
+/// probes against the adversary.
+pub fn lemma_2_1_bound(instance_count: f64, x_size: usize) -> f64 {
+    instance_count.log2() - log2_factorial(x_size as u64)
+}
+
+/// The result of a played-out game.
+#[derive(Debug, Clone)]
+pub struct GameResult {
+    /// Probes the strategy needed.
+    pub probes: usize,
+    /// The Lemma 2.1 lower bound for the family.
+    pub bound: f64,
+    /// The discovered specials, in label order.
+    pub discovered: Vec<Edge>,
+}
+
+/// Plays `strategy` against the adversary over the given instance family
+/// until the game settles.
+///
+/// # Panics
+///
+/// Panics if the strategy probes a known edge or the probe budget
+/// (`edges of K*_n`) is exhausted without settling — both indicate a buggy
+/// strategy, not a valid outcome.
+pub fn play(
+    n: usize,
+    y: &HashSet<Edge>,
+    mut adversary: ExplicitAdversary,
+    strategy: &mut dyn DiscoveryStrategy,
+) -> GameResult {
+    let mut regular: HashSet<Edge> = HashSet::new();
+    let budget = all_edges(n).len();
+    let x_size = adversary.x_size();
+    while !adversary.is_settled() {
+        assert!(
+            adversary.probes() <= budget,
+            "strategy exhausted every edge without settling"
+        );
+        let revealed = adversary.revealed().to_vec();
+        let view = GameView {
+            n,
+            x_size,
+            y,
+            revealed: &revealed,
+            regular: &regular,
+        };
+        let probe = strategy.next_probe(&view);
+        assert!(!view.is_known(probe), "strategy repeated probe {probe:?}");
+        assert!(!y.contains(&probe), "strategy probed a Y edge");
+        match adversary.respond(probe) {
+            ProbeResult::Regular => {
+                regular.insert(probe);
+            }
+            ProbeResult::Special { .. } => {}
+        }
+        // Proof invariant: active mass never drops below the bound.
+        debug_assert!(
+            (adversary.active_count() as f64).log2() >= adversary.invariant_log2_mass() - 1e-9,
+            "invariant violated"
+        );
+    }
+    let mut discovered: Vec<(Edge, usize)> = adversary.revealed().to_vec();
+    discovered.sort_by_key(|&(_, l)| l);
+    GameResult {
+        probes: adversary.probes(),
+        bound: adversary.lemma_bound(),
+        discovered: discovered.into_iter().map(|(e, _)| e).collect(),
+    }
+}
+
+/// Builds the full instance family: every ordered tuple of `x_size`
+/// distinct edges from `pool` (labels = tuple positions). `|I| =
+/// |pool|·(|pool|−1)···(|pool|−x_size+1)`.
+///
+/// # Panics
+///
+/// Panics if `x_size > pool.len()` or `x_size == 0`.
+pub fn all_ordered_instances(pool: &[Edge], x_size: usize) -> Vec<Instance> {
+    assert!(x_size >= 1 && x_size <= pool.len(), "bad x_size");
+    let mut out = Vec::new();
+    let mut current: Vec<Edge> = Vec::with_capacity(x_size);
+    fn recurse(pool: &[Edge], x_size: usize, current: &mut Vec<Edge>, out: &mut Vec<Instance>) {
+        if current.len() == x_size {
+            out.push(Instance {
+                specials: current.clone(),
+            });
+            return;
+        }
+        for &e in pool {
+            if !current.contains(&e) {
+                current.push(e);
+                recurse(pool, x_size, current, out);
+                current.pop();
+            }
+        }
+    }
+    recurse(pool, x_size, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{RandomStrategy, SequentialStrategy};
+
+    #[test]
+    fn instance_family_size_is_falling_factorial() {
+        let pool = all_edges(4); // 6 edges
+        assert_eq!(all_ordered_instances(&pool, 1).len(), 6);
+        assert_eq!(all_ordered_instances(&pool, 2).len(), 30);
+        assert_eq!(all_ordered_instances(&pool, 3).len(), 120);
+    }
+
+    #[test]
+    fn adversary_settles_and_respects_bound_sequential() {
+        let n = 5;
+        let pool = all_edges(n);
+        for x_size in [1usize, 2] {
+            let family = all_ordered_instances(&pool, x_size);
+            let adv = ExplicitAdversary::new(family.clone());
+            let result = play(n, &HashSet::new(), adv, &mut SequentialStrategy);
+            assert!(
+                (result.probes as f64) >= result.bound,
+                "x={x_size}: {} < {}",
+                result.probes,
+                result.bound
+            );
+            assert_eq!(result.discovered.len(), x_size);
+        }
+    }
+
+    #[test]
+    fn adversary_settles_and_respects_bound_random() {
+        let n = 5;
+        let pool = all_edges(n);
+        let family = all_ordered_instances(&pool, 2);
+        for seed in 0..5 {
+            let adv = ExplicitAdversary::new(family.clone());
+            let result = play(n, &HashSet::new(), adv, &mut RandomStrategy::new(seed));
+            assert!((result.probes as f64) >= result.bound, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adversary_forces_nearly_all_edges_for_single_special() {
+        // With |X|=1 over all 10 edges of K*_5, |I| = 10, bound = log2 10
+        // ≈ 3.3; the majority adversary actually answers "regular" while
+        // the regular side is at least as large, forcing ≥ 9 probes.
+        let n = 5;
+        let pool = all_edges(n);
+        let family = all_ordered_instances(&pool, 1);
+        let adv = ExplicitAdversary::new(family);
+        let result = play(n, &HashSet::new(), adv, &mut SequentialStrategy);
+        assert!(result.probes >= 9, "only {} probes", result.probes);
+    }
+
+    #[test]
+    fn y_edges_shrink_the_pool() {
+        let n = 5;
+        let y: HashSet<Edge> = [(0, 1), (0, 2), (0, 3)].into_iter().collect();
+        let pool: Vec<Edge> = all_edges(n)
+            .into_iter()
+            .filter(|e| !y.contains(e))
+            .collect();
+        let family = all_ordered_instances(&pool, 2);
+        let adv = ExplicitAdversary::new(family);
+        let result = play(n, &y, adv, &mut SequentialStrategy);
+        assert!((result.probes as f64) >= result.bound);
+        for e in &result.discovered {
+            assert!(!y.contains(e), "discovered a Y edge");
+        }
+    }
+
+    #[test]
+    fn respond_rejects_duplicate_probe() {
+        let pool = all_edges(4);
+        let mut adv = ExplicitAdversary::new(all_ordered_instances(&pool, 1));
+        let _ = adv.respond((0, 1));
+        let result = std::panic::catch_unwind(move || adv.respond((0, 1)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn invariant_mass_bound_consistent() {
+        let pool = all_edges(5);
+        let mut adv = ExplicitAdversary::new(all_ordered_instances(&pool, 2));
+        for e in all_edges(5) {
+            if adv.is_settled() {
+                break;
+            }
+            if adv.revealed().iter().any(|&(r, _)| r == e) {
+                continue;
+            }
+            let _ = adv.respond(e);
+            assert!(
+                (adv.active_count() as f64).log2() >= adv.invariant_log2_mass() - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_bound_formula() {
+        // |I| = 90, |X| = 2: bound = log2(90) − log2(2) = log2(45).
+        let b = lemma_2_1_bound(90.0, 2);
+        assert!((b - 45f64.log2()).abs() < 1e-12);
+    }
+}

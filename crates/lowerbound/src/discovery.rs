@@ -1,0 +1,231 @@
+//! The edge-discovery problem and probing strategies.
+//!
+//! An instance is a triple `(n, X, Y)`: `X` a set of *special* edges of
+//! `K*_n`, each carrying a distinct label `0..|X|`, and `Y` a disjoint set
+//! of edges known in advance not to be special. A scheme knows `n`, `|X|`
+//! and `Y`, probes edges one at a time, and learns for each probe either
+//! `(e, ℓ) ∈ X` or that `e` is regular. It must *discover* `X` — reach a
+//! state where exactly one labeled set is consistent with everything seen.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An edge of `K*_n`, canonically ordered `u < v` with `u, v < n`.
+pub type Edge = (usize, usize);
+
+/// Enumerates every edge of `K*_n` in lexicographic order.
+pub fn all_edges(n: usize) -> Vec<Edge> {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// What a strategy can see before its next probe.
+#[derive(Debug)]
+pub struct GameView<'a> {
+    /// Number of nodes of the complete graph.
+    pub n: usize,
+    /// `|X|`: how many specials exist.
+    pub x_size: usize,
+    /// `Y`: edges known a priori to be regular (never worth probing).
+    pub y: &'a HashSet<Edge>,
+    /// Specials revealed so far, with their labels.
+    pub revealed: &'a [(Edge, usize)],
+    /// Edges probed and found regular.
+    pub regular: &'a HashSet<Edge>,
+}
+
+impl GameView<'_> {
+    /// `true` if `e` has already been probed (either way) or is in `Y`.
+    pub fn is_known(&self, e: Edge) -> bool {
+        self.y.contains(&e)
+            || self.regular.contains(&e)
+            || self.revealed.iter().any(|&(r, _)| r == e)
+    }
+
+    /// Specials still to be found.
+    pub fn remaining_specials(&self) -> usize {
+        self.x_size - self.revealed.len()
+    }
+}
+
+/// A probing strategy: the "communication scheme" side of the game. Must
+/// return an edge not yet known (the game runner enforces this).
+pub trait DiscoveryStrategy {
+    /// Chooses the next edge to probe.
+    fn next_probe(&mut self, view: &GameView<'_>) -> Edge;
+
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// Probes edges in lexicographic order.
+#[derive(Debug, Default)]
+pub struct SequentialStrategy;
+
+impl DiscoveryStrategy for SequentialStrategy {
+    fn next_probe(&mut self, view: &GameView<'_>) -> Edge {
+        all_edges(view.n)
+            .into_iter()
+            .find(|&e| !view.is_known(e))
+            .expect("game over: no unknown edges")
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+/// Probes edges in a seeded random order (fixed up front — an oblivious
+/// randomized scheme).
+#[derive(Debug)]
+pub struct RandomStrategy {
+    order: Option<Vec<Edge>>,
+    seed: u64,
+}
+
+impl RandomStrategy {
+    /// A strategy whose probe order is a seeded shuffle of all edges.
+    pub fn new(seed: u64) -> Self {
+        RandomStrategy { order: None, seed }
+    }
+}
+
+impl DiscoveryStrategy for RandomStrategy {
+    fn next_probe(&mut self, view: &GameView<'_>) -> Edge {
+        if self.order.is_none() {
+            let mut edges = all_edges(view.n);
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            edges.shuffle(&mut rng);
+            self.order = Some(edges);
+        }
+        self.order
+            .as_ref()
+            .expect("initialized above")
+            .iter()
+            .copied()
+            .find(|&e| !view.is_known(e))
+            .expect("game over: no unknown edges")
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// An adaptive strategy that prefers edges incident to already-revealed
+/// specials (a plausible heuristic: specials may cluster) and falls back
+/// to lexicographic order.
+#[derive(Debug, Default)]
+pub struct AdaptiveNeighborStrategy;
+
+impl DiscoveryStrategy for AdaptiveNeighborStrategy {
+    fn next_probe(&mut self, view: &GameView<'_>) -> Edge {
+        let hot: HashSet<usize> = view
+            .revealed
+            .iter()
+            .flat_map(|&((u, v), _)| [u, v])
+            .collect();
+        let edges = all_edges(view.n);
+        edges
+            .iter()
+            .copied()
+            .find(|&(u, v)| !view.is_known((u, v)) && (hot.contains(&u) || hot.contains(&v)))
+            .or_else(|| edges.into_iter().find(|&e| !view.is_known(e)))
+            .expect("game over: no unknown edges")
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive-neighbor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_edges_count_and_order() {
+        let e = all_edges(5);
+        assert_eq!(e.len(), 10);
+        assert_eq!(e[0], (0, 1));
+        assert_eq!(e[9], (3, 4));
+        for (u, v) in e {
+            assert!(u < v && v < 5);
+        }
+    }
+
+    #[test]
+    fn game_view_knowledge_queries() {
+        let y: HashSet<Edge> = [(0, 1)].into_iter().collect();
+        let regular: HashSet<Edge> = [(1, 2)].into_iter().collect();
+        let revealed = vec![((2, 3), 0)];
+        let view = GameView {
+            n: 5,
+            x_size: 2,
+            y: &y,
+            revealed: &revealed,
+            regular: &regular,
+        };
+        assert!(view.is_known((0, 1)));
+        assert!(view.is_known((1, 2)));
+        assert!(view.is_known((2, 3)));
+        assert!(!view.is_known((0, 2)));
+        assert_eq!(view.remaining_specials(), 1);
+    }
+
+    #[test]
+    fn sequential_skips_known_edges() {
+        let y: HashSet<Edge> = [(0, 1), (0, 2)].into_iter().collect();
+        let regular = HashSet::new();
+        let view = GameView {
+            n: 4,
+            x_size: 1,
+            y: &y,
+            revealed: &[],
+            regular: &regular,
+        };
+        assert_eq!(SequentialStrategy.next_probe(&view), (0, 3));
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_per_seed() {
+        let y = HashSet::new();
+        let regular = HashSet::new();
+        let view = GameView {
+            n: 6,
+            x_size: 1,
+            y: &y,
+            revealed: &[],
+            regular: &regular,
+        };
+        let a = RandomStrategy::new(3).next_probe(&view);
+        let b = RandomStrategy::new(3).next_probe(&view);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_prefers_hot_nodes() {
+        let y = HashSet::new();
+        let regular: HashSet<Edge> = [(0, 1)].into_iter().collect();
+        let revealed = vec![((3, 4), 0)];
+        let view = GameView {
+            n: 6,
+            x_size: 2,
+            y: &y,
+            revealed: &revealed,
+            regular: &regular,
+        };
+        let probe = AdaptiveNeighborStrategy.next_probe(&view);
+        assert!(probe.0 == 3 || probe.0 == 4 || probe.1 == 3 || probe.1 == 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Lower-bound machinery: the edge-discovery problem, the Lemma 2.1
+//! adversary, the counting bounds behind Theorems 2.2 and 3.2, and the
+//! truncated-advice experiments.
+//!
+//! The paper's lower bounds are information-theoretic; this crate makes
+//! them *executable*:
+//!
+//! * [`discovery`] — the auxiliary *edge discovery* problem: a scheme
+//!   probes edges of `K*_n` and is told, per probe, whether the edge is
+//!   *special* (and its label) or *regular*; it must pin down the whole
+//!   labeled special set `X`.
+//! * [`adversary`] — the proof's adversary, playable against any strategy:
+//!   it maintains the set of still-consistent instances and answers each
+//!   probe with the majority half (splitting special answers by the
+//!   plurality label), guaranteeing at least `log2(|I| / |X|!)` probes.
+//! * [`counting`] — Claim 2.1 and the `P`/`Q` calculations of both
+//!   theorems, in exact log2 arithmetic, so the implied message bounds can
+//!   be tabulated for concrete `n`, `α`, `k`.
+//! * [`truncation`] — experiment T6/F3: wakeup on the subdivided graphs
+//!   `G_{n,S}` when the spanning-tree oracle is cut to a bit budget, with a
+//!   flooding fallback; measures the knowledge → message-complexity
+//!   trade-off curve the lower bound predicts.
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod counting;
+pub mod discovery;
+pub mod symbolic;
+pub mod truncation;
+
+pub use adversary::{ExplicitAdversary, GameResult, ProbeResult};
+pub use discovery::{DiscoveryStrategy, Edge, GameView};
+pub use symbolic::{play_symbolic, SymbolicAdversary};

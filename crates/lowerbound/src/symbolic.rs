@@ -1,0 +1,303 @@
+//! The Lemma 2.1 adversary in *closed form*, for instance families far too
+//! large to enumerate.
+//!
+//! Over the canonical family — `X` ranges over all ordered `k`-tuples of
+//! distinct edges from a pool of `u₀` edges (exactly the `G_{n,S}` family
+//! of Theorem 2.2) — the active-instance counts after any probe history are
+//! falling factorials, so the majority adversary can be played *exactly*
+//! without materializing a single instance:
+//!
+//! * active instances with `r` specials revealed and `u` unprobed pool
+//!   edges: `A(u, k−r) = u·(u−1)···(u−k+r+1)`,
+//! * a probe of edge `e` splits this into
+//!   `special = (k−r)·A(u−1, k−r−1)` (one of the remaining labels lands on
+//!   `e`) vs `regular = A(u−1, k−r)`,
+//! * so the majority answer is *special* iff `(k−r) ≥ u−k+r`, i.e. only
+//!   once the pool is nearly exhausted — which is exactly why the
+//!   adversary forces nearly all of `K*_n` to be probed.
+//!
+//! The mass invariant of the proof (`x_{t,r} ≥ |I|·(|X|−r)!/(2^t·|X|!)`)
+//! is tracked in log2 and asserted after every probe.
+
+use std::collections::HashSet;
+
+use crate::counting::log2_factorial;
+use crate::discovery::{DiscoveryStrategy, Edge, GameView};
+
+/// `log2` of the falling factorial `A(u, j) = u·(u−1)···(u−j+1)`.
+pub fn log2_falling(u: u64, j: u64) -> f64 {
+    assert!(j <= u, "A({u},{j}) is zero");
+    (0..j).map(|i| ((u - i) as f64).log2()).sum()
+}
+
+/// The closed-form majority adversary over the canonical ordered-tuple
+/// family.
+#[derive(Debug, Clone)]
+pub struct SymbolicAdversary {
+    pool: Vec<Edge>,
+    probed: HashSet<Edge>,
+    revealed: Vec<(Edge, usize)>,
+    x_size: usize,
+    probes: usize,
+    initial_log2: f64,
+}
+
+impl SymbolicAdversary {
+    /// An adversary whose instances are all ordered `x_size`-tuples of
+    /// distinct edges from `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_size == 0` or exceeds the pool.
+    pub fn new(pool: Vec<Edge>, x_size: usize) -> Self {
+        assert!(x_size >= 1 && x_size <= pool.len(), "bad x_size");
+        let initial_log2 = log2_falling(pool.len() as u64, x_size as u64);
+        SymbolicAdversary {
+            pool,
+            probed: HashSet::new(),
+            revealed: Vec::new(),
+            x_size,
+            probes: 0,
+            initial_log2,
+        }
+    }
+
+    /// `log2` of the number of still-active instances.
+    pub fn log2_active(&self) -> f64 {
+        let u = (self.pool.len() - self.probed.len()) as u64;
+        let j = (self.x_size - self.revealed.len()) as u64;
+        log2_falling(u, j)
+    }
+
+    /// `log2 |I|` of the initial family.
+    pub fn log2_initial(&self) -> f64 {
+        self.initial_log2
+    }
+
+    /// Lemma 2.1 bound for this family: `log2|I| − log2(|X|!)`.
+    pub fn lemma_bound(&self) -> f64 {
+        self.initial_log2 - log2_factorial(self.x_size as u64)
+    }
+
+    /// Probes answered so far.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Revealed specials so far.
+    pub fn revealed(&self) -> &[(Edge, usize)] {
+        &self.revealed
+    }
+
+    /// `true` when exactly one instance is consistent and fully revealed.
+    pub fn is_settled(&self) -> bool {
+        self.revealed.len() == self.x_size
+    }
+
+    /// Answers a probe with the exact majority side.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a repeated probe or an edge outside the pool.
+    pub fn respond(&mut self, e: Edge) -> crate::adversary::ProbeResult {
+        assert!(self.pool.contains(&e), "edge {e:?} not in the pool");
+        assert!(self.probed.insert(e), "edge {e:?} probed twice");
+        self.probes += 1;
+        let u = (self.pool.len() - self.probed.len() + 1) as u64; // incl. e
+        let remaining = (self.x_size - self.revealed.len()) as u64;
+        // special = remaining · A(u−1, remaining−1); regular = A(u−1, remaining)
+        // = (u−remaining) · A(u−1, remaining−1).  Majority by comparing the
+        // scalar factors.
+        if remaining >= u - remaining {
+            // Plurality label: all remaining labels tie; reveal the smallest.
+            let used: HashSet<usize> = self.revealed.iter().map(|&(_, l)| l).collect();
+            let label = (0..self.x_size)
+                .find(|l| !used.contains(l))
+                .expect("labels remain");
+            self.revealed.push((e, label));
+            crate::adversary::ProbeResult::Special { label }
+        } else {
+            crate::adversary::ProbeResult::Regular
+        }
+    }
+
+    /// The proof's mass invariant in log2:
+    /// `log2|I| + log2((|X|−r)!) − t − log2(|X|!)`.
+    pub fn invariant_log2_mass(&self) -> f64 {
+        self.initial_log2 + log2_factorial((self.x_size - self.revealed.len()) as u64)
+            - self.probes as f64
+            - log2_factorial(self.x_size as u64)
+    }
+}
+
+/// The result of a symbolic game.
+#[derive(Debug, Clone)]
+pub struct SymbolicGameResult {
+    /// Probes the strategy needed.
+    pub probes: usize,
+    /// Lemma 2.1 lower bound for the family.
+    pub bound: f64,
+    /// `log2 |I|` of the family (for reporting).
+    pub log2_instances: f64,
+}
+
+/// Plays `strategy` against the symbolic adversary on `K*_n` with the
+/// given pool (`y` edges are excluded from both pool and probing).
+///
+/// # Panics
+///
+/// Panics if the strategy repeats a probe, probes a `Y` edge, or fails to
+/// settle after exhausting the pool.
+pub fn play_symbolic(
+    n: usize,
+    pool: Vec<Edge>,
+    y: &HashSet<Edge>,
+    x_size: usize,
+    strategy: &mut dyn DiscoveryStrategy,
+) -> SymbolicGameResult {
+    let mut adversary = SymbolicAdversary::new(pool, x_size);
+    let mut regular: HashSet<Edge> = HashSet::new();
+    let budget = adversary.pool.len();
+    while !adversary.is_settled() {
+        assert!(
+            adversary.probes() <= budget,
+            "strategy exhausted the pool without settling"
+        );
+        let revealed = adversary.revealed().to_vec();
+        let view = GameView {
+            n,
+            x_size,
+            y,
+            revealed: &revealed,
+            regular: &regular,
+        };
+        let probe = strategy.next_probe(&view);
+        assert!(!view.is_known(probe), "strategy repeated probe {probe:?}");
+        match adversary.respond(probe) {
+            crate::adversary::ProbeResult::Regular => {
+                regular.insert(probe);
+            }
+            crate::adversary::ProbeResult::Special { .. } => {}
+        }
+        debug_assert!(
+            adversary.log2_active() >= adversary.invariant_log2_mass() - 1e-9,
+            "mass invariant violated"
+        );
+    }
+    SymbolicGameResult {
+        probes: adversary.probes(),
+        bound: adversary.lemma_bound(),
+        log2_instances: adversary.log2_initial(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{all_ordered_instances, play, ExplicitAdversary};
+    use crate::discovery::{all_edges, RandomStrategy, SequentialStrategy};
+
+    #[test]
+    fn falling_factorial_matches_direct() {
+        assert_eq!(log2_falling(5, 0), 0.0);
+        assert!((log2_falling(5, 2) - 20f64.log2()).abs() < 1e-12);
+        assert!((log2_falling(10, 3) - 720f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbolic_matches_explicit_on_small_pools() {
+        // The closed-form counts must agree with explicit enumeration:
+        // same probe count for the same (deterministic) strategy.
+        for n in [5usize, 6] {
+            for x_size in [1usize, 2] {
+                let pool = all_edges(n);
+                let family = all_ordered_instances(&pool, x_size);
+                let explicit = play(
+                    n,
+                    &HashSet::new(),
+                    ExplicitAdversary::new(family),
+                    &mut SequentialStrategy,
+                );
+                let symbolic = play_symbolic(
+                    n,
+                    pool,
+                    &HashSet::new(),
+                    x_size,
+                    &mut SequentialStrategy,
+                );
+                assert_eq!(
+                    explicit.probes, symbolic.probes,
+                    "n={n} x={x_size}: explicit {} vs symbolic {}",
+                    explicit.probes, symbolic.probes
+                );
+                assert!((explicit.bound - symbolic.bound).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_scales_to_huge_pools() {
+        // K*_40: pool of 780 edges, |X| = 40 — |I| ≈ 2^383, far beyond
+        // enumeration; the symbolic game runs in milliseconds.
+        let n = 40;
+        let pool = all_edges(n);
+        let x_size = n;
+        let result = play_symbolic(
+            n,
+            pool.clone(),
+            &HashSet::new(),
+            x_size,
+            &mut SequentialStrategy,
+        );
+        assert!(result.log2_instances > 300.0);
+        assert!((result.probes as f64) >= result.bound);
+        // The adversary forces nearly the whole pool.
+        assert!(result.probes >= pool.len() - x_size);
+    }
+
+    #[test]
+    fn symbolic_bound_holds_for_random_strategies() {
+        let n = 12;
+        let pool = all_edges(n);
+        for seed in 0..5 {
+            let result = play_symbolic(
+                n,
+                pool.clone(),
+                &HashSet::new(),
+                6,
+                &mut RandomStrategy::new(seed),
+            );
+            assert!((result.probes as f64) >= result.bound, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn majority_switches_to_special_only_near_exhaustion() {
+        // With x_size = 1 over u₀ edges, the adversary answers regular
+        // until exactly 2 edges remain unprobed (1 ≥ u−1 ⟺ u ≤ 2).
+        let pool = all_edges(5); // 10 edges
+        let mut adv = SymbolicAdversary::new(pool.clone(), 1);
+        let mut specials = 0;
+        for (i, e) in pool.iter().enumerate() {
+            if adv.is_settled() {
+                break;
+            }
+            match adv.respond(*e) {
+                crate::adversary::ProbeResult::Special { .. } => {
+                    specials += 1;
+                    assert!(i >= 8, "special answered too early (probe {i})");
+                }
+                crate::adversary::ProbeResult::Regular => {}
+            }
+        }
+        assert_eq!(specials, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probed twice")]
+    fn repeated_probe_rejected() {
+        let mut adv = SymbolicAdversary::new(all_edges(4), 1);
+        let _ = adv.respond((0, 1));
+        let _ = adv.respond((0, 1));
+    }
+}

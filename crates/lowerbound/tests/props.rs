@@ -1,0 +1,122 @@
+//! Property-based tests for the lower-bound machinery.
+
+use std::collections::HashSet;
+
+use oraclesize_lowerbound::adversary::{
+    all_ordered_instances, lemma_2_1_bound, play, ExplicitAdversary,
+};
+use oraclesize_lowerbound::counting::{
+    broadcast_bound, claim_2_1_sides, log2_binomial, log2_factorial, wakeup_bound,
+};
+use oraclesize_lowerbound::discovery::{all_edges, RandomStrategy, SequentialStrategy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adversary_bound_holds_for_random_strategies(
+        n in 4usize..7,
+        x_size in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let pool = all_edges(n);
+        prop_assume!(x_size <= pool.len());
+        let family = all_ordered_instances(&pool, x_size);
+        let result = play(
+            n,
+            &HashSet::new(),
+            ExplicitAdversary::new(family.clone()),
+            &mut RandomStrategy::new(seed),
+        );
+        prop_assert!(result.probes as f64 >= result.bound);
+        prop_assert_eq!(result.discovered.len(), x_size);
+    }
+
+    #[test]
+    fn adversary_discovers_a_consistent_instance(
+        n in 4usize..7,
+        x_size in 1usize..3,
+    ) {
+        let pool = all_edges(n);
+        prop_assume!(x_size <= pool.len());
+        let family = all_ordered_instances(&pool, x_size);
+        let result = play(
+            n,
+            &HashSet::new(),
+            ExplicitAdversary::new(family.clone()),
+            &mut SequentialStrategy,
+        );
+        // The discovered labeled set must be one of the family's instances.
+        prop_assert!(
+            family.iter().any(|inst| inst.specials == result.discovered),
+            "discovered {:?} not in family",
+            result.discovered
+        );
+    }
+
+    #[test]
+    fn y_edges_never_discovered(n in 5usize..7, seed in any::<u64>()) {
+        let edges = all_edges(n);
+        let y: HashSet<(usize, usize)> = edges.iter().copied().take(3).collect();
+        let pool: Vec<(usize, usize)> =
+            edges.into_iter().filter(|e| !y.contains(e)).collect();
+        let family = all_ordered_instances(&pool, 2);
+        let result = play(
+            n,
+            &y,
+            ExplicitAdversary::new(family),
+            &mut RandomStrategy::new(seed),
+        );
+        for e in &result.discovered {
+            prop_assert!(!y.contains(e));
+        }
+    }
+
+    #[test]
+    fn log2_factorial_is_superadditive_and_monotone(a in 0u64..500, b in 0u64..500) {
+        let (fa, fb, fab) = (log2_factorial(a), log2_factorial(b), log2_factorial(a + b));
+        prop_assert!(fab + 1e-9 >= fa + fb, "log C(a+b,a) must be ≥ 0");
+        prop_assert!(log2_factorial(a + 1) + 1e-12 >= fa);
+    }
+
+    #[test]
+    fn log2_binomial_symmetry_and_pascal(a in 1u64..200, b in 0u64..200) {
+        prop_assume!(b <= a);
+        let lhs = log2_binomial(a, b);
+        prop_assert!((lhs - log2_binomial(a, a - b)).abs() < 1e-9);
+        // Pascal: C(a,b) ≤ C(a+1,b).
+        prop_assert!(log2_binomial(a + 1, b) + 1e-9 >= lhs);
+    }
+
+    #[test]
+    fn lemma_bound_monotone_in_family_size(small in 2f64..1e6, factor in 1.1f64..100.0) {
+        let x = 3;
+        prop_assert!(lemma_2_1_bound(small * factor, x) > lemma_2_1_bound(small, x));
+    }
+
+    #[test]
+    fn claim_2_1_holds_at_scale(a in 64u64..2000, b in 8u64..64) {
+        let (lhs, rhs) = claim_2_1_sides(a, b);
+        prop_assert!(lhs <= rhs, "a={a} b={b}");
+    }
+
+    #[test]
+    fn wakeup_bound_monotone_decreasing_in_alpha(p in 13u32..16, step in 1usize..4) {
+        let n = 1u64 << p;
+        let alphas = [0.05, 0.15, 0.25, 0.35, 0.45];
+        let lo = wakeup_bound(n, alphas[step - 1]).message_bound;
+        let hi = wakeup_bound(n, alphas[step]).message_bound;
+        prop_assert!(lo + 1e-9 >= hi, "more advice cannot increase the bound");
+    }
+
+    #[test]
+    fn broadcast_bound_components_finite(p in 4u32..10) {
+        let k = 4u64;
+        let n = (1u64 << p) * 4 * k; // ensure 4k | n
+        let b = broadcast_bound(n, k);
+        prop_assert!(b.log2_p_prime.is_finite());
+        prop_assert!(b.log2_q.is_finite());
+        prop_assert!(b.message_bound >= 0.0);
+    }
+}

@@ -1,0 +1,658 @@
+//! The executor: delivers messages, enforces the task rules, accounts.
+
+use std::error::Error;
+use std::fmt;
+
+use oraclesize_bits::BitString;
+use oraclesize_graph::{NodeId, Port, PortGraph};
+
+use crate::metrics::RunMetrics;
+use crate::protocol::{Message, NodeBehavior, NodeView, Outgoing, Protocol};
+use crate::scheduler::{Scheduler, SchedulerKind};
+
+/// Which communication task's rules the engine enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TaskMode {
+    /// Broadcast: every node may transmit spontaneously.
+    #[default]
+    Broadcast,
+    /// Wakeup: a node other than the source must stay silent until it has
+    /// received a message carrying the source message. Any earlier send is
+    /// a [`SimError::WakeupViolation`].
+    Wakeup,
+}
+
+/// Execution configuration.
+///
+/// The default is synchronous broadcast with FIFO delivery, no message-size
+/// limit, identities visible, and no trace capture.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Task rules to enforce.
+    pub mode: TaskMode,
+    /// `true`: round-based synchronous delivery (all messages sent in round
+    /// `r` arrive in round `r+1`). `false`: asynchronous — the
+    /// [`scheduler`](SimConfig::scheduler) picks each next delivery.
+    pub synchronous: bool,
+    /// Delivery order for asynchronous mode.
+    pub scheduler: SchedulerKind,
+    /// Abort after this many deliveries ([`SimError::StepLimit`]); guards
+    /// against non-quiescent protocols.
+    pub max_steps: u64,
+    /// If set, any payload larger than this many bits aborts the run
+    /// ([`SimError::MessageTooLarge`]) — the bounded-message-size model.
+    pub max_message_bits: Option<u64>,
+    /// Erase node identities (`NodeView::id = None`) — the anonymous model
+    /// of §1.3.
+    pub anonymous: bool,
+    /// Record a [`TraceEvent`] per delivery (for tests and examples).
+    pub capture_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mode: TaskMode::Broadcast,
+            synchronous: true,
+            scheduler: SchedulerKind::Fifo,
+            max_steps: 10_000_000,
+            max_message_bits: None,
+            anonymous: false,
+            capture_trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Synchronous wakeup configuration.
+    pub fn wakeup() -> Self {
+        SimConfig {
+            mode: TaskMode::Wakeup,
+            ..Default::default()
+        }
+    }
+
+    /// Asynchronous broadcast under the given scheduler.
+    pub fn asynchronous(scheduler: SchedulerKind) -> Self {
+        SimConfig {
+            synchronous: false,
+            scheduler,
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors that abort an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A non-source node transmitted before being informed, in wakeup mode.
+    WakeupViolation {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A payload exceeded [`SimConfig::max_message_bits`].
+    MessageTooLarge {
+        /// The sending node.
+        node: NodeId,
+        /// Payload size.
+        bits: u64,
+        /// Configured limit.
+        limit: u64,
+    },
+    /// The delivery budget ran out before quiescence.
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A scheme addressed a port `≥ deg(v)`.
+    PortOutOfRange {
+        /// The sending node.
+        node: NodeId,
+        /// The bogus port.
+        port: Port,
+        /// The node's degree.
+        degree: usize,
+    },
+    /// `advice.len()` differed from the number of nodes.
+    AdviceCount {
+        /// Nodes in the graph.
+        expected: usize,
+        /// Advice strings supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WakeupViolation { node } => {
+                write!(f, "node {node} transmitted before being woken up")
+            }
+            SimError::MessageTooLarge { node, bits, limit } => {
+                write!(f, "node {node} sent {bits} bits, limit {limit}")
+            }
+            SimError::StepLimit { limit } => write!(f, "step limit {limit} exhausted"),
+            SimError::PortOutOfRange { node, port, degree } => {
+                write!(f, "node {node} sent on port {port} but has degree {degree}")
+            }
+            SimError::AdviceCount { expected, got } => {
+                write!(f, "expected {expected} advice strings, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// One delivery, as recorded when [`SimConfig::capture_trace`] is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Delivery step (0-based).
+    pub step: u64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Arrival port at the receiver.
+    pub arrival_port: Port,
+    /// Payload size in bits.
+    pub bits: u64,
+    /// Whether the message carried the source message.
+    pub carries_source: bool,
+}
+
+/// The result of a completed (quiescent) execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Accounting.
+    pub metrics: RunMetrics,
+    /// Which nodes ended up informed.
+    pub informed: Vec<bool>,
+    /// Delivery trace (empty unless [`SimConfig::capture_trace`]).
+    pub trace: Vec<TraceEvent>,
+    /// Per-node outputs collected from
+    /// [`crate::protocol::NodeBehavior::output`] at quiescence.
+    pub outputs: Vec<Option<BitString>>,
+}
+
+impl RunOutcome {
+    /// `true` iff the task completed: every node is informed.
+    pub fn all_informed(&self) -> bool {
+        self.informed.iter().all(|&x| x)
+    }
+
+    /// Number of informed nodes.
+    pub fn informed_count(&self) -> usize {
+        self.informed.iter().filter(|&&x| x).count()
+    }
+}
+
+/// An in-flight message.
+struct InFlight {
+    from: NodeId,
+    to: NodeId,
+    arrival_port: Port,
+    message: Message,
+}
+
+/// Executes `protocol` on `g` from `source` with the given per-node advice.
+///
+/// Nodes are instantiated in node-id order; `on_start` is invoked in that
+/// order before any delivery. Execution runs to quiescence (no in-flight
+/// messages) and returns the outcome.
+///
+/// # Errors
+///
+/// See [`SimError`]. Any error aborts the run immediately.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn run(
+    g: &PortGraph,
+    source: NodeId,
+    advice: &[BitString],
+    protocol: &dyn Protocol,
+    config: &SimConfig,
+) -> Result<RunOutcome, SimError> {
+    assert!(source < g.num_nodes(), "source out of range");
+    let n = g.num_nodes();
+    if advice.len() != n {
+        return Err(SimError::AdviceCount {
+            expected: n,
+            got: advice.len(),
+        });
+    }
+
+    let mut behaviors: Vec<Box<dyn NodeBehavior>> = (0..n)
+        .map(|v| {
+            protocol.create(NodeView {
+                advice: advice[v].clone(),
+                is_source: v == source,
+                id: if config.anonymous {
+                    None
+                } else {
+                    Some(g.label(v))
+                },
+                degree: g.degree(v),
+            })
+        })
+        .collect();
+
+    let mut informed = vec![false; n];
+    informed[source] = true;
+
+    let mut metrics = RunMetrics::default();
+    let mut trace = Vec::new();
+    let mut pending: std::collections::VecDeque<InFlight> = std::collections::VecDeque::new();
+    let mut next_round: std::collections::VecDeque<InFlight> = std::collections::VecDeque::new();
+
+    // Enqueues `sends` from node `v`, validating rules and accounting.
+    let enqueue = |v: NodeId,
+                   sends: Vec<Outgoing>,
+                   informed: &[bool],
+                   metrics: &mut RunMetrics,
+                   out: &mut std::collections::VecDeque<InFlight>|
+     -> Result<(), SimError> {
+        if sends.is_empty() {
+            return Ok(());
+        }
+        if config.mode == TaskMode::Wakeup && !informed[v] {
+            return Err(SimError::WakeupViolation { node: v });
+        }
+        for s in sends {
+            if s.port >= g.degree(v) {
+                return Err(SimError::PortOutOfRange {
+                    node: v,
+                    port: s.port,
+                    degree: g.degree(v),
+                });
+            }
+            let bits = s.message.size_bits() as u64;
+            if let Some(limit) = config.max_message_bits {
+                if bits > limit {
+                    return Err(SimError::MessageTooLarge {
+                        node: v,
+                        bits,
+                        limit,
+                    });
+                }
+            }
+            let (to, arrival_port) = g.neighbor_via(v, s.port);
+            let mut message = s.message;
+            message.carries_source = informed[v];
+            metrics.messages += 1;
+            if message.carries_source {
+                metrics.informed_messages += 1;
+            }
+            metrics.payload_bits += bits;
+            metrics.max_message_bits = metrics.max_message_bits.max(bits);
+            out.push_back(InFlight {
+                from: v,
+                to,
+                arrival_port,
+                message,
+            });
+        }
+        Ok(())
+    };
+
+    // Spontaneous phase.
+    for (v, behavior) in behaviors.iter_mut().enumerate() {
+        let sends = behavior.on_start();
+        enqueue(v, sends, &informed, &mut metrics, &mut pending)?;
+    }
+
+    let mut scheduler: Scheduler = config.scheduler.instantiate();
+    let mut steps: u64 = 0;
+    let mut rounds: u64 = 0;
+
+    loop {
+        if pending.is_empty() {
+            if config.synchronous && !next_round.is_empty() {
+                pending = std::mem::take(&mut next_round);
+                rounds += 1;
+                continue;
+            }
+            break;
+        }
+        if steps >= config.max_steps {
+            return Err(SimError::StepLimit {
+                limit: config.max_steps,
+            });
+        }
+        let InFlight {
+            from,
+            to,
+            arrival_port,
+            message,
+        } = if config.synchronous {
+            pending.pop_front().expect("nonempty checked above")
+        } else {
+            scheduler.take(&mut pending)
+        };
+
+        if message.carries_source {
+            informed[to] = true;
+        }
+        if config.capture_trace {
+            trace.push(TraceEvent {
+                step: steps,
+                from,
+                to,
+                arrival_port,
+                bits: message.size_bits() as u64,
+                carries_source: message.carries_source,
+            });
+        }
+        steps += 1;
+
+        let sends = behaviors[to].on_receive(arrival_port, &message);
+        let out = if config.synchronous {
+            &mut next_round
+        } else {
+            &mut pending
+        };
+        enqueue(to, sends, &informed, &mut metrics, out)?;
+    }
+
+    metrics.steps = steps;
+    metrics.rounds = rounds;
+    metrics.informed_nodes = informed.iter().filter(|&&x| x).count() as u64;
+    let outputs = behaviors.iter().map(|b| b.output()).collect();
+    Ok(RunOutcome {
+        metrics,
+        informed,
+        trace,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{FloodOnce, Silent};
+    use oraclesize_graph::families;
+
+    fn no_advice(n: usize) -> Vec<BitString> {
+        vec![BitString::new(); n]
+    }
+
+    #[test]
+    fn flooding_cycle_informs_all() {
+        let g = families::cycle(5);
+        let out = run(&g, 0, &no_advice(5), &FloodOnce, &SimConfig::default()).unwrap();
+        assert!(out.all_informed());
+        // Source sends 2, each of the 4 others forwards 1.
+        assert_eq!(out.metrics.messages, 6);
+        assert_eq!(out.metrics.informed_nodes, 5);
+        assert!(out.metrics.rounds >= 2);
+    }
+
+    #[test]
+    fn flooding_complete_costs_quadratic() {
+        let n = 10;
+        let g = families::complete_rotational(n);
+        let out = run(&g, 0, &no_advice(n), &FloodOnce, &SimConfig::default()).unwrap();
+        assert!(out.all_informed());
+        // Source: n−1, every other node: n−2.
+        assert_eq!(out.metrics.messages as usize, (n - 1) + (n - 1) * (n - 2));
+    }
+
+    #[test]
+    fn silent_run_quiesces_with_single_informed() {
+        let g = families::path(4);
+        let out = run(&g, 2, &no_advice(4), &Silent, &SimConfig::default()).unwrap();
+        assert!(!out.all_informed());
+        assert_eq!(out.informed_count(), 1);
+        assert_eq!(out.metrics.messages, 0);
+        assert_eq!(out.metrics.rounds, 0);
+    }
+
+    #[test]
+    fn async_schedulers_all_complete_flooding() {
+        let g = families::complete_rotational(8);
+        for kind in SchedulerKind::sweep(7) {
+            let cfg = SimConfig::asynchronous(kind);
+            let out = run(&g, 3, &no_advice(8), &FloodOnce, &cfg).unwrap();
+            assert!(out.all_informed(), "{}", kind.name());
+            assert_eq!(out.metrics.steps, out.metrics.messages);
+        }
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed() {
+        let g = families::complete_rotational(9);
+        let cfg = SimConfig {
+            capture_trace: true,
+            ..SimConfig::asynchronous(SchedulerKind::Random { seed: 5 })
+        };
+        let a = run(&g, 0, &no_advice(9), &FloodOnce, &cfg).unwrap();
+        let b = run(&g, 0, &no_advice(9), &FloodOnce, &cfg).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn wakeup_mode_rejects_spontaneous_transmissions() {
+        // FloodOnce is a legal wakeup protocol (only the source starts),
+        // so craft a protocol where a non-source node speaks at start.
+        struct Chatty;
+        struct ChattyState {
+            degree: usize,
+        }
+        impl NodeBehavior for ChattyState {
+            fn on_start(&mut self) -> Vec<Outgoing> {
+                (0..self.degree.min(1))
+                    .map(|p| Outgoing::new(p, Message::empty()))
+                    .collect()
+            }
+            fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+                Vec::new()
+            }
+        }
+        impl Protocol for Chatty {
+            fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
+                Box::new(ChattyState {
+                    degree: view.degree,
+                })
+            }
+        }
+        let g = families::path(3);
+        let err = run(&g, 0, &no_advice(3), &Chatty, &SimConfig::wakeup()).unwrap_err();
+        assert!(matches!(err, SimError::WakeupViolation { .. }));
+        // The same protocol is fine in broadcast mode.
+        run(&g, 0, &no_advice(3), &Chatty, &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn flood_is_a_legal_wakeup_scheme() {
+        let g = families::cycle(6);
+        let out = run(&g, 0, &no_advice(6), &FloodOnce, &SimConfig::wakeup()).unwrap();
+        assert!(out.all_informed());
+    }
+
+    #[test]
+    fn message_size_limit_enforced() {
+        struct BigTalker;
+        struct BigState {
+            is_source: bool,
+        }
+        impl NodeBehavior for BigState {
+            fn on_start(&mut self) -> Vec<Outgoing> {
+                if self.is_source {
+                    let payload = BitString::from_bits((0..100).map(|i| i % 2 == 0));
+                    vec![Outgoing::new(0, Message::new(payload))]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+                Vec::new()
+            }
+        }
+        impl Protocol for BigTalker {
+            fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
+                Box::new(BigState {
+                    is_source: view.is_source,
+                })
+            }
+        }
+        let g = families::path(2);
+        let cfg = SimConfig {
+            max_message_bits: Some(64),
+            ..Default::default()
+        };
+        let err = run(&g, 0, &no_advice(2), &BigTalker, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MessageTooLarge {
+                node: 0,
+                bits: 100,
+                limit: 64
+            }
+        );
+    }
+
+    #[test]
+    fn step_limit_stops_ping_pong() {
+        struct PingPong;
+        struct PingState {
+            is_source: bool,
+        }
+        impl NodeBehavior for PingState {
+            fn on_start(&mut self) -> Vec<Outgoing> {
+                if self.is_source {
+                    vec![Outgoing::new(0, Message::empty())]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_receive(&mut self, port: Port, _m: &Message) -> Vec<Outgoing> {
+                vec![Outgoing::new(port, Message::empty())]
+            }
+        }
+        impl Protocol for PingPong {
+            fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
+                Box::new(PingState {
+                    is_source: view.is_source,
+                })
+            }
+        }
+        let g = families::path(2);
+        let cfg = SimConfig {
+            max_steps: 50,
+            ..Default::default()
+        };
+        let err = run(&g, 0, &no_advice(2), &PingPong, &cfg).unwrap_err();
+        assert_eq!(err, SimError::StepLimit { limit: 50 });
+    }
+
+    #[test]
+    fn port_out_of_range_detected() {
+        struct Wild;
+        struct WildState {
+            is_source: bool,
+        }
+        impl NodeBehavior for WildState {
+            fn on_start(&mut self) -> Vec<Outgoing> {
+                if self.is_source {
+                    vec![Outgoing::new(99, Message::empty())]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+                Vec::new()
+            }
+        }
+        impl Protocol for Wild {
+            fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
+                Box::new(WildState {
+                    is_source: view.is_source,
+                })
+            }
+        }
+        let g = families::path(3);
+        let err = run(&g, 0, &no_advice(3), &Wild, &SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::PortOutOfRange { node: 0, port: 99, .. }));
+    }
+
+    #[test]
+    fn advice_count_mismatch_rejected() {
+        let g = families::path(3);
+        let err = run(&g, 0, &no_advice(2), &Silent, &SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::AdviceCount {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn anonymous_mode_hides_ids() {
+        struct IdProbe;
+        struct ProbeState;
+        impl NodeBehavior for ProbeState {
+            fn on_start(&mut self) -> Vec<Outgoing> {
+                Vec::new()
+            }
+            fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+                Vec::new()
+            }
+        }
+        impl Protocol for IdProbe {
+            fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
+                assert!(view.id.is_none(), "identity leaked in anonymous mode");
+                Box::new(ProbeState)
+            }
+        }
+        let g = families::path(3);
+        let cfg = SimConfig {
+            anonymous: true,
+            ..Default::default()
+        };
+        run(&g, 0, &no_advice(3), &IdProbe, &cfg).unwrap();
+    }
+
+    #[test]
+    fn trace_capture_matches_metrics() {
+        let g = families::cycle(4);
+        let cfg = SimConfig {
+            capture_trace: true,
+            ..Default::default()
+        };
+        let out = run(&g, 0, &no_advice(4), &FloodOnce, &cfg).unwrap();
+        assert_eq!(out.trace.len() as u64, out.metrics.steps);
+        assert_eq!(out.metrics.steps, out.metrics.messages);
+        // Every traced delivery of an informed message has the flag.
+        assert!(out.trace.iter().any(|e| e.carries_source));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<SimError> = vec![
+            SimError::WakeupViolation { node: 1 },
+            SimError::MessageTooLarge {
+                node: 2,
+                bits: 10,
+                limit: 5,
+            },
+            SimError::StepLimit { limit: 7 },
+            SimError::PortOutOfRange {
+                node: 3,
+                port: 9,
+                degree: 2,
+            },
+            SimError::AdviceCount {
+                expected: 4,
+                got: 0,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

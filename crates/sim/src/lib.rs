@@ -1,0 +1,47 @@
+//! Message-passing execution engine for oracle-assisted communication
+//! schemes.
+//!
+//! The paper's model (§1.4): each node runs a *scheme* — a function from its
+//! local history (advice string, status bit, identity, degree, messages
+//! received so far with their arrival ports) to a set of messages to send on
+//! its ports. This crate executes such schemes on a
+//! [`PortGraph`](oraclesize_graph::PortGraph):
+//!
+//! * [`protocol`] — the [`Protocol`]/[`NodeBehavior`] traits mirroring the
+//!   scheme signature `A(f(v), s(v), id(v), deg(v))`, and the [`NodeView`]
+//!   a node is allowed to see,
+//! * [`engine`] — the executor, with **synchronous** (round-based) and
+//!   **asynchronous** (adversarially scheduled) delivery, mechanical
+//!   enforcement of the *wakeup rule* (non-source nodes stay silent until
+//!   informed), informedness tracking (the source message piggybacks on any
+//!   message sent by an informed node), and bit-exact accounting,
+//! * [`scheduler`] — delivery orders: FIFO, LIFO, seeded-random,
+//! * [`metrics`] — message/bit/round counts used by every experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use oraclesize_graph::families;
+//! use oraclesize_sim::engine::{SimConfig, run};
+//! use oraclesize_sim::protocol::FloodOnce;
+//! use oraclesize_bits::BitString;
+//!
+//! let g = families::cycle(5);
+//! let advice = vec![BitString::new(); 5];
+//! let outcome = run(&g, 0, &advice, &FloodOnce, &SimConfig::default()).unwrap();
+//! assert!(outcome.all_informed());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod history;
+pub mod metrics;
+pub mod protocol;
+pub mod scheduler;
+
+pub use engine::{run, RunOutcome, SimConfig, SimError, TaskMode};
+pub use history::{History, HistoryProtocol};
+pub use metrics::RunMetrics;
+pub use protocol::{Message, NodeBehavior, NodeView, Outgoing, Protocol};
+pub use scheduler::SchedulerKind;

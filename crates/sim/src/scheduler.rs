@@ -1,0 +1,125 @@
+//! Delivery schedulers: the adversary that orders in-flight messages.
+//!
+//! The paper's upper bounds hold under *total asynchrony* — any delivery
+//! order the adversary picks. The engine models this by keeping a pool of
+//! in-flight messages and letting a [`SchedulerKind`] choose which one is
+//! delivered next. Synchronous execution (used by the lower bounds) is a
+//! mode of the engine itself, not a scheduler.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The delivery orders exercised by experiment T10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Deliver the oldest in-flight message first (per-network FIFO).
+    Fifo,
+    /// Deliver the newest in-flight message first — a depth-first
+    /// adversary that starves early messages as long as possible.
+    Lifo,
+    /// Deliver a uniformly random in-flight message (seeded).
+    Random {
+        /// RNG seed; runs are reproducible given the seed.
+        seed: u64,
+    },
+}
+
+impl SchedulerKind {
+    /// All kinds (with a fixed seed for the random one), for sweeps.
+    pub fn sweep(seed: u64) -> [SchedulerKind; 3] {
+        [
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+            SchedulerKind::Random { seed },
+        ]
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::Lifo => "lifo",
+            SchedulerKind::Random { .. } => "random",
+        }
+    }
+
+    pub(crate) fn instantiate(&self) -> Scheduler {
+        match self {
+            SchedulerKind::Fifo => Scheduler::Fifo,
+            SchedulerKind::Lifo => Scheduler::Lifo,
+            SchedulerKind::Random { seed } => Scheduler::Random(StdRng::seed_from_u64(*seed)),
+        }
+    }
+}
+
+/// Instantiated scheduler state. (The `Random` variant carries an RNG and
+/// dwarfs the others; a single scheduler exists per run, so the size skew
+/// is irrelevant.)
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Scheduler {
+    Fifo,
+    Lifo,
+    Random(StdRng),
+}
+
+impl Scheduler {
+    /// Removes and returns the next in-flight message in O(1): FIFO pops
+    /// the front, LIFO the back, and the random scheduler swaps its pick
+    /// to the front first (uniform over the remaining pool either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pending` is empty.
+    pub(crate) fn take<T>(&mut self, pending: &mut std::collections::VecDeque<T>) -> T {
+        match self {
+            Scheduler::Fifo => pending.pop_front().expect("nonempty pool"),
+            Scheduler::Lifo => pending.pop_back().expect("nonempty pool"),
+            Scheduler::Random(rng) => {
+                let idx = rng.gen_range(0..pending.len());
+                pending.swap(0, idx);
+                pending.pop_front().expect("nonempty pool")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    fn drain(kind: SchedulerKind, items: Vec<u32>) -> Vec<u32> {
+        let mut s = kind.instantiate();
+        let mut pool: VecDeque<u32> = items.into();
+        let mut out = Vec::new();
+        while !pool.is_empty() {
+            out.push(s.take(&mut pool));
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_takes_front_lifo_takes_back() {
+        assert_eq!(drain(SchedulerKind::Fifo, vec![1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(drain(SchedulerKind::Lifo, vec![1, 2, 3]), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_a_permutation() {
+        let kind = SchedulerKind::Random { seed: 99 };
+        let a = drain(kind, (0..50).collect());
+        let b = drain(kind, (0..50).collect());
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(a, (0..50).collect::<Vec<u32>>(), "seed 99 should shuffle");
+    }
+
+    #[test]
+    fn sweep_names_are_distinct() {
+        let names: Vec<&str> = SchedulerKind::sweep(1).iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["fifo", "lifo", "random"]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the execution engine.
+
+use oraclesize_bits::BitString;
+use oraclesize_graph::families::{self, Family};
+use oraclesize_sim::engine::{run, SimConfig};
+use oraclesize_sim::protocol::{FloodOnce, Message, NodeBehavior, NodeView, Outgoing, Protocol};
+use oraclesize_sim::SchedulerKind;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    proptest::sample::select(Family::ALL.to_vec())
+}
+
+fn arb_scheduler() -> impl Strategy<Value = SchedulerKind> {
+    (any::<u64>()).prop_flat_map(|seed| {
+        proptest::sample::select(vec![
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+            SchedulerKind::Random { seed },
+        ])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flooding_always_completes_and_counts_match(
+        fam in arb_family(),
+        n in 4usize..48,
+        seed in any::<u64>(),
+        sched in arb_scheduler(),
+        synchronous in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = fam.build(n, &mut rng);
+        let nodes = g.num_nodes();
+        let source = seed as usize % nodes;
+        let cfg = SimConfig {
+            synchronous,
+            scheduler: sched,
+            capture_trace: true,
+            ..Default::default()
+        };
+        let advice = vec![BitString::new(); nodes];
+        let out = run(&g, source, &advice, &FloodOnce, &cfg).unwrap();
+        prop_assert!(out.all_informed());
+        // Deterministic count: deg(source) + Σ_{v≠source} (deg(v) − 1).
+        let expected: usize = g.degree(source)
+            + (0..nodes).filter(|&v| v != source).map(|v| g.degree(v) - 1).sum::<usize>();
+        prop_assert_eq!(out.metrics.messages as usize, expected);
+        prop_assert_eq!(out.trace.len() as u64, out.metrics.steps);
+    }
+
+    #[test]
+    fn informedness_is_monotone_along_trace(
+        n in 4usize..32,
+        seed in any::<u64>(),
+        sched in arb_scheduler(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, 0.3, &mut rng);
+        let cfg = SimConfig {
+            synchronous: false,
+            scheduler: sched,
+            capture_trace: true,
+            ..Default::default()
+        };
+        let advice = vec![BitString::new(); n];
+        let out = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
+        // Replay the trace: a node can only send a source-carrying message
+        // after the source or after receiving one.
+        let mut informed = vec![false; n];
+        informed[0] = true;
+        for e in &out.trace {
+            if e.carries_source {
+                prop_assert!(informed[e.from], "uninformed {} sent M", e.from);
+                informed[e.to] = true;
+            }
+        }
+        prop_assert!(informed.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn engine_is_deterministic(
+        n in 4usize..32,
+        seed in any::<u64>(),
+        rng_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let g = families::random_connected(n, 0.25, &mut rng);
+        let cfg = SimConfig {
+            synchronous: false,
+            scheduler: SchedulerKind::Random { seed },
+            capture_trace: true,
+            ..Default::default()
+        };
+        let advice = vec![BitString::new(); n];
+        let a = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
+        let b = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn advice_reaches_the_right_node(n in 2usize..24, seed in any::<u64>()) {
+        // A probe protocol that asserts its advice equals its label.
+        struct Probe;
+        struct ProbeState;
+        impl NodeBehavior for ProbeState {
+            fn on_start(&mut self) -> Vec<Outgoing> { Vec::new() }
+            fn on_receive(&mut self, _p: usize, _m: &Message) -> Vec<Outgoing> { Vec::new() }
+        }
+        impl Protocol for Probe {
+            fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
+                let mut expected = BitString::new();
+                expected.push_uint(view.id.expect("labeled run"), 16);
+                assert_eq!(view.advice, expected, "advice misrouted");
+                Box::new(ProbeState)
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, 0.5, &mut rng);
+        let advice: Vec<BitString> = (0..n)
+            .map(|v| {
+                let mut s = BitString::new();
+                s.push_uint(g.label(v), 16);
+                s
+            })
+            .collect();
+        run(&g, 0, &advice, &Probe, &SimConfig::default()).unwrap();
+    }
+}

@@ -1,0 +1,55 @@
+//! The knowledge → message-complexity trade-off curve (experiment F3).
+//!
+//! Theorem 2.2 says sub-`Θ(n log n)` advice cannot keep wakeup linear on
+//! the subdivided graphs `G_{n,S}`. This example shows the constructive
+//! face of that statement: wakeup with a spanning-tree oracle cut to a
+//! shrinking bit budget (nodes whose advice is withheld fall back to
+//! flooding) and the message count climbing from `n − 1` toward `Θ(n²)`.
+//!
+//! Run with: `cargo run --release --example advice_budget`
+
+use oraclesize::graph::gadgets;
+use oraclesize::lowerbound::truncation::tradeoff_curve;
+use oraclesize::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), oraclesize::sim::SimError> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 64;
+    let (g, _) = gadgets::random_subdivided_complete(n, n, &mut rng);
+    let nodes = g.num_nodes();
+
+    let full = {
+        let advice = SpanningTreeOracle::default().advise(&g, 0);
+        advice_size(&advice)
+    };
+    println!(
+        "G_{{{n},S}}: {nodes} nodes, {} edges; full wakeup oracle = {full} bits\n",
+        g.num_edges()
+    );
+    println!(
+        "{:>10} {:>12} {:>10} {:>12}",
+        "budget", "bits given", "messages", "vs n−1"
+    );
+
+    let budgets: Vec<u64> = (0..=10).map(|i| full * i / 10).collect();
+    let points = tradeoff_curve(&g, 0, &budgets, 0)?;
+    for p in &points {
+        println!(
+            "{:>9}% {:>12} {:>10} {:>11.1}x",
+            100 * p.budget_bits / full.max(1),
+            p.oracle_bits,
+            p.metrics.messages,
+            p.metrics.messages as f64 / (nodes as f64 - 1.0),
+        );
+    }
+
+    let worst = points.first().expect("nonempty");
+    let best = points.last().expect("nonempty");
+    println!(
+        "\nzero advice costs {}x the messages of full advice — knowledge buys messages.",
+        worst.metrics.messages / best.metrics.messages.max(1)
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The paper's central separation, measured end to end.
+//!
+//! Sweeps `n` over the subdivided complete graphs `G_{n,S}` (the Theorem
+//! 2.2 construction) and prints, per size:
+//!
+//! * the wakeup oracle size (Θ(n log n)) and its `n − 1` messages,
+//! * the broadcast oracle size (≤ 8n) and Scheme B's linear messages,
+//! * the growth-model fit of both size series — `O(n log n)` vs `O(n)`.
+//!
+//! Run with: `cargo run --release --example wakeup_vs_broadcast`
+
+use oraclesize::analysis::fit::best_model;
+use oraclesize::graph::gadgets;
+use oraclesize::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), oraclesize::sim::SimError> {
+    let mut rng = StdRng::seed_from_u64(2006);
+    let sizes = [16usize, 32, 64, 128, 256];
+
+    println!(
+        "{:>6} {:>6} | {:>14} {:>10} | {:>14} {:>10}",
+        "n", "nodes", "wakeup bits", "messages", "broadcast bits", "messages"
+    );
+
+    let mut ns = Vec::new();
+    let mut wakeup_bits = Vec::new();
+    let mut broadcast_bits = Vec::new();
+
+    for n in sizes {
+        // G_{n,S}: hide n degree-2 nodes inside edges of K*_n → 2n nodes.
+        let (g, _s) = gadgets::random_subdivided_complete(n, n, &mut rng);
+        let nodes = g.num_nodes();
+
+        let w = execute(
+            &g,
+            0,
+            &SpanningTreeOracle::default(),
+            &TreeWakeup,
+            &SimConfig::wakeup(),
+        )?;
+        assert!(w.outcome.all_informed());
+
+        let b = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default())?;
+        assert!(b.outcome.all_informed());
+
+        println!(
+            "{:>6} {:>6} | {:>14} {:>10} | {:>14} {:>10}",
+            n, nodes, w.oracle_bits, w.outcome.metrics.messages, b.oracle_bits,
+            b.outcome.metrics.messages
+        );
+
+        ns.push(nodes as f64);
+        wakeup_bits.push(w.oracle_bits as f64);
+        broadcast_bits.push(b.oracle_bits as f64);
+    }
+
+    let w_fit = &best_model(&ns, &wakeup_bits)[0];
+    let b_fit = &best_model(&ns, &broadcast_bits)[0];
+    println!(
+        "\nwakeup oracle size grows like    {} (R² = {:.6})",
+        w_fit.model, w_fit.r_squared
+    );
+    println!(
+        "broadcast oracle size grows like {} (R² = {:.6})",
+        b_fit.model, b_fit.r_squared
+    );
+    println!(
+        "\n⇒ an efficient wakeup needs strictly more knowledge than an efficient broadcast."
+    );
+    Ok(())
+}

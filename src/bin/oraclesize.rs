@@ -1,0 +1,13 @@
+//! Thin binary wrapper around [`oraclesize::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match oraclesize::cli::parse_args(&args).and_then(|cmd| oraclesize::cli::run_command(&cmd)) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprint!("{}", oraclesize::cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

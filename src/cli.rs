@@ -1,0 +1,461 @@
+//! The `oraclesize` command-line tool: run any task on any family and
+//! print the knowledge/communication costs.
+//!
+//! ```text
+//! oraclesize run --family complete --n 64 --task broadcast
+//! oraclesize run --family random-sparse --n 128 --task election --scheduler lifo
+//! oraclesize run --family grid --n 100 --task spanner --stretch 3
+//! oraclesize list
+//! ```
+
+use std::fmt::Write as _;
+
+use oraclesize_core::construction::{
+    collect_parent_ports, verify_bfs_tree, verify_mst, BfsTreeOracle, DistributedBfs, MstOracle,
+    ZeroMessageTree,
+};
+use oraclesize_core::election::{
+    verify_election, AnnouncedLeader, ElectionOracle, FloodMax, HirschbergSinclair,
+};
+use oraclesize_core::gossip::{decode_gossip_output, GossipOracle, TreeGossip};
+use oraclesize_core::spanner::{collect_port_sets, verify_spanner, SpannerOracle};
+use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
+use oraclesize_core::oracle::EmptyOracle;
+use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
+use oraclesize_core::{execute, OracleRun};
+use oraclesize_graph::families::Family;
+use oraclesize_sim::protocol::FloodOnce;
+use oraclesize_sim::{SchedulerKind, SimConfig, TaskMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The tasks the CLI can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Theorem 3.1: light-tree oracle + Scheme B.
+    Broadcast,
+    /// Theorem 2.1: spanning-tree oracle + tree wakeup.
+    Wakeup,
+    /// Oracle-free flooding baseline.
+    Flood,
+    /// Tree gossip.
+    Gossip,
+    /// Oracle-assisted leader election.
+    Election,
+    /// FloodMax election baseline.
+    FloodMax,
+    /// Hirschberg–Sinclair ring election (cycle family only).
+    HsElection,
+    /// Zero-message BFS-tree construction.
+    Bfs,
+    /// Zero-message MST construction.
+    Mst,
+    /// Flooding-based distributed BFS baseline.
+    DistBfs,
+    /// Zero-message t-spanner construction (`--stretch`).
+    Spanner,
+}
+
+impl Task {
+    /// Parses a task name.
+    pub fn parse(s: &str) -> Option<Task> {
+        Some(match s {
+            "broadcast" => Task::Broadcast,
+            "wakeup" => Task::Wakeup,
+            "flood" => Task::Flood,
+            "gossip" => Task::Gossip,
+            "election" => Task::Election,
+            "floodmax" => Task::FloodMax,
+            "hs-election" => Task::HsElection,
+            "bfs" => Task::Bfs,
+            "mst" => Task::Mst,
+            "dist-bfs" => Task::DistBfs,
+            "spanner" => Task::Spanner,
+            _ => return None,
+        })
+    }
+
+    /// All task names, for `list` and error messages.
+    pub const NAMES: [&'static str; 11] = [
+        "broadcast", "wakeup", "flood", "gossip", "election", "floodmax", "hs-election", "bfs",
+        "mst", "dist-bfs", "spanner",
+    ];
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `run …`
+    Run(RunArgs),
+    /// `list`
+    List,
+    /// `help` (also the zero-argument default)
+    Help,
+}
+
+/// Arguments of the `run` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Graph family.
+    pub family: Family,
+    /// Approximate size.
+    pub n: usize,
+    /// Task to execute.
+    pub task: Task,
+    /// Source / root node.
+    pub source: usize,
+    /// Asynchronous scheduler; `None` = synchronous.
+    pub scheduler: Option<SchedulerKind>,
+    /// Erase node identities.
+    pub anonymous: bool,
+    /// RNG seed (graph generation and random scheduling).
+    pub seed: u64,
+    /// Spanner stretch.
+    pub stretch: usize,
+}
+
+fn parse_family(s: &str) -> Option<Family> {
+    Family::ALL.into_iter().find(|f| f.name() == s)
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// A usage message describing the problem.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => Ok(Command::List),
+        Some("run") => {
+            let mut family = Family::RandomSparse;
+            let mut n = 64usize;
+            let mut task = None;
+            let mut source = 0usize;
+            let mut scheduler = None;
+            let mut anonymous = false;
+            let mut seed = 2006u64;
+            let mut stretch = 3usize;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--family" => {
+                        let v = value("--family")?;
+                        family = parse_family(v)
+                            .ok_or_else(|| format!("unknown family {v:?}"))?;
+                    }
+                    "--n" => {
+                        n = value("--n")?
+                            .parse()
+                            .map_err(|_| "--n needs an integer".to_string())?;
+                    }
+                    "--task" => {
+                        let v = value("--task")?;
+                        task = Some(
+                            Task::parse(v).ok_or_else(|| format!("unknown task {v:?}"))?,
+                        );
+                    }
+                    "--source" => {
+                        source = value("--source")?
+                            .parse()
+                            .map_err(|_| "--source needs an integer".to_string())?;
+                    }
+                    "--scheduler" => {
+                        let v = value("--scheduler")?;
+                        scheduler = Some(match v.as_str() {
+                            "fifo" => SchedulerKind::Fifo,
+                            "lifo" => SchedulerKind::Lifo,
+                            "random" => SchedulerKind::Random { seed },
+                            other => return Err(format!("unknown scheduler {other:?}")),
+                        });
+                    }
+                    "--anonymous" => anonymous = true,
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| "--seed needs an integer".to_string())?;
+                    }
+                    "--stretch" => {
+                        stretch = value("--stretch")?
+                            .parse()
+                            .map_err(|_| "--stretch needs an integer".to_string())?;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let task = task.ok_or("run requires --task".to_string())?;
+            Ok(Command::Run(RunArgs {
+                family,
+                n,
+                task,
+                source,
+                scheduler,
+                anonymous,
+                seed,
+                stretch,
+            }))
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// The `help` text.
+pub fn usage() -> String {
+    format!(
+        "oraclesize — run oracle-assisted communication tasks (PODC 2006)\n\n\
+         USAGE:\n  oraclesize run --task <task> [--family <family>] [--n <size>]\n\
+         \x20                [--source <node>] [--scheduler fifo|lifo|random]\n\
+         \x20                [--anonymous] [--seed <u64>] [--stretch <t>]\n\
+         \x20 oraclesize list\n\n\
+         TASKS:    {}\nFAMILIES: {}\n",
+        Task::NAMES.join(" "),
+        Family::ALL.map(|f| f.name()).join(" ")
+    )
+}
+
+/// Executes a parsed command and renders its report.
+///
+/// # Errors
+///
+/// Engine errors, verification failures, or invalid combinations (e.g.
+/// `hs-election` off a cycle).
+pub fn run_command(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(usage()),
+        Command::List => {
+            let mut out = String::new();
+            let _ = writeln!(out, "families: {}", Family::ALL.map(|f| f.name()).join(" "));
+            let _ = writeln!(out, "tasks:    {}", Task::NAMES.join(" "));
+            Ok(out)
+        }
+        Command::Run(args) => run_task(args),
+    }
+}
+
+fn run_task(args: &RunArgs) -> Result<String, String> {
+    if args.task == Task::HsElection && args.family != Family::Cycle {
+        return Err("hs-election requires --family cycle".into());
+    }
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let g = args.family.build(args.n, &mut rng);
+    if args.source >= g.num_nodes() {
+        return Err(format!(
+            "--source {} out of range (graph has {} nodes)",
+            args.source,
+            g.num_nodes()
+        ));
+    }
+    let mut config = match args.scheduler {
+        Some(kind) => SimConfig::asynchronous(kind),
+        None => SimConfig::default(),
+    };
+    config.anonymous = args.anonymous;
+    if matches!(args.task, Task::Wakeup) {
+        config.mode = TaskMode::Wakeup;
+    }
+    if args.anonymous
+        && matches!(
+            args.task,
+            Task::Gossip | Task::Election | Task::FloodMax | Task::HsElection
+        )
+    {
+        return Err("this task needs node identities; drop --anonymous".into());
+    }
+
+    let exec = |oracle: &dyn oraclesize_core::Oracle,
+                protocol: &dyn oraclesize_sim::Protocol|
+     -> Result<OracleRun, String> {
+        execute(&g, args.source, oracle, protocol, &config).map_err(|e| e.to_string())
+    };
+
+    let (run, verification) = match args.task {
+        Task::Broadcast => {
+            let r = exec(&LightTreeOracle, &SchemeB)?;
+            let v = if r.outcome.all_informed() { "all informed" } else { "INCOMPLETE" };
+            (r, v.to_string())
+        }
+        Task::Wakeup => {
+            let r = exec(&SpanningTreeOracle::default(), &TreeWakeup)?;
+            let v = if r.outcome.all_informed() { "all informed" } else { "INCOMPLETE" };
+            (r, v.to_string())
+        }
+        Task::Flood => {
+            let r = exec(&EmptyOracle, &FloodOnce)?;
+            let v = if r.outcome.all_informed() { "all informed" } else { "INCOMPLETE" };
+            (r, v.to_string())
+        }
+        Task::Gossip => {
+            let r = exec(&GossipOracle::default(), &TreeGossip)?;
+            let complete = r.outcome.outputs.iter().all(|o| {
+                o.as_ref()
+                    .and_then(decode_gossip_output)
+                    .is_some_and(|s| s.len() == g.num_nodes())
+            });
+            let v = if complete { "all nodes know all values" } else { "INCOMPLETE" };
+            (r, v.to_string())
+        }
+        Task::Election => {
+            let r = exec(&ElectionOracle, &AnnouncedLeader)?;
+            let leader = verify_election(&g, &r.outcome.outputs, false)?;
+            (r, format!("leader {leader} agreed everywhere"))
+        }
+        Task::FloodMax => {
+            let r = exec(&EmptyOracle, &FloodMax)?;
+            let leader = verify_election(&g, &r.outcome.outputs, true)?;
+            (r, format!("maximum {leader} elected everywhere"))
+        }
+        Task::HsElection => {
+            let r = exec(&EmptyOracle, &HirschbergSinclair)?;
+            let leader = verify_election(&g, &r.outcome.outputs, true)?;
+            (r, format!("maximum {leader} elected everywhere"))
+        }
+        Task::Bfs => {
+            let r = exec(&BfsTreeOracle, &ZeroMessageTree)?;
+            let ports = collect_parent_ports(&r.outcome.outputs)
+                .ok_or("outputs failed to decode")?;
+            verify_bfs_tree(&g, args.source, &ports)?;
+            (r, "verified BFS tree".to_string())
+        }
+        Task::Mst => {
+            let r = exec(&MstOracle, &ZeroMessageTree)?;
+            let ports = collect_parent_ports(&r.outcome.outputs)
+                .ok_or("outputs failed to decode")?;
+            verify_mst(&g, args.source, &ports)?;
+            (r, "verified minimum spanning tree".to_string())
+        }
+        Task::DistBfs => {
+            let r = exec(&EmptyOracle, &DistributedBfs)?;
+            let ports = collect_parent_ports(&r.outcome.outputs)
+                .ok_or("outputs failed to decode")?;
+            let v = if args.scheduler.is_none() {
+                verify_bfs_tree(&g, args.source, &ports)?;
+                "verified BFS tree".to_string()
+            } else {
+                "spanning tree (async: BFS property not guaranteed)".to_string()
+            };
+            (r, v)
+        }
+        Task::Spanner => {
+            let r = exec(&SpannerOracle::new(args.stretch.max(1)), &ZeroMessageTree)?;
+            let sets = collect_port_sets(&r.outcome.outputs)
+                .ok_or("outputs failed to decode")?;
+            let edges = verify_spanner(&g, &sets, args.stretch.max(1))?;
+            (r, format!("verified {}-spanner with {edges} edges", args.stretch))
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph:        {} (n = {}, m = {})",
+        args.family.name(),
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let _ = writeln!(
+        out,
+        "execution:    {}{}",
+        args.scheduler.map_or("synchronous", |k| k.name()),
+        if args.anonymous { ", anonymous" } else { "" }
+    );
+    let _ = writeln!(out, "oracle bits:  {}", run.oracle_bits);
+    let _ = writeln!(out, "messages:     {}", run.outcome.metrics.messages);
+    let _ = writeln!(out, "payload bits: {}", run.outcome.metrics.payload_bits);
+    let _ = writeln!(out, "rounds:       {}", run.outcome.metrics.rounds);
+    let _ = writeln!(out, "result:       {verification}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_help_and_list() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["list"])).unwrap(), Command::List);
+        assert!(parse_args(&args(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_run_defaults_and_flags() {
+        let cmd = parse_args(&args(&[
+            "run", "--task", "broadcast", "--family", "complete", "--n", "32",
+            "--scheduler", "lifo", "--anonymous", "--seed", "7",
+        ]))
+        .unwrap();
+        let Command::Run(a) = cmd else { panic!("not run") };
+        assert_eq!(a.task, Task::Broadcast);
+        assert_eq!(a.family, Family::Complete);
+        assert_eq!(a.n, 32);
+        assert_eq!(a.scheduler, Some(SchedulerKind::Lifo));
+        assert!(a.anonymous);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_args(&args(&["run"])).is_err()); // no task
+        assert!(parse_args(&args(&["run", "--task", "nope"])).is_err());
+        assert!(parse_args(&args(&["run", "--task", "wakeup", "--family", "nope"])).is_err());
+        assert!(parse_args(&args(&["run", "--task", "wakeup", "--n"])).is_err());
+        assert!(parse_args(&args(&["run", "--task", "wakeup", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn every_task_runs_and_verifies() {
+        for task in Task::NAMES {
+            let family = if task == "hs-election" { "cycle" } else { "random-sparse" };
+            let cmd = parse_args(&args(&[
+                "run", "--task", task, "--family", family, "--n", "24",
+            ]))
+            .unwrap();
+            let report = run_command(&cmd).unwrap_or_else(|e| panic!("{task}: {e}"));
+            assert!(report.contains("result:"), "{task}");
+            assert!(!report.contains("INCOMPLETE"), "{task}");
+        }
+    }
+
+    #[test]
+    fn hs_election_requires_cycle() {
+        let cmd = parse_args(&args(&["run", "--task", "hs-election", "--family", "grid"]))
+            .unwrap();
+        assert!(run_command(&cmd).is_err());
+    }
+
+    #[test]
+    fn anonymous_labeled_tasks_rejected() {
+        let cmd = parse_args(&args(&[
+            "run", "--task", "gossip", "--anonymous", "--family", "cycle",
+        ]))
+        .unwrap();
+        assert!(run_command(&cmd).is_err());
+    }
+
+    #[test]
+    fn async_runs_work() {
+        let cmd = parse_args(&args(&[
+            "run", "--task", "broadcast", "--family", "hypercube", "--n", "32",
+            "--scheduler", "random",
+        ]))
+        .unwrap();
+        let report = run_command(&cmd).unwrap();
+        assert!(report.contains("all informed"));
+    }
+
+    #[test]
+    fn usage_lists_everything() {
+        let u = usage();
+        for t in Task::NAMES {
+            assert!(u.contains(t), "usage missing task {t}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration: the lower-bound side (Theorem 2.2, Theorem 3.2, Lemma 2.1)
+//! — adversary games, counting tables, and the trade-off experiments that
+//! exhibit the predicted blow-ups.
+
+use std::collections::HashSet;
+
+use oraclesize::graph::gadgets;
+use oraclesize::lowerbound::adversary::{all_ordered_instances, lemma_2_1_bound, play, ExplicitAdversary};
+use oraclesize::lowerbound::counting::{broadcast_bound, wakeup_bound, wakeup_threshold};
+use oraclesize::lowerbound::discovery::{all_edges, RandomStrategy, SequentialStrategy};
+use oraclesize::lowerbound::truncation::tradeoff_curve;
+use oraclesize::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lemma_2_1_bound_holds_for_all_strategies_and_pools() {
+    for n in [5usize, 6] {
+        let pool = all_edges(n);
+        for x_size in [1usize, 2] {
+            let family = all_ordered_instances(&pool, x_size);
+            let bound = lemma_2_1_bound(family.len() as f64, x_size);
+            let seq = play(
+                n,
+                &HashSet::new(),
+                ExplicitAdversary::new(family.clone()),
+                &mut SequentialStrategy,
+            );
+            assert!(seq.probes as f64 >= bound, "seq n={n} x={x_size}");
+            for seed in 0..3 {
+                let rnd = play(
+                    n,
+                    &HashSet::new(),
+                    ExplicitAdversary::new(family.clone()),
+                    &mut RandomStrategy::new(seed),
+                );
+                assert!(rnd.probes as f64 >= bound, "rnd n={n} x={x_size} s={seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wakeup_on_subdivided_graphs_requires_reaching_every_hidden_node() {
+    // Performing wakeup on G_{n,S} requires a message into each hidden
+    // node — the reduction at the heart of Theorem 2.2. Verify the engine
+    // agrees: a wakeup that completes has informed every hidden node.
+    let mut rng = StdRng::seed_from_u64(21);
+    let n = 24;
+    let (g, s) = gadgets::random_subdivided_complete(n, n, &mut rng);
+    let run = execute(
+        &g,
+        0,
+        &SpanningTreeOracle::default(),
+        &TreeWakeup,
+        &SimConfig::wakeup(),
+    )
+    .unwrap();
+    assert!(run.outcome.all_informed());
+    assert_eq!(s.len(), n);
+    for i in 0..n {
+        assert!(run.outcome.informed[n + i], "hidden node {i} missed");
+    }
+}
+
+#[test]
+fn starved_oracle_forces_superlinear_messages_on_gns() {
+    // The constructive face of Theorem 2.2: cutting the wakeup oracle to
+    // half its bits already forces a message blow-up on G_{n,S}, and to
+    // zero bits forces Θ(n²).
+    let mut rng = StdRng::seed_from_u64(22);
+    let n = 48;
+    let (g, _) = gadgets::random_subdivided_complete(n, n, &mut rng);
+    let nodes = g.num_nodes() as u64;
+    let full_bits = advice_size(&SpanningTreeOracle::default().advise(&g, 0));
+
+    let points = tradeoff_curve(&g, 0, &[0, full_bits / 2, full_bits], 0).unwrap();
+    let (zero, half, full) = (&points[0], &points[1], &points[2]);
+    assert_eq!(full.metrics.messages, nodes - 1);
+    assert!(
+        half.metrics.messages > 2 * (nodes - 1),
+        "half budget: {} messages",
+        half.metrics.messages
+    );
+    // Zero budget: only tree leaves (whose advice is genuinely empty, a
+    // 0-bit string) avoid flooding; everything else floods → Θ(n²).
+    assert!(
+        zero.metrics.messages > (nodes * nodes) / 10,
+        "zero budget: {} messages",
+        zero.metrics.messages
+    );
+}
+
+#[test]
+fn counting_tables_match_paper_asymptotics() {
+    // Theorem 2.2's pigeonhole: positive, n log n-shaped for α < 1/2.
+    let b15 = wakeup_bound(1 << 15, 0.25);
+    let b17 = wakeup_bound(1 << 17, 0.25);
+    assert!(b15.message_bound > 0.0);
+    assert!(b17.message_bound / b15.message_bound > 4.0); // superlinear growth
+
+    // Threshold remark.
+    assert_eq!(wakeup_threshold(1), 0.5);
+
+    // Theorem 3.2: at k = √(log n) the bound crosses the Claim 3.3 target.
+    let b = broadcast_bound(1 << 16, 4);
+    assert!(b.message_bound >= b.claim_target);
+}
+
+#[test]
+fn broadcast_with_tiny_oracle_on_cliques_floods_the_cliques() {
+    // G_{n,S,C}: with no advice, discovering which clique edge is missing
+    // costs Θ(k²) messages per clique under flooding; with the 8n-bit
+    // oracle Scheme B pays ~3 per node. The gap grows with k.
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut previous_gap = 0.0;
+    for k in [4usize, 8] {
+        let n = 8 * k;
+        let (g, _, _) = gadgets::random_clique_gadget(n, k, &mut rng);
+        let flood = execute(&g, 0, &EmptyOracle, &FloodOnce, &SimConfig::default()).unwrap();
+        let oracle = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default()).unwrap();
+        assert!(flood.outcome.all_informed());
+        assert!(oracle.outcome.all_informed());
+        let gap = flood.outcome.metrics.messages as f64 / oracle.outcome.metrics.messages as f64;
+        assert!(gap > previous_gap, "gap should grow with k: {gap}");
+        previous_gap = gap;
+    }
+}

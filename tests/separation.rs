@@ -1,0 +1,105 @@
+//! Integration: the paper's headline claim as a single test suite — an
+//! efficient wakeup requires strictly more knowledge than an efficient
+//! broadcast.
+
+use oraclesize::analysis::fit::{best_model, fit_model, Model};
+use oraclesize::graph::gadgets;
+use oraclesize::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Collects (nodes, wakeup bits, broadcast bits) over a size sweep of the
+/// Theorem 2.2 construction.
+fn sweep(seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ns = Vec::new();
+    let mut wakeup = Vec::new();
+    let mut broadcast = Vec::new();
+    for k in 4..=9u32 {
+        let n = 1usize << k;
+        let (g, _) = gadgets::random_subdivided_complete(n, n, &mut rng);
+        ns.push(g.num_nodes() as f64);
+        wakeup.push(advice_size(&SpanningTreeOracle::default().advise(&g, 0)) as f64);
+        broadcast.push(advice_size(&LightTreeOracle.advise(&g, 0)) as f64);
+    }
+    (ns, wakeup, broadcast)
+}
+
+#[test]
+fn oracle_sizes_separate_asymptotically() {
+    let (ns, wakeup, broadcast) = sweep(2006);
+
+    // Wakeup advice: best explained by n log n, and the per-n ratio to the
+    // broadcast advice grows.
+    let w = &best_model(&ns, &wakeup)[0];
+    assert_eq!(w.model, Model::NLogN, "{w:?}");
+
+    let b = &best_model(&ns, &broadcast)[0];
+    assert_eq!(b.model, Model::Linear, "{b:?}");
+
+    let first_ratio = wakeup[0] / broadcast[0];
+    let last_ratio = wakeup[wakeup.len() - 1] / broadcast[broadcast.len() - 1];
+    assert!(
+        last_ratio > 1.5 * first_ratio,
+        "ratio not growing: {first_ratio} → {last_ratio}"
+    );
+}
+
+#[test]
+fn broadcast_bits_per_node_bounded_wakeup_bits_per_node_growing() {
+    let (ns, wakeup, broadcast) = sweep(7);
+    for ((n, w), b) in ns.iter().zip(&wakeup).zip(&broadcast) {
+        assert!(b / n <= 8.0, "broadcast {b} bits on {n} nodes");
+        // Wakeup per-node cost grows with log n; already above 8 early.
+        if *n >= 128.0 {
+            assert!(w / n > 4.0, "wakeup {w} bits on {n} nodes");
+        }
+    }
+    // Wakeup per-node series is increasing in n.
+    let per_node: Vec<f64> = ns.iter().zip(&wakeup).map(|(n, w)| w / n).collect();
+    assert!(per_node.windows(2).all(|p| p[1] > p[0] * 0.95));
+    assert!(per_node.last().unwrap() > &(per_node[0] * 1.3));
+}
+
+#[test]
+fn both_schemes_complete_with_linear_messages_on_the_same_graphs() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (g, _) = gadgets::random_subdivided_complete(64, 64, &mut rng);
+    let nodes = g.num_nodes();
+
+    let w = execute(
+        &g,
+        0,
+        &SpanningTreeOracle::default(),
+        &TreeWakeup,
+        &SimConfig::wakeup(),
+    )
+    .unwrap();
+    let b = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default()).unwrap();
+    assert!(w.outcome.all_informed() && b.outcome.all_informed());
+    assert_eq!(w.outcome.metrics.messages as usize, nodes - 1);
+    assert!(b.outcome.metrics.messages as usize <= 3 * (nodes - 1));
+    // The knowledge gap on the same instance.
+    assert!(w.oracle_bits > 2 * b.oracle_bits);
+}
+
+#[test]
+fn flooding_message_complexity_is_quadratic_on_complete_graphs() {
+    // The control measurement: without advice the natural broadcast costs
+    // Θ(m) = Θ(n²) here, which is what makes the O(n)-advice result
+    // meaningful.
+    let mut ns = Vec::new();
+    let mut msgs = Vec::new();
+    for k in 3..=8u32 {
+        let n = 1usize << k;
+        let g = families::complete_rotational(n);
+        let run = execute(&g, 0, &EmptyOracle, &FloodOnce, &SimConfig::default()).unwrap();
+        assert!(run.outcome.all_informed());
+        ns.push(n as f64);
+        msgs.push(run.outcome.metrics.messages as f64);
+    }
+    let quad = fit_model(Model::Quadratic, &ns, &msgs);
+    assert!(quad.r_squared > 0.9999, "{quad:?}");
+    let lin = fit_model(Model::Linear, &ns, &msgs);
+    assert!(quad.r_squared > lin.r_squared);
+}

@@ -1,0 +1,123 @@
+//! Integration: Theorem 3.1 / Claims 3.1, 3.2 end to end.
+//!
+//! "There exists an oracle of size O(n) permitting the broadcast with a
+//! linear number of messages in networks with at most n nodes."
+
+use oraclesize::analysis::fit::{best_model, Model};
+use oraclesize::core::broadcast::scheme_b_message_bound;
+use oraclesize::graph::spanning::{light_tree, TreeAlgorithm};
+use oraclesize::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn broadcast_linear_messages_and_8n_bits_everywhere() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for fam in families::Family::ALL {
+        for n in [8usize, 33, 77, 128] {
+            let g = fam.build(n, &mut rng);
+            let nodes = g.num_nodes();
+            let run = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default()).unwrap();
+            assert!(run.outcome.all_informed(), "{} n={nodes}", fam.name());
+            assert!(
+                run.oracle_bits <= 8 * nodes as u64,
+                "{} n={nodes}: {} bits",
+                fam.name(),
+                run.oracle_bits
+            );
+            assert!(
+                run.outcome.metrics.messages <= scheme_b_message_bound(nodes),
+                "{} n={nodes}: {} messages",
+                fam.name(),
+                run.outcome.metrics.messages
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_size_fits_linear_not_n_log_n() {
+    let mut ns = Vec::new();
+    let mut bits = Vec::new();
+    for k in 4..=11u32 {
+        let n = 1usize << k;
+        let g = families::complete_rotational(n);
+        let advice = LightTreeOracle.advise(&g, 0);
+        ns.push(n as f64);
+        bits.push(advice_size(&advice) as f64);
+    }
+    let ranked = best_model(&ns, &bits);
+    assert_eq!(ranked[0].model, Model::Linear, "best fit {:?}", ranked[0]);
+    assert!(ranked[0].r_squared > 0.999);
+}
+
+#[test]
+fn claim_3_1_light_tree_beats_other_trees_on_dense_graphs() {
+    // The light tree's contribution stays ≤ 4n; BFS trees on the complete
+    // graph (a star at the source, whose edge weights sweep 0..n/2) and
+    // random spanning trees blow past it for large n. (DFS happens to be
+    // cheap here — it follows port-0 chains — which is itself a datapoint:
+    // no fixed classical tree is *uniformly* light, the phased
+    // construction is what guarantees the bound.)
+    let n = 256;
+    let g = families::complete_rotational(n);
+    let light = light_tree(&g, 0).contribution(&g);
+    assert!(light <= 4 * n as u64);
+    let mut rng = StdRng::seed_from_u64(32);
+    let bfs = TreeAlgorithm::Bfs.build(&g, 0, &mut rng).contribution(&g);
+    let random = TreeAlgorithm::Random.build(&g, 0, &mut rng).contribution(&g);
+    assert!(bfs > light, "BFS contribution {bfs} ≤ light tree {light}");
+    assert!(bfs > 4 * n as u64, "BFS should violate the 4n bound");
+    assert!(
+        random > light,
+        "random-tree contribution {random} ≤ light tree {light}"
+    );
+}
+
+#[test]
+fn broadcast_beats_flooding_on_gadget_graphs() {
+    // On G_{n,S,C} (Theorem 3.2's family) flooding pays for every clique
+    // edge; Scheme B stays linear.
+    let mut rng = StdRng::seed_from_u64(33);
+    let (g, _, _) = oraclesize::graph::gadgets::random_clique_gadget(32, 4, &mut rng);
+    let nodes = g.num_nodes();
+
+    let flood = execute(&g, 0, &EmptyOracle, &FloodOnce, &SimConfig::default()).unwrap();
+    let scheme_b = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default()).unwrap();
+    assert!(flood.outcome.all_informed());
+    assert!(scheme_b.outcome.all_informed());
+    assert!(
+        flood.outcome.metrics.messages > 3 * scheme_b.outcome.metrics.messages,
+        "flooding {} vs scheme B {}",
+        flood.outcome.metrics.messages,
+        scheme_b.outcome.metrics.messages
+    );
+    assert!(scheme_b.outcome.metrics.messages <= scheme_b_message_bound(nodes));
+}
+
+#[test]
+fn scheme_b_robust_under_async_and_anonymity() {
+    let mut rng = StdRng::seed_from_u64(34);
+    let g = families::random_connected(80, 0.1, &mut rng);
+    for kind in SchedulerKind::sweep(5) {
+        let cfg = SimConfig {
+            anonymous: true,
+            max_message_bits: Some(0),
+            ..SimConfig::asynchronous(kind)
+        };
+        let run = execute(&g, 3, &LightTreeOracle, &SchemeB, &cfg).unwrap();
+        assert!(run.outcome.all_informed(), "{}", kind.name());
+        assert!(run.outcome.metrics.messages <= scheme_b_message_bound(80));
+    }
+}
+
+#[test]
+fn source_position_does_not_break_bounds() {
+    let g = families::lollipop(64);
+    for source in (0..64).step_by(7) {
+        let run = execute(&g, source, &LightTreeOracle, &SchemeB, &SimConfig::default()).unwrap();
+        assert!(run.outcome.all_informed(), "source {source}");
+        assert!(run.oracle_bits <= 8 * 64);
+        assert!(run.outcome.metrics.messages <= scheme_b_message_bound(64));
+    }
+}
