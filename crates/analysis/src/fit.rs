@@ -126,10 +126,7 @@ pub fn fit_model(model: Model, xs: &[f64], ys: &[f64]) -> Fit {
 /// Fits every model in [`Model::ALL`] and returns them sorted best-first
 /// by `R²`.
 pub fn best_model(xs: &[f64], ys: &[f64]) -> Vec<Fit> {
-    let mut fits: Vec<Fit> = Model::ALL
-        .iter()
-        .map(|&m| fit_model(m, xs, ys))
-        .collect();
+    let mut fits: Vec<Fit> = Model::ALL.iter().map(|&m| fit_model(m, xs, ys)).collect();
     fits.sort_by(|p, q| q.r_squared.partial_cmp(&p.r_squared).expect("finite R²"));
     fits
 }

@@ -13,5 +13,5 @@ pub mod fit;
 pub mod stats;
 pub mod table;
 
-pub use fit::{fit_model, best_model, Fit, Model};
+pub use fit::{best_model, fit_model, Fit, Model};
 pub use table::Table;

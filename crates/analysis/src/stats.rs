@@ -44,9 +44,10 @@ pub fn median(xs: &[f64]) -> f64 {
 /// Panics if `xs` is empty.
 pub fn min_max(xs: &[f64]) -> (f64, f64) {
     assert!(!xs.is_empty(), "min_max of empty slice");
-    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    })
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 /// Aggregate summary of a measurement series.

@@ -74,7 +74,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -90,7 +94,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|c| clean(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| clean(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -145,7 +153,7 @@ mod tests {
     #[test]
     fn fmt_num_modes() {
         assert_eq!(fmt_num(42.0), "42");
-        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(3.54159), "3.54");
         assert_eq!(fmt_num(-7.0), "-7");
     }
 

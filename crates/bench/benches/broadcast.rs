@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
-use oraclesize_core::oracle::EmptyOracle;
 use oraclesize_core::execute;
+use oraclesize_core::oracle::EmptyOracle;
 use oraclesize_graph::{families, spanning};
 use oraclesize_sim::protocol::FloodOnce;
 use oraclesize_sim::SimConfig;
@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_light_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("light_tree_build");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [6u32, 8, 10] {
         let n = 1usize << k;
         let g = families::complete_rotational(n);
@@ -29,7 +31,9 @@ fn bench_light_tree(c: &mut Criterion) {
 
 fn bench_scheme_b_vs_flooding(c: &mut Criterion) {
     let mut group = c.benchmark_group("broadcast_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [6u32, 8] {
         let n = 1usize << k;
         let g = families::complete_rotational(n);

@@ -2,13 +2,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oraclesize_bits::codec::{AnyCodec, Codec};
-use oraclesize_bits::lists::{decode_port_list, decode_weight_list, encode_port_list, encode_weight_list};
+use oraclesize_bits::lists::{
+    decode_port_list, decode_weight_list, encode_port_list, encode_weight_list,
+};
 use oraclesize_bits::BitString;
 use std::time::Duration;
 
 fn bench_codecs(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec_roundtrip_1k_values");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let values: Vec<u64> = (0..1000u64).map(|i| i * 37 % 4096).collect();
     for codec in [
         AnyCodec::ContinuationPairs,
@@ -39,7 +43,9 @@ fn bench_codecs(c: &mut Criterion) {
 
 fn bench_advice_payloads(c: &mut Criterion) {
     let mut group = c.benchmark_group("advice_payloads");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let ports: Vec<u64> = (0..256).collect();
     group.bench_function("port_list_256_of_1024", |b| {
         b.iter(|| {

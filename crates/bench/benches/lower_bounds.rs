@@ -2,11 +2,11 @@
 //! curve points.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use oraclesize_graph::gadgets;
 use oraclesize_lowerbound::adversary::{all_ordered_instances, play, ExplicitAdversary};
 use oraclesize_lowerbound::counting::wakeup_bound;
 use oraclesize_lowerbound::discovery::{all_edges, SequentialStrategy};
 use oraclesize_lowerbound::truncation::tradeoff_curve;
-use oraclesize_graph::gadgets;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -14,7 +14,9 @@ use std::time::Duration;
 
 fn bench_adversary_game(c: &mut Criterion) {
     let mut group = c.benchmark_group("adversary");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let pool = all_edges(6);
     let family = all_ordered_instances(&pool, 2);
     group.bench_function("game_k6_x2", |b| {
@@ -34,7 +36,9 @@ fn bench_adversary_game(c: &mut Criterion) {
 
 fn bench_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("counting");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("wakeup_bound_2e15", |b| {
         b.iter(|| wakeup_bound(1 << 15, 0.25).message_bound);
     });
@@ -43,14 +47,25 @@ fn bench_counting(c: &mut Criterion) {
 
 fn bench_tradeoff_point(c: &mut Criterion) {
     let mut group = c.benchmark_group("tradeoff");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let mut rng = StdRng::seed_from_u64(1);
     let (g, _) = gadgets::random_subdivided_complete(32, 32, &mut rng);
     group.bench_function("curve_3pts_gns32", |b| {
-        b.iter(|| tradeoff_curve(&g, 0, &[0, 300, u64::MAX], 0).expect("curve runs").len());
+        b.iter(|| {
+            tradeoff_curve(&g, 0, &[0, 300, u64::MAX], 0)
+                .expect("curve runs")
+                .len()
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_adversary_game, bench_counting, bench_tradeoff_point);
+criterion_group!(
+    benches,
+    bench_adversary_game,
+    bench_counting,
+    bench_tradeoff_point
+);
 criterion_main!(benches);

@@ -16,30 +16,50 @@ use std::time::Duration;
 
 fn bench_gossip(c: &mut Criterion) {
     let mut group = c.benchmark_group("tasks");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let g = families::complete_rotational(128);
     group.bench_function("gossip_k128", |b| {
         b.iter(|| {
-            let run = execute(&g, 0, &GossipOracle::default(), &TreeGossip, &SimConfig::default())
-                .expect("gossip runs");
+            let run = execute(
+                &g,
+                0,
+                &GossipOracle::default(),
+                &TreeGossip,
+                &SimConfig::default(),
+            )
+            .expect("gossip runs");
             assert_eq!(run.outcome.metrics.messages, 254);
             run.outcome.metrics.payload_bits
         });
     });
     group.bench_function("election_k128", |b| {
         b.iter(|| {
-            execute(&g, 0, &ElectionOracle, &AnnouncedLeader, &SimConfig::default())
-                .expect("election runs")
-                .outcome
-                .metrics
-                .messages
+            execute(
+                &g,
+                0,
+                &ElectionOracle,
+                &AnnouncedLeader,
+                &SimConfig::default(),
+            )
+            .expect("election runs")
+            .outcome
+            .metrics
+            .messages
         });
     });
     group.bench_function("bfs_construction_k128", |b| {
         b.iter(|| {
-            execute(&g, 0, &BfsTreeOracle, &ZeroMessageTree, &SimConfig::default())
-                .expect("construction runs")
-                .oracle_bits
+            execute(
+                &g,
+                0,
+                &BfsTreeOracle,
+                &ZeroMessageTree,
+                &SimConfig::default(),
+            )
+            .expect("construction runs")
+            .oracle_bits
         });
     });
     group.finish();
@@ -47,20 +67,34 @@ fn bench_gossip(c: &mut Criterion) {
 
 fn bench_exploration(c: &mut Criterion) {
     let mut group = c.benchmark_group("exploration");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let g = families::complete_rotational(96);
     let advice = tour_advice(&g, 0);
     let empty = vec![BitString::new(); 96];
     group.bench_function("guided_tour_k96", |b| {
         b.iter(|| {
-            let r = walk(&g, 0, &advice, &mut GuidedTour::new(), &WalkConfig::default());
+            let r = walk(
+                &g,
+                0,
+                &advice,
+                &mut GuidedTour::new(),
+                &WalkConfig::default(),
+            );
             assert!(r.covered_all);
             r.moves
         });
     });
     group.bench_function("dfs_backtrack_k96", |b| {
         b.iter(|| {
-            let r = walk(&g, 0, &empty, &mut DfsBacktrack::new(), &WalkConfig::default());
+            let r = walk(
+                &g,
+                0,
+                &empty,
+                &mut DfsBacktrack::new(),
+                &WalkConfig::default(),
+            );
             assert!(r.covered_all);
             r.moves
         });

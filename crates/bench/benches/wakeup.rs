@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_oracle_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("wakeup_oracle_advise");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [6u32, 8, 10] {
         let n = 1usize << k;
         let g = families::complete_rotational(n);
@@ -22,7 +24,9 @@ fn bench_oracle_construction(c: &mut Criterion) {
 
 fn bench_wakeup_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("tree_wakeup_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [6u32, 8, 10] {
         let n = 1usize << k;
         let g = families::complete_rotational(n);

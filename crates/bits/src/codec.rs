@@ -393,7 +393,23 @@ mod tests {
         assert!(r.is_empty(), "leftover bits");
     }
 
-    const SAMPLES: &[u64] = &[0, 1, 2, 3, 4, 7, 8, 15, 16, 100, 255, 256, 1000, 65535, 1 << 40];
+    const SAMPLES: &[u64] = &[
+        0,
+        1,
+        2,
+        3,
+        4,
+        7,
+        8,
+        15,
+        16,
+        100,
+        255,
+        256,
+        1000,
+        65535,
+        1 << 40,
+    ];
 
     #[test]
     fn unary_roundtrip() {

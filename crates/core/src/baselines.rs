@@ -244,10 +244,7 @@ mod tests {
         let g = families::complete_rotational(24);
         let full = advice_size(&FullMapOracle.advise(&g, 0));
         let tree = advice_size(&crate::wakeup::SpanningTreeOracle::default().advise(&g, 0));
-        assert!(
-            full > 20 * tree,
-            "full map {full} not ≫ tree oracle {tree}"
-        );
+        assert!(full > 20 * tree, "full map {full} not ≫ tree oracle {tree}");
     }
 
     #[test]

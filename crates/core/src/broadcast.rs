@@ -92,7 +92,9 @@ impl SchemeBState {
             // Hx ← Hx \ Sx: no hello needed where M already transited.
             self.hello_pending = self.hello_pending.difference(&self.sent).copied().collect();
         }
-        let hellos: Vec<Port> = std::mem::take(&mut self.hello_pending).into_iter().collect();
+        let hellos: Vec<Port> = std::mem::take(&mut self.hello_pending)
+            .into_iter()
+            .collect();
         for p in hellos {
             out.push(Outgoing::new(p, Message::empty()));
         }
@@ -337,8 +339,7 @@ mod tests {
         let g = families::path(2);
         // Edge {0,1}: ports 0 at both. Give the advice to node 1 only.
         let advice = vec![BitString::new(), encode_weight_list(&[0])];
-        let out =
-            oraclesize_sim::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
+        let out = oraclesize_sim::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
         assert!(out.all_informed());
     }
 
@@ -346,8 +347,7 @@ mod tests {
     fn empty_advice_everywhere_reaches_only_source_component() {
         let g = families::path(3);
         let advice = vec![BitString::new(); 3];
-        let out =
-            oraclesize_sim::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
+        let out = oraclesize_sim::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
         assert_eq!(out.informed_count(), 1);
         assert_eq!(out.metrics.messages, 0);
     }
@@ -360,15 +360,20 @@ mod tests {
         // arrives after M. The naive no-reflush variant therefore stalls
         // one hop from the source, while faithful Scheme B completes.
         let g = families::path(6);
-        let naive = execute(&g, 0, &LightTreeOracle, &SchemeBNoReflush, &SimConfig::default())
-            .unwrap();
+        let naive = execute(
+            &g,
+            0,
+            &LightTreeOracle,
+            &SchemeBNoReflush,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert!(
             !naive.outcome.all_informed(),
             "naive variant unexpectedly completed ({} informed)",
             naive.outcome.informed_count()
         );
-        let faithful =
-            execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default()).unwrap();
+        let faithful = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default()).unwrap();
         assert!(faithful.outcome.all_informed());
     }
 

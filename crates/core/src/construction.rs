@@ -73,7 +73,10 @@ pub fn verify_bfs_tree(
     for v in 0..g.num_nodes() {
         if let Some(p) = parent_ports[v] {
             let (parent, _) = g.neighbor_via(v, p);
-            let (dv, dp) = (dist[v].expect("connected"), dist[parent].expect("connected"));
+            let (dv, dp) = (
+                dist[v].expect("connected"),
+                dist[parent].expect("connected"),
+            );
             if dp + 1 != dv {
                 return Err(format!(
                     "node {v} at distance {dv} has parent {parent} at distance {dp}"
@@ -104,10 +107,7 @@ pub fn verify_mst(
             total += (p.min(q)) as u64;
         }
     }
-    let optimal: u64 = min_weight_tree(g, root)
-        .edges(g)
-        .map(|e| e.weight())
-        .sum();
+    let optimal: u64 = min_weight_tree(g, root).edges(g).map(|e| e.weight()).sum();
     if total != optimal {
         return Err(format!("claimed tree weight {total}, optimal {optimal}"));
     }
@@ -318,8 +318,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(81);
         for fam in Family::ALL {
             let g = fam.build(30, &mut rng);
-            let run =
-                execute(&g, 0, &BfsTreeOracle, &ZeroMessageTree, &SimConfig::default()).unwrap();
+            let run = execute(
+                &g,
+                0,
+                &BfsTreeOracle,
+                &ZeroMessageTree,
+                &SimConfig::default(),
+            )
+            .unwrap();
             assert_eq!(run.outcome.metrics.messages, 0, "{}", fam.name());
             let ports = collect_parent_ports(&run.outcome.outputs).unwrap();
             verify_bfs_tree(&g, 0, &ports).unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
@@ -379,8 +385,14 @@ mod tests {
     fn oracle_vs_protocol_cost_split() {
         // The central contrast: knowledge replaces communication entirely.
         let g = families::complete_rotational(48);
-        let with_oracle =
-            execute(&g, 0, &BfsTreeOracle, &ZeroMessageTree, &SimConfig::default()).unwrap();
+        let with_oracle = execute(
+            &g,
+            0,
+            &BfsTreeOracle,
+            &ZeroMessageTree,
+            &SimConfig::default(),
+        )
+        .unwrap();
         let without = execute(
             &g,
             0,
@@ -411,7 +423,12 @@ mod tests {
         assert!(verify_bfs_tree(&g, 0, &ports).is_err());
         // Cycle: 1 and 2 point at each other.
         let g2 = families::cycle(4);
-        let bad = vec![None, Some(g2.port_toward(1, 2).unwrap()), Some(g2.port_toward(2, 1).unwrap()), Some(g2.port_toward(3, 0).unwrap())];
+        let bad = vec![
+            None,
+            Some(g2.port_toward(1, 2).unwrap()),
+            Some(g2.port_toward(2, 1).unwrap()),
+            Some(g2.port_toward(3, 0).unwrap()),
+        ];
         assert!(verify_bfs_tree(&g2, 0, &bad).is_err());
     }
 

@@ -79,7 +79,10 @@ pub fn verify_election(
         return Err(format!("elected label {leader} does not exist"));
     }
     if expect_max {
-        let max = (0..g.num_nodes()).map(|v| g.label(v)).max().expect("nonempty");
+        let max = (0..g.num_nodes())
+            .map(|v| g.label(v))
+            .max()
+            .expect("nonempty");
         if leader != max {
             return Err(format!("elected {leader}, maximum label is {max}"));
         }
@@ -424,8 +427,14 @@ mod tests {
         for fam in Family::ALL {
             let g = fam.build(28, &mut rng);
             let nodes = g.num_nodes();
-            let run = execute(&g, 3, &ElectionOracle, &AnnouncedLeader, &SimConfig::default())
-                .unwrap();
+            let run = execute(
+                &g,
+                3,
+                &ElectionOracle,
+                &AnnouncedLeader,
+                &SimConfig::default(),
+            )
+            .unwrap();
             assert_eq!(run.outcome.metrics.messages, (nodes - 1) as u64);
             let leader = verify_election(&g, &run.outcome.outputs, false)
                 .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
@@ -460,8 +469,14 @@ mod tests {
     fn floodmax_costs_far_more_than_announced_leader() {
         let g = families::complete_rotational(24);
         let flood = execute(&g, 0, &EmptyOracle, &FloodMax, &SimConfig::default()).unwrap();
-        let announced =
-            execute(&g, 0, &ElectionOracle, &AnnouncedLeader, &SimConfig::default()).unwrap();
+        let announced = execute(
+            &g,
+            0,
+            &ElectionOracle,
+            &AnnouncedLeader,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert!(
             flood.outcome.metrics.messages > 5 * announced.outcome.metrics.messages,
             "floodmax {} vs announced {}",
@@ -492,8 +507,14 @@ mod tests {
     fn floodmax_async_still_agrees_on_max() {
         let g = families::cycle(12);
         for kind in SchedulerKind::sweep(19) {
-            let run = execute(&g, 0, &EmptyOracle, &FloodMax, &SimConfig::asynchronous(kind))
-                .unwrap();
+            let run = execute(
+                &g,
+                0,
+                &EmptyOracle,
+                &FloodMax,
+                &SimConfig::asynchronous(kind),
+            )
+            .unwrap();
             verify_election(&g, &run.outcome.outputs, true)
                 .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         }
@@ -503,8 +524,14 @@ mod tests {
     fn hirschberg_sinclair_elects_max_on_rings() {
         for n in [3usize, 8, 16, 33, 64] {
             let g = families::cycle(n);
-            let run =
-                execute(&g, 0, &EmptyOracle, &HirschbergSinclair, &SimConfig::default()).unwrap();
+            let run = execute(
+                &g,
+                0,
+                &EmptyOracle,
+                &HirschbergSinclair,
+                &SimConfig::default(),
+            )
+            .unwrap();
             let leader = verify_election(&g, &run.outcome.outputs, true)
                 .unwrap_or_else(|e| panic!("n={n}: {e}"));
             assert_eq!(leader, (n - 1) as u64);
@@ -517,8 +544,14 @@ mod tests {
         // plus the n announcement messages.
         for n in [16usize, 64, 256] {
             let g = families::cycle(n);
-            let run =
-                execute(&g, 0, &EmptyOracle, &HirschbergSinclair, &SimConfig::default()).unwrap();
+            let run = execute(
+                &g,
+                0,
+                &EmptyOracle,
+                &HirschbergSinclair,
+                &SimConfig::default(),
+            )
+            .unwrap();
             let msgs = run.outcome.metrics.messages;
             let log = (n as f64).log2().ceil() as u64 + 1;
             assert!(msgs > n as u64, "n={n}: {msgs} suspiciously low");
@@ -529,11 +562,17 @@ mod tests {
         }
         // And it beats FloodMax on the same ring.
         let g = families::cycle(128);
-        let hs = execute(&g, 0, &EmptyOracle, &HirschbergSinclair, &SimConfig::default())
-            .unwrap()
-            .outcome
-            .metrics
-            .messages;
+        let hs = execute(
+            &g,
+            0,
+            &EmptyOracle,
+            &HirschbergSinclair,
+            &SimConfig::default(),
+        )
+        .unwrap()
+        .outcome
+        .metrics
+        .messages;
         let fm = execute(&g, 0, &EmptyOracle, &FloodMax, &SimConfig::default())
             .unwrap()
             .outcome
@@ -547,8 +586,14 @@ mod tests {
         let mut g = families::cycle(20);
         let labels: Vec<u64> = (0..20).map(|v| (v as u64 * 6367 + 5) % 10_000).collect();
         g.set_labels(labels.clone()).unwrap();
-        let run =
-            execute(&g, 0, &EmptyOracle, &HirschbergSinclair, &SimConfig::default()).unwrap();
+        let run = execute(
+            &g,
+            0,
+            &EmptyOracle,
+            &HirschbergSinclair,
+            &SimConfig::default(),
+        )
+        .unwrap();
         let leader = verify_election(&g, &run.outcome.outputs, true).unwrap();
         assert_eq!(leader, *labels.iter().max().unwrap());
     }
@@ -576,9 +621,22 @@ mod tests {
         // (HS): Θ(n log n); Θ(n log n) bits (oracle): n − 1.
         let g = families::cycle(96);
         let fm = execute(&g, 0, &EmptyOracle, &FloodMax, &SimConfig::default()).unwrap();
-        let hs = execute(&g, 0, &EmptyOracle, &HirschbergSinclair, &SimConfig::default()).unwrap();
-        let oracle =
-            execute(&g, 0, &ElectionOracle, &AnnouncedLeader, &SimConfig::default()).unwrap();
+        let hs = execute(
+            &g,
+            0,
+            &EmptyOracle,
+            &HirschbergSinclair,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let oracle = execute(
+            &g,
+            0,
+            &ElectionOracle,
+            &AnnouncedLeader,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert!(fm.outcome.metrics.messages > hs.outcome.metrics.messages);
         assert!(hs.outcome.metrics.messages > oracle.outcome.metrics.messages);
         assert_eq!(oracle.outcome.metrics.messages, 95);

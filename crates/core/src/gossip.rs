@@ -169,7 +169,10 @@ impl TreeGossipState {
         }
         self.up_sent = true;
         match self.parent_port {
-            Some(p) => vec![Outgoing::new(p, Message::new(encode_value_set(&self.learned)))],
+            Some(p) => vec![Outgoing::new(
+                p,
+                Message::new(encode_value_set(&self.learned)),
+            )],
             None => self.downcast(), // root: subtree = everything
         }
     }
@@ -334,9 +337,8 @@ mod tests {
         // Parent + child ports ≈ the wakeup advice plus n parent entries.
         let g = families::complete_rotational(128);
         let gossip_bits = crate::oracle::advice_size(&GossipOracle::default().advise(&g, 0));
-        let wakeup_bits = crate::oracle::advice_size(
-            &crate::wakeup::SpanningTreeOracle::default().advise(&g, 0),
-        );
+        let wakeup_bits =
+            crate::oracle::advice_size(&crate::wakeup::SpanningTreeOracle::default().advise(&g, 0));
         assert!(gossip_bits >= wakeup_bits / 4);
         assert!(gossip_bits <= 4 * wakeup_bits + 16 * 128);
     }

@@ -35,12 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod broadcast;
 pub mod construction;
 pub mod election;
 pub mod gossip;
 pub mod neighborhood;
-pub mod broadcast;
 pub mod oracle;
+pub mod robust;
 pub mod runner;
 pub mod spanner;
 pub mod wakeup;

@@ -59,10 +59,7 @@ pub struct TruncatedOracle<O> {
 impl<O: Oracle> TruncatedOracle<O> {
     /// Wraps `inner`, keeping at most `budget_bits` bits in total.
     pub fn new(inner: O, budget_bits: u64) -> Self {
-        TruncatedOracle {
-            inner,
-            budget_bits,
-        }
+        TruncatedOracle { inner, budget_bits }
     }
 }
 

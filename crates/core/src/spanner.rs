@@ -45,12 +45,7 @@ pub fn greedy_spanner(g: &PortGraph, t: usize) -> Vec<EdgeRef> {
 
 /// BFS distance from `a` to `b` in `adj`, cut off beyond `limit`; `None`
 /// if farther (or disconnected).
-fn bounded_distance(
-    adj: &[Vec<NodeId>],
-    a: NodeId,
-    b: NodeId,
-    limit: usize,
-) -> Option<usize> {
+fn bounded_distance(adj: &[Vec<NodeId>], a: NodeId, b: NodeId, limit: usize) -> Option<usize> {
     if a == b {
         return Some(0);
     }
@@ -137,11 +132,7 @@ impl Oracle for SpannerOracle {
 ///
 /// A human-readable description of the first defect, including the number
 /// of spanner edges on success via `Ok(edge_count)`.
-pub fn verify_spanner(
-    g: &PortGraph,
-    port_sets: &[Vec<Port>],
-    t: usize,
-) -> Result<usize, String> {
+pub fn verify_spanner(g: &PortGraph, port_sets: &[Vec<Port>], t: usize) -> Result<usize, String> {
     let n = g.num_nodes();
     if port_sets.len() != n {
         return Err(format!("{} port sets for {n} nodes", port_sets.len()));

@@ -49,8 +49,7 @@ impl Oracle for SpanningTreeOracle {
         let n = g.num_nodes() as u64;
         (0..g.num_nodes())
             .map(|v| {
-                let ports: Vec<u64> =
-                    tree.children(v).iter().map(|&(_, p)| p as u64).collect();
+                let ports: Vec<u64> = tree.children(v).iter().map(|&(_, p)| p as u64).collect();
                 encode_port_list(&ports, n.max(2))
             })
             .collect()
@@ -228,11 +227,16 @@ mod tests {
     #[test]
     fn malformed_advice_degrades_to_leaf() {
         // Garbage advice: protocol must not panic, and wakeup stays legal
-        // but incomplete.
+        // but incomplete — classified as degraded, not success. (The
+        // self-healing counterpart lives in [`crate::robust`].)
         let g = families::path(4);
         let advice = vec![BitString::parse("0101101").unwrap(); 4];
         let out = oraclesize_sim::run(&g, 0, &advice, &TreeWakeup, &SimConfig::wakeup()).unwrap();
         assert!(!out.all_informed());
+        assert_eq!(
+            out.classify(),
+            oraclesize_sim::Completion::Degraded { uninformed: 3 }
+        );
     }
 
     #[test]

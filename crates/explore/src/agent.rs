@@ -50,7 +50,9 @@ pub struct WalkConfig {
 
 impl Default for WalkConfig {
     fn default() -> Self {
-        WalkConfig { max_moves: 1_000_000 }
+        WalkConfig {
+            max_moves: 1_000_000,
+        }
     }
 }
 

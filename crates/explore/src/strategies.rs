@@ -177,7 +177,13 @@ mod tests {
                 let g = fam.build(n, &mut rng);
                 let nodes = g.num_nodes();
                 let advice = tour_advice(&g, 0);
-                let result = walk(&g, 0, &advice, &mut GuidedTour::new(), &WalkConfig::default());
+                let result = walk(
+                    &g,
+                    0,
+                    &advice,
+                    &mut GuidedTour::new(),
+                    &WalkConfig::default(),
+                );
                 assert!(result.covered_all, "{} n={nodes}", fam.name());
                 assert!(result.halted);
                 assert_eq!(
@@ -242,7 +248,10 @@ mod tests {
         );
         assert!(result.covered_all);
         assert!(!result.halted);
-        assert!(result.cover_moves.unwrap() > 7, "cover time beats diameter?");
+        assert!(
+            result.cover_moves.unwrap() > 7,
+            "cover time beats diameter?"
+        );
     }
 
     #[test]
@@ -275,7 +284,13 @@ mod tests {
     fn guided_tour_halts_safely_on_garbage_advice() {
         let g = families::path(4);
         let advice = vec![BitString::parse("1").unwrap(); 4];
-        let result = walk(&g, 0, &advice, &mut GuidedTour::new(), &WalkConfig::default());
+        let result = walk(
+            &g,
+            0,
+            &advice,
+            &mut GuidedTour::new(),
+            &WalkConfig::default(),
+        );
         assert!(result.halted);
         assert!(!result.covered_all);
     }

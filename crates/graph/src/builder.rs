@@ -92,11 +92,7 @@ impl PortGraphBuilder {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        if self.adj[u]
-            .iter()
-            .flatten()
-            .any(|&(w, _)| w == v)
-        {
+        if self.adj[u].iter().flatten().any(|&(w, _)| w == v) {
             return Err(GraphError::ParallelEdge { u, v });
         }
         if self.adj[u].len() <= pu {
@@ -207,7 +203,10 @@ mod tests {
     fn rejects_parallel_edge() {
         let mut b = PortGraphBuilder::new(2);
         b.add_edge(0, 1).unwrap();
-        assert_eq!(b.add_edge(1, 0), Err(GraphError::ParallelEdge { u: 1, v: 0 }));
+        assert_eq!(
+            b.add_edge(1, 0),
+            Err(GraphError::ParallelEdge { u: 1, v: 0 })
+        );
     }
 
     #[test]
@@ -245,7 +244,16 @@ mod tests {
     fn shuffle_ports_preserves_edge_set_and_validity() {
         let mut rng = StdRng::seed_from_u64(42);
         let mut b = PortGraphBuilder::new(6);
-        let edges = [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)];
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+        ];
         for (u, v) in edges {
             b.add_edge(u, v).unwrap();
         }

@@ -112,8 +112,10 @@ pub fn torus(w: usize, h: usize) -> PortGraph {
     let mut b = PortGraphBuilder::new(w * h);
     for y in 0..h {
         for x in 0..w {
-            b.add_edge(idx(x, y), idx((x + 1) % w, y)).expect("torus simple");
-            b.add_edge(idx(x, y), idx(x, (y + 1) % h)).expect("torus simple");
+            b.add_edge(idx(x, y), idx((x + 1) % w, y))
+                .expect("torus simple");
+            b.add_edge(idx(x, y), idx(x, (y + 1) % h))
+                .expect("torus simple");
         }
     }
     b.build().expect("torus is valid")
@@ -534,7 +536,8 @@ mod tests {
         for fam in Family::ALL {
             for n in [8usize, 33, 64] {
                 let g = fam.build(n, &mut rng);
-                g.validate().unwrap_or_else(|e| panic!("{} n={n}: {e}", fam.name()));
+                g.validate()
+                    .unwrap_or_else(|e| panic!("{} n={n}: {e}", fam.name()));
                 assert!(g.is_connected(), "{} n={n}", fam.name());
                 assert!(g.num_nodes() >= 4, "{} n={n}", fam.name());
             }

@@ -111,12 +111,7 @@ pub fn random_missing_edges<R: Rng>(num_gadgets: usize, k: usize, rng: &mut R) -
 /// Panics if `k < 3` (the freed-port splice needs the clique to have
 /// internal edges), if `s` and `c` differ in length, if an edge of `s` is
 /// absent or repeated, or if some pair in `c` is not `a < b < k`.
-pub fn clique_gadget_graph(
-    g: &PortGraph,
-    k: usize,
-    s: &[EdgeRef],
-    c: &MissingEdges,
-) -> PortGraph {
+pub fn clique_gadget_graph(g: &PortGraph, k: usize, s: &[EdgeRef], c: &MissingEdges) -> PortGraph {
     assert!(k >= 3, "clique gadgets need k >= 3");
     assert_eq!(s.len(), c.len(), "one missing edge per gadget");
     let n = g.num_nodes();
@@ -277,7 +272,12 @@ mod tests {
     #[should_panic(expected = "not present")]
     fn subdivide_rejects_foreign_edge() {
         let g = complete_rotational(4);
-        let fake = EdgeRef { u: 0, port_u: 0, v: 1, port_v: 5 };
+        let fake = EdgeRef {
+            u: 0,
+            port_u: 0,
+            v: 1,
+            port_v: 5,
+        };
         subdivide_edges(&g, &[fake]);
     }
 

@@ -36,9 +36,11 @@ pub mod builder;
 pub mod families;
 pub mod gadgets;
 pub mod portgraph;
+pub mod resilience;
 pub mod spanning;
 pub mod traverse;
 
 pub use builder::PortGraphBuilder;
 pub use portgraph::{EdgeRef, GraphError, NodeId, Port, PortGraph};
+pub use resilience::connectivity_preserving_crash_set;
 pub use spanning::RootedTree;

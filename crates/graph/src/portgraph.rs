@@ -241,7 +241,11 @@ impl PortGraph {
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeRef> {
         let pu = self.port_toward(u, v)?;
         let pv = self.adj[u][pu].1;
-        let (a, pa, b, pb) = if u < v { (u, pu, v, pv) } else { (v, pv, u, pu) };
+        let (a, pa, b, pb) = if u < v {
+            (u, pu, v, pv)
+        } else {
+            (v, pv, u, pu)
+        };
         Some(EdgeRef {
             u: a,
             port_u: pa,

@@ -248,10 +248,7 @@ pub fn random_spanning_tree<R: Rng>(g: &PortGraph, root: NodeId, rng: &mut R) ->
     let mut edges: Vec<EdgeRef> = g.edges().collect();
     edges.shuffle(rng);
     let mut uf = UnionFind::new(g.num_nodes());
-    let chosen: Vec<EdgeRef> = edges
-        .into_iter()
-        .filter(|e| uf.union(e.u, e.v))
-        .collect();
+    let chosen: Vec<EdgeRef> = edges.into_iter().filter(|e| uf.union(e.u, e.v)).collect();
     tree_from_edge_set(g, root, &chosen)
 }
 
@@ -266,10 +263,7 @@ pub fn min_weight_tree(g: &PortGraph, root: NodeId) -> RootedTree {
     let mut edges: Vec<EdgeRef> = g.edges().collect();
     edges.sort_by_key(|e| e.weight());
     let mut uf = UnionFind::new(g.num_nodes());
-    let chosen: Vec<EdgeRef> = edges
-        .into_iter()
-        .filter(|e| uf.union(e.u, e.v))
-        .collect();
+    let chosen: Vec<EdgeRef> = edges.into_iter().filter(|e| uf.union(e.u, e.v)).collect();
     tree_from_edge_set(g, root, &chosen)
 }
 
@@ -314,9 +308,19 @@ pub fn light_tree(g: &PortGraph, root: NodeId) -> RootedTree {
                         continue;
                     }
                     let e = if v < u {
-                        EdgeRef { u: v, port_u: p, v: u, port_v: q }
+                        EdgeRef {
+                            u: v,
+                            port_u: p,
+                            v: u,
+                            port_v: q,
+                        }
                     } else {
-                        EdgeRef { u, port_u: q, v, port_v: p }
+                        EdgeRef {
+                            u,
+                            port_u: q,
+                            v,
+                            port_v: p,
+                        }
                     };
                     if best.is_none_or(|b| e.weight() < b.weight()) {
                         best = Some(e);
@@ -367,7 +371,10 @@ fn tree_from_edge_set(g: &PortGraph, root: NodeId, edges: &[EdgeRef]) -> RootedT
             }
         }
     }
-    assert!(visited.iter().all(|&x| x), "edge set does not span the graph");
+    assert!(
+        visited.iter().all(|&x| x),
+        "edge set does not span the graph"
+    );
     RootedTree::from_parents(g, root, &parents)
 }
 
@@ -496,10 +503,7 @@ mod tests {
     fn min_weight_tree_is_minimal_total_weight() {
         let mut rng = StdRng::seed_from_u64(23);
         let g = families::random_connected(20, 0.4, &mut rng);
-        let mst: u64 = min_weight_tree(&g, 0)
-            .edges(&g)
-            .map(|e| e.weight())
-            .sum();
+        let mst: u64 = min_weight_tree(&g, 0).edges(&g).map(|e| e.weight()).sum();
         let rnd: u64 = random_spanning_tree(&g, 0, &mut rng)
             .edges(&g)
             .map(|e| e.weight())

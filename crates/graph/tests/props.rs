@@ -114,6 +114,45 @@ proptest! {
     }
 
     #[test]
+    fn crash_sets_preserve_connectivity(
+        fam in arb_family(),
+        n in 4usize..48,
+        seed in any::<u64>(),
+        budget in 0usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = fam.build(n, &mut rng);
+        let nodes = g.num_nodes();
+        let protect = [seed as usize % nodes];
+        let set = oraclesize_graph::connectivity_preserving_crash_set(&g, &protect, budget, seed);
+        prop_assert!(set.len() <= budget);
+        prop_assert!(!set.contains(&protect[0]));
+        // Deterministic for the same inputs.
+        let again = oraclesize_graph::connectivity_preserving_crash_set(&g, &protect, budget, seed);
+        prop_assert_eq!(&set, &again);
+        // Survivors form one connected component: BFS from the protected
+        // node over non-crashed nodes must reach every survivor.
+        let mut crashed = vec![false; nodes];
+        for &v in &set {
+            crashed[v] = true;
+        }
+        let mut seen = vec![false; nodes];
+        seen[protect[0]] = true;
+        let mut queue = std::collections::VecDeque::from([protect[0]]);
+        let mut reached = 1;
+        while let Some(v) = queue.pop_front() {
+            for u in g.neighbors(v) {
+                if !crashed[u] && !seen[u] {
+                    seen[u] = true;
+                    reached += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        prop_assert_eq!(reached, nodes - set.len());
+    }
+
+    #[test]
     fn bfs_distance_triangle_inequality(n in 2usize..40, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = families::random_connected(n, 0.2, &mut rng);

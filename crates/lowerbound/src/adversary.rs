@@ -136,7 +136,9 @@ impl ExplicitAdversary {
                 .filter(|inst| inst.label_of(e) == Some(label))
                 .collect();
             // Invariant: the plurality class holds ≥ |J|/(2(|X|−r)).
-            debug_assert!(self.active.len() * 2 * (self.x_size - r) >= counts.iter().sum::<usize>());
+            debug_assert!(
+                self.active.len() * 2 * (self.x_size - r) >= counts.iter().sum::<usize>()
+            );
             self.revealed.push((e, label));
             ProbeResult::Special { label }
         } else {
@@ -154,7 +156,8 @@ impl ExplicitAdversary {
     /// The invariant mass bound after `t` probes with `r` specials
     /// revealed: `|I| · (|X|−r)! / (2^t · |X|!)` in log2.
     pub fn invariant_log2_mass(&self) -> f64 {
-        (self.initial_count as f64).log2() + log2_factorial((self.x_size - self.revealed.len()) as u64)
+        (self.initial_count as f64).log2()
+            + log2_factorial((self.x_size - self.revealed.len()) as u64)
             - self.probes as f64
             - log2_factorial(self.x_size as u64)
     }
@@ -355,9 +358,7 @@ mod tests {
                 continue;
             }
             let _ = adv.respond(e);
-            assert!(
-                (adv.active_count() as f64).log2() >= adv.invariant_log2_mass() - 1e-9
-            );
+            assert!((adv.active_count() as f64).log2() >= adv.invariant_log2_mass() - 1e-9);
         }
     }
 

@@ -221,10 +221,7 @@ mod tests {
                     }
                     (c as f64).log2()
                 };
-                assert!(
-                    (log2_binomial(a, b) - exact).abs() < 1e-9,
-                    "C({a},{b})"
-                );
+                assert!((log2_binomial(a, b) - exact).abs() < 1e-9, "C({a},{b})");
             }
         }
     }
@@ -341,7 +338,10 @@ mod tests {
         let n = 1u64 << 17;
         let exact = wakeup_bound(n, 0.1).message_bound;
         let approx = wakeup_bound_subdivisions_approx(n as f64, 1, 0.1);
-        assert!(approx > 0.0 && approx <= exact, "approx {approx} exact {exact}");
+        assert!(
+            approx > 0.0 && approx <= exact,
+            "approx {approx} exact {exact}"
+        );
         assert!(approx >= exact / 4.0, "approx {approx} ≪ exact {exact}");
     }
 

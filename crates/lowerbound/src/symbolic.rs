@@ -218,13 +218,8 @@ mod tests {
                     ExplicitAdversary::new(family),
                     &mut SequentialStrategy,
                 );
-                let symbolic = play_symbolic(
-                    n,
-                    pool,
-                    &HashSet::new(),
-                    x_size,
-                    &mut SequentialStrategy,
-                );
+                let symbolic =
+                    play_symbolic(n, pool, &HashSet::new(), x_size, &mut SequentialStrategy);
                 assert_eq!(
                     explicit.probes, symbolic.probes,
                     "n={n} x={x_size}: explicit {} vs symbolic {}",

@@ -36,10 +36,7 @@ pub struct StringBudgetOracle<O> {
 impl<O: Oracle> StringBudgetOracle<O> {
     /// Wraps `inner` with a total budget of `budget_bits`.
     pub fn new(inner: O, budget_bits: u64) -> Self {
-        StringBudgetOracle {
-            inner,
-            budget_bits,
-        }
+        StringBudgetOracle { inner, budget_bits }
     }
 }
 
@@ -270,15 +267,9 @@ mod tests {
         for fam in families::Family::ALL {
             let g = fam.build(24, &mut rng);
             for budget in [0u64, 16, 64, 1024] {
-                let oracle =
-                    StringBudgetOracle::new(SpanningTreeOracle::default(), budget);
-                let run = execute(&g, 0, &oracle, &FallbackWakeup, &SimConfig::wakeup())
-                    .unwrap();
-                assert!(
-                    run.outcome.all_informed(),
-                    "{} budget={budget}",
-                    fam.name()
-                );
+                let oracle = StringBudgetOracle::new(SpanningTreeOracle::default(), budget);
+                let run = execute(&g, 0, &oracle, &FallbackWakeup, &SimConfig::wakeup()).unwrap();
+                assert!(run.outcome.all_informed(), "{} budget={budget}", fam.name());
             }
         }
     }

@@ -5,7 +5,10 @@ use std::fmt;
 
 use oraclesize_bits::BitString;
 use oraclesize_graph::{NodeId, Port, PortGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::faults::FaultPlan;
 use crate::metrics::RunMetrics;
 use crate::protocol::{Message, NodeBehavior, NodeView, Outgoing, Protocol};
 use crate::scheduler::{Scheduler, SchedulerKind};
@@ -47,6 +50,15 @@ pub struct SimConfig {
     pub anonymous: bool,
     /// Record a [`TraceEvent`] per delivery (for tests and examples).
     pub capture_trace: bool,
+    /// Faults to inject (see [`crate::faults`]). The default plan is inert:
+    /// the engine then behaves bit-for-bit as a fault-free run.
+    pub faults: FaultPlan,
+    /// How many times the engine polls
+    /// [`NodeBehavior::on_quiescence`] after the network drains before
+    /// declaring the run over. Each poll that produces sends resumes
+    /// delivery; schemes that never speak at quiescence terminate after one
+    /// silent poll regardless of this limit.
+    pub max_quiescence_polls: u32,
 }
 
 impl Default for SimConfig {
@@ -59,6 +71,8 @@ impl Default for SimConfig {
             max_message_bits: None,
             anonymous: false,
             capture_trace: false,
+            faults: FaultPlan::default(),
+            max_quiescence_polls: 8,
         }
     }
 }
@@ -84,6 +98,7 @@ impl SimConfig {
 
 /// Errors that abort an execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A non-source node transmitted before being informed, in wakeup mode.
     WakeupViolation {
@@ -161,6 +176,21 @@ pub struct TraceEvent {
     pub carries_source: bool,
 }
 
+/// How a quiescent run is judged once faults are possible: reaching
+/// quiescence alone is *not* success — a scheme whose messages were dropped
+/// quiesces with part of the network still asleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Every surviving (non-crashed) node ended up informed.
+    Completed,
+    /// The run quiesced with surviving nodes still uninformed — the
+    /// silent failure mode that message loss and advice corruption induce.
+    Degraded {
+        /// Surviving nodes left uninformed.
+        uninformed: usize,
+    },
+}
+
 /// The result of a completed (quiescent) execution.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -168,6 +198,9 @@ pub struct RunOutcome {
     pub metrics: RunMetrics,
     /// Which nodes ended up informed.
     pub informed: Vec<bool>,
+    /// Which nodes crash-stopped during the run (all `false` without a
+    /// fault plan).
+    pub crashed: Vec<bool>,
     /// Delivery trace (empty unless [`SimConfig::capture_trace`]).
     pub trace: Vec<TraceEvent>,
     /// Per-node outputs collected from
@@ -176,7 +209,8 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    /// `true` iff the task completed: every node is informed.
+    /// `true` iff every node — crashed or not — is informed. The strict,
+    /// fault-free notion of task completion.
     pub fn all_informed(&self) -> bool {
         self.informed.iter().all(|&x| x)
     }
@@ -184,6 +218,23 @@ impl RunOutcome {
     /// Number of informed nodes.
     pub fn informed_count(&self) -> usize {
         self.informed.iter().filter(|&&x| x).count()
+    }
+
+    /// Judges the run against the surviving nodes: crashed nodes are
+    /// excused, but a quiesced run with live uninformed nodes is
+    /// [`Degraded`](Completion::Degraded), never a success.
+    pub fn classify(&self) -> Completion {
+        let uninformed = self
+            .informed
+            .iter()
+            .zip(&self.crashed)
+            .filter(|&(&informed, &crashed)| !informed && !crashed)
+            .count();
+        if uninformed == 0 {
+            Completion::Completed
+        } else {
+            Completion::Degraded { uninformed }
+        }
     }
 }
 
@@ -224,6 +275,26 @@ pub fn run(
         });
     }
 
+    // Fault machinery. An inert plan takes `None` here and the run is
+    // bit-for-bit identical to a fault-free execution.
+    let plan = &config.faults;
+    let mut fault_rng: Option<StdRng> = if plan.is_inert() {
+        None
+    } else {
+        Some(StdRng::seed_from_u64(plan.seed))
+    };
+    let mut metrics = RunMetrics::default();
+
+    let corrupted_advice: Vec<BitString>;
+    let advice: &[BitString] = if let Some(rng) = fault_rng.as_mut() {
+        let mut mutated = advice.to_vec();
+        metrics.faults.advice_mutations = plan.advice.corrupt(&mut mutated, rng);
+        corrupted_advice = mutated;
+        &corrupted_advice
+    } else {
+        advice
+    };
+
     let mut behaviors: Vec<Box<dyn NodeBehavior>> = (0..n)
         .map(|v| {
             protocol.create(NodeView {
@@ -242,19 +313,35 @@ pub fn run(
     let mut informed = vec![false; n];
     informed[source] = true;
 
-    let mut metrics = RunMetrics::default();
+    // Crash-stop state: node `v` halts once it has made its budgeted number
+    // of sends; a zero budget means it never lived at all.
+    let mut crashed: Vec<bool> = (0..n)
+        .map(|v| plan.crashes.get(&v).is_some_and(|&k| k == 0))
+        .collect();
+    let mut sends_made: Vec<u64> = vec![0; n];
+
     let mut trace = Vec::new();
     let mut pending: std::collections::VecDeque<InFlight> = std::collections::VecDeque::new();
     let mut next_round: std::collections::VecDeque<InFlight> = std::collections::VecDeque::new();
 
-    // Enqueues `sends` from node `v`, validating rules and accounting.
+    // Enqueues `sends` from node `v`, validating rules, accounting, and
+    // injecting in-flight faults. A crashed node's sends are suppressed
+    // (it is dead, so they are not wakeup violations either); protocol
+    // errors from live nodes still abort the run even under faults.
     let enqueue = |v: NodeId,
                    sends: Vec<Outgoing>,
                    informed: &[bool],
                    metrics: &mut RunMetrics,
+                   crashed: &mut [bool],
+                   sends_made: &mut [u64],
+                   fault_rng: &mut Option<StdRng>,
                    out: &mut std::collections::VecDeque<InFlight>|
      -> Result<(), SimError> {
         if sends.is_empty() {
+            return Ok(());
+        }
+        if crashed[v] {
+            metrics.faults.suppressed_sends += sends.len() as u64;
             return Ok(());
         }
         if config.mode == TaskMode::Wakeup && !informed[v] {
@@ -278,6 +365,11 @@ pub fn run(
                     });
                 }
             }
+            if crashed[v] {
+                // The crash budget ran out earlier in this batch.
+                metrics.faults.suppressed_sends += 1;
+                continue;
+            }
             let (to, arrival_port) = g.neighbor_via(v, s.port);
             let mut message = s.message;
             message.carries_source = informed[v];
@@ -287,12 +379,45 @@ pub fn run(
             }
             metrics.payload_bits += bits;
             metrics.max_message_bits = metrics.max_message_bits.max(bits);
-            out.push_back(InFlight {
-                from: v,
-                to,
-                arrival_port,
-                message,
-            });
+            sends_made[v] += 1;
+            if plan.crashes.get(&v).is_some_and(|&k| sends_made[v] >= k) {
+                crashed[v] = true;
+            }
+            // In-flight faults: drop, duplicate, or corrupt the payload.
+            let mut copies: u32 = 1;
+            if let Some(rng) = fault_rng.as_mut() {
+                if rng.gen_bool(plan.drop_prob.clamp(0.0, 1.0)) {
+                    metrics.faults.dropped += 1;
+                    copies = 0;
+                } else if rng.gen_bool(plan.duplicate_prob.clamp(0.0, 1.0)) {
+                    metrics.faults.duplicated += 1;
+                    copies = 2;
+                }
+            }
+            for _ in 0..copies {
+                let mut delivered = message.clone();
+                if let Some(rng) = fault_rng.as_mut() {
+                    if !delivered.payload.is_empty()
+                        && rng.gen_bool(plan.bit_flip_prob.clamp(0.0, 1.0))
+                    {
+                        let idx = rng.gen_range(0..delivered.payload.len());
+                        delivered.payload = BitString::from_bits(
+                            delivered
+                                .payload
+                                .iter()
+                                .enumerate()
+                                .map(|(i, b)| if i == idx { !b } else { b }),
+                        );
+                        metrics.faults.payload_flips += 1;
+                    }
+                }
+                out.push_back(InFlight {
+                    from: v,
+                    to,
+                    arrival_port,
+                    message: delivered,
+                });
+            }
         }
         Ok(())
     };
@@ -300,60 +425,120 @@ pub fn run(
     // Spontaneous phase.
     for (v, behavior) in behaviors.iter_mut().enumerate() {
         let sends = behavior.on_start();
-        enqueue(v, sends, &informed, &mut metrics, &mut pending)?;
+        enqueue(
+            v,
+            sends,
+            &informed,
+            &mut metrics,
+            &mut crashed,
+            &mut sends_made,
+            &mut fault_rng,
+            &mut pending,
+        )?;
     }
 
     let mut scheduler: Scheduler = config.scheduler.instantiate();
     let mut steps: u64 = 0;
     let mut rounds: u64 = 0;
+    let mut polls: u32 = 0;
 
-    loop {
-        if pending.is_empty() {
-            if config.synchronous && !next_round.is_empty() {
-                pending = std::mem::take(&mut next_round);
-                rounds += 1;
-                continue;
+    'run: loop {
+        // Delivery loop: drain the network to quiescence.
+        loop {
+            if pending.is_empty() {
+                if config.synchronous && !next_round.is_empty() {
+                    pending = std::mem::take(&mut next_round);
+                    rounds += 1;
+                    continue;
+                }
+                break;
             }
-            break;
-        }
-        if steps >= config.max_steps {
-            return Err(SimError::StepLimit {
-                limit: config.max_steps,
-            });
-        }
-        let InFlight {
-            from,
-            to,
-            arrival_port,
-            message,
-        } = if config.synchronous {
-            pending.pop_front().expect("nonempty checked above")
-        } else {
-            scheduler.take(&mut pending)
-        };
-
-        if message.carries_source {
-            informed[to] = true;
-        }
-        if config.capture_trace {
-            trace.push(TraceEvent {
-                step: steps,
+            if steps >= config.max_steps {
+                return Err(SimError::StepLimit {
+                    limit: config.max_steps,
+                });
+            }
+            let InFlight {
                 from,
                 to,
                 arrival_port,
-                bits: message.size_bits() as u64,
-                carries_source: message.carries_source,
-            });
-        }
-        steps += 1;
+                message,
+            } = if config.synchronous {
+                pending.pop_front().expect("nonempty checked above")
+            } else {
+                scheduler.take(&mut pending, |m: &InFlight| m.message.carries_source)
+            };
 
-        let sends = behaviors[to].on_receive(arrival_port, &message);
-        let out = if config.synchronous {
-            &mut next_round
-        } else {
-            &mut pending
-        };
-        enqueue(to, sends, &informed, &mut metrics, out)?;
+            if config.capture_trace {
+                trace.push(TraceEvent {
+                    step: steps,
+                    from,
+                    to,
+                    arrival_port,
+                    bits: message.size_bits() as u64,
+                    carries_source: message.carries_source,
+                });
+            }
+            steps += 1;
+
+            if crashed[to] {
+                // The wire delivered it, but nobody is listening: the node
+                // neither learns the source message nor reacts.
+                metrics.faults.to_crashed += 1;
+                continue;
+            }
+            if message.carries_source {
+                informed[to] = true;
+            }
+
+            let sends = behaviors[to].on_receive(arrival_port, &message);
+            let out = if config.synchronous {
+                &mut next_round
+            } else {
+                &mut pending
+            };
+            enqueue(
+                to,
+                sends,
+                &informed,
+                &mut metrics,
+                &mut crashed,
+                &mut sends_made,
+                &mut fault_rng,
+                out,
+            )?;
+        }
+
+        // Quiescence: poll live nodes for retries, bounded by the config.
+        // A fully silent poll (the default hook) ends the run. "Silent"
+        // means no node *returned* a send — a poll whose sends were all
+        // dropped by the fault plan still counts as speaking, so a retrying
+        // scheme keeps its remaining attempts under total message loss.
+        if polls >= config.max_quiescence_polls {
+            break;
+        }
+        polls += 1;
+        let mut spoke = false;
+        for v in 0..n {
+            if crashed[v] {
+                continue;
+            }
+            let sends = behaviors[v].on_quiescence();
+            spoke |= !sends.is_empty();
+            enqueue(
+                v,
+                sends,
+                &informed,
+                &mut metrics,
+                &mut crashed,
+                &mut sends_made,
+                &mut fault_rng,
+                &mut pending,
+            )?;
+        }
+        if !spoke {
+            break 'run;
+        }
     }
 
     metrics.steps = steps;
@@ -363,6 +548,7 @@ pub fn run(
     Ok(RunOutcome {
         metrics,
         informed,
+        crashed,
         trace,
         outputs,
     })
@@ -575,7 +761,14 @@ mod tests {
         }
         let g = families::path(3);
         let err = run(&g, 0, &no_advice(3), &Wild, &SimConfig::default()).unwrap_err();
-        assert!(matches!(err, SimError::PortOutOfRange { node: 0, port: 99, .. }));
+        assert!(matches!(
+            err,
+            SimError::PortOutOfRange {
+                node: 0,
+                port: 99,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -629,6 +822,200 @@ mod tests {
         assert_eq!(out.metrics.steps, out.metrics.messages);
         // Every traced delivery of an informed message has the flag.
         assert!(out.trace.iter().any(|e| e.carries_source));
+    }
+
+    #[test]
+    fn total_drop_quiesces_degraded() {
+        let g = families::path(5);
+        let cfg = SimConfig {
+            faults: FaultPlan::message_faults(3, 1.0, 0.0, 0.0),
+            ..SimConfig::asynchronous(SchedulerKind::Fifo)
+        };
+        let out = run(&g, 0, &no_advice(5), &FloodOnce, &cfg).unwrap();
+        assert!(!out.all_informed());
+        assert_eq!(out.classify(), Completion::Degraded { uninformed: 4 });
+        // Only the source's spontaneous send happened; it was dropped.
+        assert_eq!(out.metrics.messages, 1);
+        assert_eq!(out.metrics.faults.dropped, 1);
+        assert_eq!(out.metrics.steps, 0);
+    }
+
+    #[test]
+    fn duplication_adds_deliveries_not_messages() {
+        let g = families::path(4);
+        let cfg = SimConfig {
+            faults: FaultPlan::message_faults(7, 0.0, 1.0, 0.0),
+            ..SimConfig::asynchronous(SchedulerKind::Fifo)
+        };
+        let out = run(&g, 0, &no_advice(4), &FloodOnce, &cfg).unwrap();
+        assert!(out.all_informed());
+        assert_eq!(out.classify(), Completion::Completed);
+        assert_eq!(out.metrics.faults.duplicated, out.metrics.messages);
+        assert_eq!(
+            out.metrics.steps,
+            out.metrics.messages + out.metrics.faults.duplicated
+        );
+    }
+
+    #[test]
+    fn bit_flips_corrupt_delivered_payloads() {
+        // The source sends a known 8-bit payload; with flip probability 1
+        // the receiver must observe a payload at Hamming distance exactly 1.
+        struct TaggedState {
+            is_source: bool,
+            seen: std::rc::Rc<std::cell::RefCell<Vec<BitString>>>,
+        }
+        impl NodeBehavior for TaggedState {
+            fn on_start(&mut self) -> Vec<Outgoing> {
+                if self.is_source {
+                    vec![Outgoing::new(
+                        0,
+                        Message::new(BitString::parse("10101010").unwrap()),
+                    )]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_receive(&mut self, _p: Port, m: &Message) -> Vec<Outgoing> {
+                self.seen.borrow_mut().push(m.payload.clone());
+                Vec::new()
+            }
+        }
+        struct TaggedProtocol {
+            seen: std::rc::Rc<std::cell::RefCell<Vec<BitString>>>,
+        }
+        impl Protocol for TaggedProtocol {
+            fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
+                Box::new(TaggedState {
+                    is_source: view.is_source,
+                    seen: std::rc::Rc::clone(&self.seen),
+                })
+            }
+        }
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let g = families::path(2);
+        let cfg = SimConfig {
+            faults: FaultPlan::message_faults(11, 0.0, 0.0, 1.0),
+            ..Default::default()
+        };
+        let protocol = TaggedProtocol {
+            seen: std::rc::Rc::clone(&seen),
+        };
+        let out = run(&g, 0, &no_advice(2), &protocol, &cfg).unwrap();
+        assert_eq!(out.metrics.faults.payload_flips, 1);
+        let original = BitString::parse("10101010").unwrap();
+        let received = &seen.borrow()[0];
+        let distance = original
+            .iter()
+            .zip(received.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(distance, 1);
+    }
+
+    #[test]
+    fn crash_stop_silences_a_relay() {
+        // Node 1 on a path is down from the start: the flood cannot pass
+        // it, deliveries to it are counted, and classify() excuses the
+        // crashed node itself but not the nodes stranded behind it.
+        let g = families::path(4);
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                crashes: [(1, 0)].into(),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = run(&g, 0, &no_advice(4), &FloodOnce, &cfg).unwrap();
+        assert!(out.crashed[1]);
+        assert_eq!(out.metrics.faults.to_crashed, 1);
+        assert_eq!(out.classify(), Completion::Degraded { uninformed: 2 });
+        assert_eq!(out.informed_count(), 1);
+    }
+
+    #[test]
+    fn crash_budget_counts_sends() {
+        // The source of a 5-star may make two sends, then halts: exactly
+        // two leaves wake up, the remaining two spontaneous sends are
+        // suppressed.
+        let g = families::star(5);
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                crashes: [(0, 2)].into(),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = run(&g, 0, &no_advice(5), &FloodOnce, &cfg).unwrap();
+        assert!(out.crashed[0]);
+        assert_eq!(out.metrics.messages, 2);
+        assert_eq!(out.metrics.faults.suppressed_sends, 2);
+        assert_eq!(out.informed_count(), 3);
+        assert_eq!(out.classify(), Completion::Degraded { uninformed: 2 });
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible_per_seed() {
+        let g = families::complete_rotational(10);
+        let plan = FaultPlan::message_faults(77, 0.3, 0.2, 0.0);
+        let cfg = SimConfig {
+            capture_trace: true,
+            faults: plan,
+            ..SimConfig::asynchronous(SchedulerKind::Random { seed: 4 })
+        };
+        let a = run(&g, 0, &no_advice(10), &FloodOnce, &cfg).unwrap();
+        let b = run(&g, 0, &no_advice(10), &FloodOnce, &cfg).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.informed, b.informed);
+    }
+
+    #[test]
+    fn inert_plan_with_nonzero_seed_changes_nothing() {
+        let g = families::complete_rotational(8);
+        let baseline = run(&g, 2, &no_advice(8), &FloodOnce, &SimConfig::default()).unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                seed: 999,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let with_inert = run(&g, 2, &no_advice(8), &FloodOnce, &cfg).unwrap();
+        assert_eq!(baseline.metrics, with_inert.metrics);
+        assert_eq!(baseline.informed, with_inert.informed);
+    }
+
+    #[test]
+    fn quiescence_polls_are_bounded() {
+        // A protocol that always speaks at quiescence must be cut off
+        // after `max_quiescence_polls` resumptions.
+        struct Nagger;
+        struct NagState;
+        impl NodeBehavior for NagState {
+            fn on_start(&mut self) -> Vec<Outgoing> {
+                Vec::new()
+            }
+            fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+                Vec::new()
+            }
+            fn on_quiescence(&mut self) -> Vec<Outgoing> {
+                vec![Outgoing::new(0, Message::empty())]
+            }
+        }
+        impl Protocol for Nagger {
+            fn create(&self, _view: NodeView) -> Box<dyn NodeBehavior> {
+                Box::new(NagState)
+            }
+        }
+        let g = families::path(2);
+        let cfg = SimConfig {
+            max_quiescence_polls: 3,
+            ..Default::default()
+        };
+        let out = run(&g, 0, &no_advice(2), &Nagger, &cfg).unwrap();
+        // Both nodes nag once per poll.
+        assert_eq!(out.metrics.messages, 6);
     }
 
     #[test]

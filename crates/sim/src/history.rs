@@ -135,11 +135,7 @@ mod tests {
                 return Vec::new();
             }
             // Fire iff the LAST message is the first informed one.
-            let informed_count = h
-                .received
-                .iter()
-                .filter(|(m, _)| m.carries_source)
-                .count();
+            let informed_count = h.received.iter().filter(|(m, _)| m.carries_source).count();
             match h.received.last() {
                 Some((m, p)) if m.carries_source && informed_count == 1 => (0..h.degree)
                     .filter(|&q| q != *p)

@@ -15,8 +15,11 @@
 //!   enforcement of the *wakeup rule* (non-source nodes stay silent until
 //!   informed), informedness tracking (the source message piggybacks on any
 //!   message sent by an informed node), and bit-exact accounting,
-//! * [`scheduler`] — delivery orders: FIFO, LIFO, seeded-random,
-//! * [`metrics`] — message/bit/round counts used by every experiment.
+//! * [`scheduler`] — delivery orders: FIFO, LIFO, seeded-random, and the
+//!   starving adversary that delays source-carrying messages,
+//! * [`faults`] — seeded fault injection: message drop/duplication/bit
+//!   flips, crash-stop nodes, and the advice-corruption adversary,
+//! * [`metrics`] — message/bit/round/fault counts used by every experiment.
 //!
 //! # Examples
 //!
@@ -35,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod history;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
 
-pub use engine::{run, RunOutcome, SimConfig, SimError, TaskMode};
+pub use engine::{run, Completion, RunOutcome, SimConfig, SimError, TaskMode};
+pub use faults::{AdviceAdversary, FaultCounts, FaultPlan};
 pub use history::{History, HistoryProtocol};
 pub use metrics::RunMetrics;
 pub use protocol::{Message, NodeBehavior, NodeView, Outgoing, Protocol};

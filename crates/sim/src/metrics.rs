@@ -1,13 +1,25 @@
 //! Run accounting: the quantities every experiment reports.
 
+use crate::faults::FaultCounts;
+
 /// Bit-exact accounting of one scheme execution.
 ///
 /// `messages` is the paper's *message complexity* — the total number of
 /// messages the scheme produced. `payload_bits` and `max_message_bits`
 /// support the bounded-message-size claims of §1.3.
+///
+/// # Invariants
+///
+/// `informed_messages ≤ messages` always: the informed count is a filtered
+/// view of the same send stream. Under a fault-free plan `steps = messages`
+/// in asynchronous mode; with faults,
+/// `steps = messages − faults.dropped + faults.duplicated` (drops remove a
+/// delivery, duplicates add one).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunMetrics {
-    /// Total messages delivered (= sent; the engine never drops messages).
+    /// Total messages accepted from (live) senders. Under fault injection
+    /// this counts sends, not deliveries: dropped messages are included,
+    /// duplicated deliveries are not double-counted.
     pub messages: u64,
     /// Messages that carried the source message (sent by informed nodes).
     pub informed_messages: u64,
@@ -15,14 +27,19 @@ pub struct RunMetrics {
     pub payload_bits: u64,
     /// Largest single payload, in bits.
     pub max_message_bits: u64,
-    /// Synchronous rounds executed (1 + the round in which the last message
-    /// was delivered); `0` if no messages were sent. Counts delivery steps
-    /// in asynchronous mode divided by nothing — see `steps`.
+    /// Synchronous rounds executed: the index of the last round in which a
+    /// message was delivered (round 0 holds the spontaneous sends, so this
+    /// is `0` when everything quiesces in the first round or no messages
+    /// were sent at all). Asynchronous runs have no rounds — the field
+    /// stays `0` there; see [`steps`](RunMetrics::steps) instead.
     pub rounds: u64,
-    /// Individual delivery steps (asynchronous mode; equals `messages`).
+    /// Individual deliveries performed (asynchronous mode; equals
+    /// `messages` when no faults are injected).
     pub steps: u64,
     /// Number of nodes informed at quiescence (including the source).
     pub informed_nodes: u64,
+    /// Faults actually injected during the run; all-zero for inert plans.
+    pub faults: FaultCounts,
 }
 
 impl RunMetrics {

@@ -83,6 +83,17 @@ pub trait NodeBehavior {
     /// Called when a message arrives on `port`.
     fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing>;
 
+    /// Called when the network quiesces (no message in flight), up to
+    /// [`SimConfig::max_quiescence_polls`](crate::engine::SimConfig::max_quiescence_polls)
+    /// times per run. Returning sends resumes execution — the hook a
+    /// retry-capable scheme uses to re-send messages it suspects were lost.
+    /// The wakeup rule still applies: an uninformed non-source node must
+    /// return nothing in wakeup mode. The default is silence, so plain
+    /// schemes quiesce exactly as before.
+    fn on_quiescence(&mut self) -> Vec<Outgoing> {
+        Vec::new()
+    }
+
     /// Called once at quiescence; a task whose result is node state (e.g.
     /// gossip: "every node knows every value") returns it here for the
     /// engine to collect into

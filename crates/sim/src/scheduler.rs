@@ -10,8 +10,9 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-/// The delivery orders exercised by experiment T10.
+/// The delivery orders exercised by the scheduler-sweep experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum SchedulerKind {
     /// Deliver the oldest in-flight message first (per-network FIFO).
     Fifo,
@@ -23,15 +24,22 @@ pub enum SchedulerKind {
         /// RNG seed; runs are reproducible given the seed.
         seed: u64,
     },
+    /// Greedily delay every message carrying the source bit: deliver the
+    /// oldest *uninformed* message while any exists, an informed one only
+    /// when nothing else is in flight. The worst legal adversary for
+    /// dissemination progress — it forces every control conversation to
+    /// finish before letting the source message advance.
+    Starve,
 }
 
 impl SchedulerKind {
     /// All kinds (with a fixed seed for the random one), for sweeps.
-    pub fn sweep(seed: u64) -> [SchedulerKind; 3] {
+    pub fn sweep(seed: u64) -> [SchedulerKind; 4] {
         [
             SchedulerKind::Fifo,
             SchedulerKind::Lifo,
             SchedulerKind::Random { seed },
+            SchedulerKind::Starve,
         ]
     }
 
@@ -41,6 +49,7 @@ impl SchedulerKind {
             SchedulerKind::Fifo => "fifo",
             SchedulerKind::Lifo => "lifo",
             SchedulerKind::Random { .. } => "random",
+            SchedulerKind::Starve => "starve",
         }
     }
 
@@ -49,6 +58,7 @@ impl SchedulerKind {
             SchedulerKind::Fifo => Scheduler::Fifo,
             SchedulerKind::Lifo => Scheduler::Lifo,
             SchedulerKind::Random { seed } => Scheduler::Random(StdRng::seed_from_u64(*seed)),
+            SchedulerKind::Starve => Scheduler::Starve,
         }
     }
 }
@@ -61,17 +71,25 @@ pub(crate) enum Scheduler {
     Fifo,
     Lifo,
     Random(StdRng),
+    Starve,
 }
 
 impl Scheduler {
-    /// Removes and returns the next in-flight message in O(1): FIFO pops
-    /// the front, LIFO the back, and the random scheduler swaps its pick
-    /// to the front first (uniform over the remaining pool either way).
+    /// Removes and returns the next in-flight message. FIFO pops the front,
+    /// LIFO the back, and the random scheduler swaps its pick to the front
+    /// first (uniform over the remaining pool either way) — all O(1). The
+    /// starving scheduler delivers the oldest message for which
+    /// `is_starved` is `false`, falling back to the front when every
+    /// message is starved; this scans the pool (O(n)).
     ///
     /// # Panics
     ///
     /// Panics if `pending` is empty.
-    pub(crate) fn take<T>(&mut self, pending: &mut std::collections::VecDeque<T>) -> T {
+    pub(crate) fn take<T>(
+        &mut self,
+        pending: &mut std::collections::VecDeque<T>,
+        is_starved: impl Fn(&T) -> bool,
+    ) -> T {
         match self {
             Scheduler::Fifo => pending.pop_front().expect("nonempty pool"),
             Scheduler::Lifo => pending.pop_back().expect("nonempty pool"),
@@ -79,6 +97,10 @@ impl Scheduler {
                 let idx = rng.gen_range(0..pending.len());
                 pending.swap(0, idx);
                 pending.pop_front().expect("nonempty pool")
+            }
+            Scheduler::Starve => {
+                let idx = pending.iter().position(|m| !is_starved(m)).unwrap_or(0);
+                pending.remove(idx).expect("nonempty pool")
             }
         }
     }
@@ -90,11 +112,19 @@ mod tests {
     use std::collections::VecDeque;
 
     fn drain(kind: SchedulerKind, items: Vec<u32>) -> Vec<u32> {
+        drain_starving(kind, items, |_| false)
+    }
+
+    fn drain_starving(
+        kind: SchedulerKind,
+        items: Vec<u32>,
+        is_starved: impl Fn(&u32) -> bool,
+    ) -> Vec<u32> {
         let mut s = kind.instantiate();
         let mut pool: VecDeque<u32> = items.into();
         let mut out = Vec::new();
         while !pool.is_empty() {
-            out.push(s.take(&mut pool));
+            out.push(s.take(&mut pool, &is_starved));
         }
         out
     }
@@ -118,8 +148,26 @@ mod tests {
     }
 
     #[test]
+    fn starve_delays_marked_messages_to_the_end() {
+        // Odd values are "informed": they must come out only after every
+        // even value, preserving FIFO order within each class.
+        let out = drain_starving(SchedulerKind::Starve, vec![1, 2, 3, 4, 5, 6], |x| {
+            x % 2 == 1
+        });
+        assert_eq!(out, vec![2, 4, 6, 1, 3, 5]);
+        // All-starved pool degenerates to FIFO.
+        let out = drain_starving(SchedulerKind::Starve, vec![1, 3, 5], |x| x % 2 == 1);
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn starve_ignores_predicate_false_pools() {
+        assert_eq!(drain(SchedulerKind::Starve, vec![7, 8, 9]), vec![7, 8, 9]);
+    }
+
+    #[test]
     fn sweep_names_are_distinct() {
         let names: Vec<&str> = SchedulerKind::sweep(1).iter().map(|k| k.name()).collect();
-        assert_eq!(names, vec!["fifo", "lifo", "random"]);
+        assert_eq!(names, vec!["fifo", "lifo", "random", "starve"]);
     }
 }

@@ -4,7 +4,7 @@ use oraclesize_bits::BitString;
 use oraclesize_graph::families::{self, Family};
 use oraclesize_sim::engine::{run, SimConfig};
 use oraclesize_sim::protocol::{FloodOnce, Message, NodeBehavior, NodeView, Outgoing, Protocol};
-use oraclesize_sim::SchedulerKind;
+use oraclesize_sim::{FaultPlan, SchedulerKind};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,8 +19,14 @@ fn arb_scheduler() -> impl Strategy<Value = SchedulerKind> {
             SchedulerKind::Fifo,
             SchedulerKind::Lifo,
             SchedulerKind::Random { seed },
+            SchedulerKind::Starve,
         ])
     })
+}
+
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0.0f64..0.9, 0.0f64..0.9, 0.0f64..0.9)
+        .prop_map(|(seed, drop, dup, flip)| FaultPlan::message_faults(seed, drop, dup, flip))
 }
 
 proptest! {
@@ -102,6 +108,61 @@ proptest! {
         let b = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         prop_assert_eq!(a.trace, b.trace);
         prop_assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn informed_messages_never_exceed_messages(
+        fam in arb_family(),
+        n in 4usize..40,
+        seed in any::<u64>(),
+        sched in arb_scheduler(),
+        plan in arb_fault_plan(),
+        synchronous in any::<bool>(),
+    ) {
+        // The documented RunMetrics invariants, under every scheduler and
+        // arbitrary message-fault rates.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = fam.build(n, &mut rng);
+        let nodes = g.num_nodes();
+        let cfg = SimConfig {
+            synchronous,
+            scheduler: sched,
+            faults: plan,
+            ..Default::default()
+        };
+        let advice = vec![BitString::new(); nodes];
+        let out = run(&g, seed as usize % nodes, &advice, &FloodOnce, &cfg).unwrap();
+        let m = &out.metrics;
+        prop_assert!(m.informed_messages <= m.messages,
+            "informed {} > messages {}", m.informed_messages, m.messages);
+        prop_assert_eq!(m.steps, m.messages - m.faults.dropped + m.faults.duplicated);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed(
+        n in 4usize..32,
+        seed in any::<u64>(),
+        plan in arb_fault_plan(),
+        sched in arb_scheduler(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = families::random_connected(n, 0.3, &mut rng);
+        let mut plan = plan;
+        plan.crashes.insert(seed as usize % n, seed % 3);
+        let cfg = SimConfig {
+            synchronous: false,
+            scheduler: sched,
+            capture_trace: true,
+            faults: plan,
+            ..Default::default()
+        };
+        let advice = vec![BitString::new(); n];
+        let a = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
+        let b = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.metrics, b.metrics);
+        prop_assert_eq!(a.informed, b.informed);
+        prop_assert_eq!(a.crashed, b.crashed);
     }
 
     #[test]

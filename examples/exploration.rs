@@ -25,7 +25,10 @@ fn main() {
         ("grid 8x8", families::grid(8, 8)),
         ("hypercube d=6", families::hypercube(6)),
         ("complete K_64", families::complete_rotational(64)),
-        ("random sparse", families::random_connected(64, 0.15, &mut rng)),
+        (
+            "random sparse",
+            families::random_connected(64, 0.15, &mut rng),
+        ),
     ];
 
     println!(
@@ -46,7 +49,13 @@ fn main() {
         assert!(tour.covered_all && tour.halted);
         assert_eq!(tour.moves, 2 * (n as u64 - 1));
 
-        let dfs = walk(&g, 0, &empty, &mut DfsBacktrack::new(), &WalkConfig::default());
+        let dfs = walk(
+            &g,
+            0,
+            &empty,
+            &mut DfsBacktrack::new(),
+            &WalkConfig::default(),
+        );
         assert!(dfs.covered_all && dfs.halted);
         assert!(dfs.moves <= 2 * g.num_edges() as u64);
 
@@ -55,7 +64,9 @@ fn main() {
             0,
             &empty,
             &mut RandomWalk::new(7),
-            &WalkConfig { max_moves: 2_000_000 },
+            &WalkConfig {
+                max_moves: 2_000_000,
+            },
         );
 
         println!(

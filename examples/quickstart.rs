@@ -20,7 +20,13 @@ fn main() -> Result<(), oraclesize::sim::SimError> {
     println!("network: complete graph K_{n} (rotational ports), source {source}\n");
 
     // 1. Broadcast with the light-tree oracle (Theorem 3.1).
-    let broadcast = execute(&g, source, &LightTreeOracle, &SchemeB, &SimConfig::default())?;
+    let broadcast = execute(
+        &g,
+        source,
+        &LightTreeOracle,
+        &SchemeB,
+        &SimConfig::default(),
+    )?;
     assert!(broadcast.outcome.all_informed());
     println!(
         "broadcast (Scheme B):  oracle {:>6} bits (≤ 8n = {}), messages {:>5} (≤ 3(n−1) = {})",
@@ -41,8 +47,7 @@ fn main() -> Result<(), oraclesize::sim::SimError> {
     assert!(wakeup.outcome.all_informed());
     println!(
         "wakeup (tree oracle):  oracle {:>6} bits (Θ(n log n)),   messages {:>5} (= n−1)",
-        wakeup.oracle_bits,
-        wakeup.outcome.metrics.messages,
+        wakeup.oracle_bits, wakeup.outcome.metrics.messages,
     );
 
     // 3. No knowledge at all: flooding.
@@ -50,8 +55,7 @@ fn main() -> Result<(), oraclesize::sim::SimError> {
     assert!(flood.outcome.all_informed());
     println!(
         "flooding (no oracle):  oracle {:>6} bits,               messages {:>5} (Θ(n²) here)",
-        flood.oracle_bits,
-        flood.outcome.metrics.messages,
+        flood.oracle_bits, flood.outcome.metrics.messages,
     );
 
     println!(

@@ -34,7 +34,11 @@ fn main() -> Result<(), oraclesize::sim::SimError> {
     assert!(b.outcome.all_informed() && bf.outcome.all_informed());
     println!(
         "{:<14} | {:>12} {:>9} | {:>16} {:>9}",
-        "broadcast", b.oracle_bits, b.outcome.metrics.messages, "flooding", bf.outcome.metrics.messages
+        "broadcast",
+        b.oracle_bits,
+        b.outcome.metrics.messages,
+        "flooding",
+        bf.outcome.metrics.messages
     );
 
     // Wakeup.
@@ -48,11 +52,21 @@ fn main() -> Result<(), oraclesize::sim::SimError> {
     let wf = execute(&g, 0, &EmptyOracle, &FloodOnce, &SimConfig::wakeup())?;
     println!(
         "{:<14} | {:>12} {:>9} | {:>16} {:>9}",
-        "wakeup", w.oracle_bits, w.outcome.metrics.messages, "flooding", wf.outcome.metrics.messages
+        "wakeup",
+        w.oracle_bits,
+        w.outcome.metrics.messages,
+        "flooding",
+        wf.outcome.metrics.messages
     );
 
     // Gossip.
-    let go = execute(&g, 0, &GossipOracle::default(), &TreeGossip, &SimConfig::default())?;
+    let go = execute(
+        &g,
+        0,
+        &GossipOracle::default(),
+        &TreeGossip,
+        &SimConfig::default(),
+    )?;
     let complete = go.outcome.outputs.iter().all(|o| {
         o.as_ref()
             .and_then(decode_gossip_output)
@@ -65,23 +79,43 @@ fn main() -> Result<(), oraclesize::sim::SimError> {
     );
 
     // Leader election.
-    let e = execute(&g, 0, &ElectionOracle, &AnnouncedLeader, &SimConfig::default())?;
+    let e = execute(
+        &g,
+        0,
+        &ElectionOracle,
+        &AnnouncedLeader,
+        &SimConfig::default(),
+    )?;
     verify_election(&g, &e.outcome.outputs, false).expect("agreement");
     let ef = execute(&g, 0, &EmptyOracle, &FloodMax, &SimConfig::default())?;
     verify_election(&g, &ef.outcome.outputs, true).expect("max elected");
     println!(
         "{:<14} | {:>12} {:>9} | {:>16} {:>9}",
-        "election", e.oracle_bits, e.outcome.metrics.messages, "flood-max", ef.outcome.metrics.messages
+        "election",
+        e.oracle_bits,
+        e.outcome.metrics.messages,
+        "flood-max",
+        ef.outcome.metrics.messages
     );
 
     // BFS-tree construction.
-    let c = execute(&g, 0, &BfsTreeOracle, &ZeroMessageTree, &SimConfig::default())?;
+    let c = execute(
+        &g,
+        0,
+        &BfsTreeOracle,
+        &ZeroMessageTree,
+        &SimConfig::default(),
+    )?;
     let ports = collect_parent_ports(&c.outcome.outputs).expect("outputs decode");
     verify_bfs_tree(&g, 0, &ports).expect("valid BFS tree");
     let cf = execute(&g, 0, &EmptyOracle, &DistributedBfs, &SimConfig::default())?;
     println!(
         "{:<14} | {:>12} {:>9} | {:>16} {:>9}",
-        "bfs-tree", c.oracle_bits, c.outcome.metrics.messages, "distributed-bfs", cf.outcome.metrics.messages
+        "bfs-tree",
+        c.oracle_bits,
+        c.outcome.metrics.messages,
+        "distributed-bfs",
+        cf.outcome.metrics.messages
     );
 
     println!(

@@ -47,7 +47,11 @@ fn main() -> Result<(), oraclesize::sim::SimError> {
 
         println!(
             "{:>6} {:>6} | {:>14} {:>10} | {:>14} {:>10}",
-            n, nodes, w.oracle_bits, w.outcome.metrics.messages, b.oracle_bits,
+            n,
+            nodes,
+            w.oracle_bits,
+            w.outcome.metrics.messages,
+            b.oracle_bits,
             b.outcome.metrics.messages
         );
 
@@ -66,8 +70,6 @@ fn main() -> Result<(), oraclesize::sim::SimError> {
         "broadcast oracle size grows like {} (R² = {:.6})",
         b_fit.model, b_fit.r_squared
     );
-    println!(
-        "\n⇒ an efficient wakeup needs strictly more knowledge than an efficient broadcast."
-    );
+    println!("\n⇒ an efficient wakeup needs strictly more knowledge than an efficient broadcast.");
     Ok(())
 }

@@ -10,6 +10,7 @@
 
 use std::fmt::Write as _;
 
+use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
 use oraclesize_core::construction::{
     collect_parent_ports, verify_bfs_tree, verify_mst, BfsTreeOracle, DistributedBfs, MstOracle,
     ZeroMessageTree,
@@ -18,9 +19,8 @@ use oraclesize_core::election::{
     verify_election, AnnouncedLeader, ElectionOracle, FloodMax, HirschbergSinclair,
 };
 use oraclesize_core::gossip::{decode_gossip_output, GossipOracle, TreeGossip};
-use oraclesize_core::spanner::{collect_port_sets, verify_spanner, SpannerOracle};
-use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
 use oraclesize_core::oracle::EmptyOracle;
+use oraclesize_core::spanner::{collect_port_sets, verify_spanner, SpannerOracle};
 use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
 use oraclesize_core::{execute, OracleRun};
 use oraclesize_graph::families::Family;
@@ -77,8 +77,17 @@ impl Task {
 
     /// All task names, for `list` and error messages.
     pub const NAMES: [&'static str; 11] = [
-        "broadcast", "wakeup", "flood", "gossip", "election", "floodmax", "hs-election", "bfs",
-        "mst", "dist-bfs", "spanner",
+        "broadcast",
+        "wakeup",
+        "flood",
+        "gossip",
+        "election",
+        "floodmax",
+        "hs-election",
+        "bfs",
+        "mst",
+        "dist-bfs",
+        "spanner",
     ];
 }
 
@@ -144,8 +153,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--family" => {
                         let v = value("--family")?;
-                        family = parse_family(v)
-                            .ok_or_else(|| format!("unknown family {v:?}"))?;
+                        family = parse_family(v).ok_or_else(|| format!("unknown family {v:?}"))?;
                     }
                     "--n" => {
                         n = value("--n")?
@@ -154,9 +162,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--task" => {
                         let v = value("--task")?;
-                        task = Some(
-                            Task::parse(v).ok_or_else(|| format!("unknown task {v:?}"))?,
-                        );
+                        task = Some(Task::parse(v).ok_or_else(|| format!("unknown task {v:?}"))?);
                     }
                     "--source" => {
                         source = value("--source")?
@@ -169,6 +175,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             "fifo" => SchedulerKind::Fifo,
                             "lifo" => SchedulerKind::Lifo,
                             "random" => SchedulerKind::Random { seed },
+                            "starve" => SchedulerKind::Starve,
                             other => return Err(format!("unknown scheduler {other:?}")),
                         });
                     }
@@ -207,7 +214,7 @@ pub fn usage() -> String {
     format!(
         "oraclesize — run oracle-assisted communication tasks (PODC 2006)\n\n\
          USAGE:\n  oraclesize run --task <task> [--family <family>] [--n <size>]\n\
-         \x20                [--source <node>] [--scheduler fifo|lifo|random]\n\
+         \x20                [--source <node>] [--scheduler fifo|lifo|random|starve]\n\
          \x20                [--anonymous] [--seed <u64>] [--stretch <t>]\n\
          \x20 oraclesize list\n\n\
          TASKS:    {}\nFAMILIES: {}\n",
@@ -274,17 +281,29 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
     let (run, verification) = match args.task {
         Task::Broadcast => {
             let r = exec(&LightTreeOracle, &SchemeB)?;
-            let v = if r.outcome.all_informed() { "all informed" } else { "INCOMPLETE" };
+            let v = if r.outcome.all_informed() {
+                "all informed"
+            } else {
+                "INCOMPLETE"
+            };
             (r, v.to_string())
         }
         Task::Wakeup => {
             let r = exec(&SpanningTreeOracle::default(), &TreeWakeup)?;
-            let v = if r.outcome.all_informed() { "all informed" } else { "INCOMPLETE" };
+            let v = if r.outcome.all_informed() {
+                "all informed"
+            } else {
+                "INCOMPLETE"
+            };
             (r, v.to_string())
         }
         Task::Flood => {
             let r = exec(&EmptyOracle, &FloodOnce)?;
-            let v = if r.outcome.all_informed() { "all informed" } else { "INCOMPLETE" };
+            let v = if r.outcome.all_informed() {
+                "all informed"
+            } else {
+                "INCOMPLETE"
+            };
             (r, v.to_string())
         }
         Task::Gossip => {
@@ -294,7 +313,11 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
                     .and_then(decode_gossip_output)
                     .is_some_and(|s| s.len() == g.num_nodes())
             });
-            let v = if complete { "all nodes know all values" } else { "INCOMPLETE" };
+            let v = if complete {
+                "all nodes know all values"
+            } else {
+                "INCOMPLETE"
+            };
             (r, v.to_string())
         }
         Task::Election => {
@@ -314,22 +337,22 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
         }
         Task::Bfs => {
             let r = exec(&BfsTreeOracle, &ZeroMessageTree)?;
-            let ports = collect_parent_ports(&r.outcome.outputs)
-                .ok_or("outputs failed to decode")?;
+            let ports =
+                collect_parent_ports(&r.outcome.outputs).ok_or("outputs failed to decode")?;
             verify_bfs_tree(&g, args.source, &ports)?;
             (r, "verified BFS tree".to_string())
         }
         Task::Mst => {
             let r = exec(&MstOracle, &ZeroMessageTree)?;
-            let ports = collect_parent_ports(&r.outcome.outputs)
-                .ok_or("outputs failed to decode")?;
+            let ports =
+                collect_parent_ports(&r.outcome.outputs).ok_or("outputs failed to decode")?;
             verify_mst(&g, args.source, &ports)?;
             (r, "verified minimum spanning tree".to_string())
         }
         Task::DistBfs => {
             let r = exec(&EmptyOracle, &DistributedBfs)?;
-            let ports = collect_parent_ports(&r.outcome.outputs)
-                .ok_or("outputs failed to decode")?;
+            let ports =
+                collect_parent_ports(&r.outcome.outputs).ok_or("outputs failed to decode")?;
             let v = if args.scheduler.is_none() {
                 verify_bfs_tree(&g, args.source, &ports)?;
                 "verified BFS tree".to_string()
@@ -340,10 +363,12 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
         }
         Task::Spanner => {
             let r = exec(&SpannerOracle::new(args.stretch.max(1)), &ZeroMessageTree)?;
-            let sets = collect_port_sets(&r.outcome.outputs)
-                .ok_or("outputs failed to decode")?;
+            let sets = collect_port_sets(&r.outcome.outputs).ok_or("outputs failed to decode")?;
             let edges = verify_spanner(&g, &sets, args.stretch.max(1))?;
-            (r, format!("verified {}-spanner with {edges} edges", args.stretch))
+            (
+                r,
+                format!("verified {}-spanner with {edges} edges", args.stretch),
+            )
         }
     };
 
@@ -388,11 +413,23 @@ mod tests {
     #[test]
     fn parse_run_defaults_and_flags() {
         let cmd = parse_args(&args(&[
-            "run", "--task", "broadcast", "--family", "complete", "--n", "32",
-            "--scheduler", "lifo", "--anonymous", "--seed", "7",
+            "run",
+            "--task",
+            "broadcast",
+            "--family",
+            "complete",
+            "--n",
+            "32",
+            "--scheduler",
+            "lifo",
+            "--anonymous",
+            "--seed",
+            "7",
         ]))
         .unwrap();
-        let Command::Run(a) = cmd else { panic!("not run") };
+        let Command::Run(a) = cmd else {
+            panic!("not run")
+        };
         assert_eq!(a.task, Task::Broadcast);
         assert_eq!(a.family, Family::Complete);
         assert_eq!(a.n, 32);
@@ -413,7 +450,11 @@ mod tests {
     #[test]
     fn every_task_runs_and_verifies() {
         for task in Task::NAMES {
-            let family = if task == "hs-election" { "cycle" } else { "random-sparse" };
+            let family = if task == "hs-election" {
+                "cycle"
+            } else {
+                "random-sparse"
+            };
             let cmd = parse_args(&args(&[
                 "run", "--task", task, "--family", family, "--n", "24",
             ]))
@@ -426,15 +467,19 @@ mod tests {
 
     #[test]
     fn hs_election_requires_cycle() {
-        let cmd = parse_args(&args(&["run", "--task", "hs-election", "--family", "grid"]))
-            .unwrap();
+        let cmd = parse_args(&args(&["run", "--task", "hs-election", "--family", "grid"])).unwrap();
         assert!(run_command(&cmd).is_err());
     }
 
     #[test]
     fn anonymous_labeled_tasks_rejected() {
         let cmd = parse_args(&args(&[
-            "run", "--task", "gossip", "--anonymous", "--family", "cycle",
+            "run",
+            "--task",
+            "gossip",
+            "--anonymous",
+            "--family",
+            "cycle",
         ]))
         .unwrap();
         assert!(run_command(&cmd).is_err());
@@ -443,10 +488,39 @@ mod tests {
     #[test]
     fn async_runs_work() {
         let cmd = parse_args(&args(&[
-            "run", "--task", "broadcast", "--family", "hypercube", "--n", "32",
-            "--scheduler", "random",
+            "run",
+            "--task",
+            "broadcast",
+            "--family",
+            "hypercube",
+            "--n",
+            "32",
+            "--scheduler",
+            "random",
         ]))
         .unwrap();
+        let report = run_command(&cmd).unwrap();
+        assert!(report.contains("all informed"));
+    }
+
+    #[test]
+    fn starve_scheduler_is_exposed() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--task",
+            "broadcast",
+            "--family",
+            "cycle",
+            "--n",
+            "16",
+            "--scheduler",
+            "starve",
+        ]))
+        .unwrap();
+        let Command::Run(ref a) = cmd else {
+            panic!("not run")
+        };
+        assert_eq!(a.scheduler, Some(SchedulerKind::Starve));
         let report = run_command(&cmd).unwrap();
         assert!(report.contains("all informed"));
     }

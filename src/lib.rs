@@ -46,11 +46,13 @@ pub use oraclesize_sim as sim;
 /// The most common imports, for examples and downstream experiments.
 pub mod prelude {
     pub use oraclesize_core::baselines::{FullMapOracle, MapWakeup};
-    pub use oraclesize_core::construction::{BfsTreeOracle, DistributedBfs, MstOracle, ZeroMessageTree};
+    pub use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
+    pub use oraclesize_core::construction::{
+        BfsTreeOracle, DistributedBfs, MstOracle, ZeroMessageTree,
+    };
     pub use oraclesize_core::election::{AnnouncedLeader, ElectionOracle, FloodMax};
     pub use oraclesize_core::gossip::{GossipOracle, TreeGossip};
     pub use oraclesize_core::neighborhood::NeighborhoodOracle;
-    pub use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
     pub use oraclesize_core::oracle::EmptyOracle;
     pub use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
     pub use oraclesize_core::{advice_size, execute, Oracle, OracleRun};

@@ -22,8 +22,14 @@ fn all_tasks_complete_on_the_same_network() {
     let n = g.num_nodes();
 
     // Gossip: everyone learns everything, 2(n−1) messages.
-    let gossip = execute(&g, 0, &GossipOracle::default(), &TreeGossip, &SimConfig::default())
-        .unwrap();
+    let gossip = execute(
+        &g,
+        0,
+        &GossipOracle::default(),
+        &TreeGossip,
+        &SimConfig::default(),
+    )
+    .unwrap();
     assert_eq!(gossip.outcome.metrics.messages, 2 * (n as u64 - 1));
     for out in &gossip.outcome.outputs {
         let set = decode_gossip_output(out.as_ref().unwrap()).unwrap();
@@ -31,8 +37,14 @@ fn all_tasks_complete_on_the_same_network() {
     }
 
     // Election: n−1 messages with the oracle, agreement verified.
-    let election =
-        execute(&g, 5, &ElectionOracle, &AnnouncedLeader, &SimConfig::default()).unwrap();
+    let election = execute(
+        &g,
+        5,
+        &ElectionOracle,
+        &AnnouncedLeader,
+        &SimConfig::default(),
+    )
+    .unwrap();
     assert_eq!(election.outcome.metrics.messages, n as u64 - 1);
     assert_eq!(
         verify_election(&g, &election.outcome.outputs, false).unwrap(),
@@ -40,7 +52,14 @@ fn all_tasks_complete_on_the_same_network() {
     );
 
     // Construction: zero messages, verified BFS tree and MST.
-    let bfs = execute(&g, 0, &BfsTreeOracle, &ZeroMessageTree, &SimConfig::default()).unwrap();
+    let bfs = execute(
+        &g,
+        0,
+        &BfsTreeOracle,
+        &ZeroMessageTree,
+        &SimConfig::default(),
+    )
+    .unwrap();
     assert_eq!(bfs.outcome.metrics.messages, 0);
     verify_bfs_tree(&g, 0, &collect_parent_ports(&bfs.outcome.outputs).unwrap()).unwrap();
 
@@ -94,7 +113,13 @@ fn advice_free_comparators_cost_strictly_more_messages() {
     assert!(dbfs.outcome.metrics.messages > 2 * n);
 
     let empty = vec![oraclesize::bits::BitString::new(); g.num_nodes()];
-    let dfs = walk(&g, 0, &empty, &mut DfsBacktrack::new(), &WalkConfig::default());
+    let dfs = walk(
+        &g,
+        0,
+        &empty,
+        &mut DfsBacktrack::new(),
+        &WalkConfig::default(),
+    );
     assert!(dfs.covered_all);
     assert!(dfs.moves > 2 * (n - 1));
 }
@@ -106,9 +131,13 @@ fn tasks_work_async_and_with_every_scheduler() {
     let n = g.num_nodes();
     for kind in SchedulerKind::sweep(21) {
         let cfg = SimConfig::asynchronous(kind);
-        let gossip =
-            execute(&g, 0, &GossipOracle::default(), &TreeGossip, &cfg).unwrap();
-        assert_eq!(gossip.outcome.metrics.messages, 2 * (n as u64 - 1), "{}", kind.name());
+        let gossip = execute(&g, 0, &GossipOracle::default(), &TreeGossip, &cfg).unwrap();
+        assert_eq!(
+            gossip.outcome.metrics.messages,
+            2 * (n as u64 - 1),
+            "{}",
+            kind.name()
+        );
         let election = execute(&g, 3, &ElectionOracle, &AnnouncedLeader, &cfg).unwrap();
         verify_election(&g, &election.outcome.outputs, false).unwrap();
         let floodmax = execute(&g, 0, &EmptyOracle, &FloodMax, &cfg).unwrap();
@@ -119,12 +148,34 @@ fn tasks_work_async_and_with_every_scheduler() {
 #[test]
 fn single_node_degenerate_cases() {
     let g = PortGraph::from_adjacency(vec![vec![]]).unwrap();
-    let gossip =
-        execute(&g, 0, &GossipOracle::default(), &TreeGossip, &SimConfig::default()).unwrap();
+    let gossip = execute(
+        &g,
+        0,
+        &GossipOracle::default(),
+        &TreeGossip,
+        &SimConfig::default(),
+    )
+    .unwrap();
     assert_eq!(gossip.outcome.metrics.messages, 0);
-    let election =
-        execute(&g, 0, &ElectionOracle, &AnnouncedLeader, &SimConfig::default()).unwrap();
-    assert_eq!(verify_election(&g, &election.outcome.outputs, true).unwrap(), 0);
-    let bfs = execute(&g, 0, &BfsTreeOracle, &ZeroMessageTree, &SimConfig::default()).unwrap();
+    let election = execute(
+        &g,
+        0,
+        &ElectionOracle,
+        &AnnouncedLeader,
+        &SimConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        verify_election(&g, &election.outcome.outputs, true).unwrap(),
+        0
+    );
+    let bfs = execute(
+        &g,
+        0,
+        &BfsTreeOracle,
+        &ZeroMessageTree,
+        &SimConfig::default(),
+    )
+    .unwrap();
     verify_bfs_tree(&g, 0, &collect_parent_ports(&bfs.outcome.outputs).unwrap()).unwrap();
 }

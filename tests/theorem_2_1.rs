@@ -90,7 +90,10 @@ fn every_tree_algorithm_gives_valid_oracle() {
     let mut rng = StdRng::seed_from_u64(3);
     let g = families::lollipop(50);
     for alg in TreeAlgorithm::ALL {
-        let oracle = SpanningTreeOracle { algorithm: alg, seed: 7 };
+        let oracle = SpanningTreeOracle {
+            algorithm: alg,
+            seed: 7,
+        };
         let run = execute(&g, 0, &oracle, &TreeWakeup, &SimConfig::wakeup()).unwrap();
         assert!(run.outcome.all_informed(), "{}", alg.name());
         assert_eq!(run.outcome.metrics.messages, 49);

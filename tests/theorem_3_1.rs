@@ -65,7 +65,9 @@ fn claim_3_1_light_tree_beats_other_trees_on_dense_graphs() {
     assert!(light <= 4 * n as u64);
     let mut rng = StdRng::seed_from_u64(32);
     let bfs = TreeAlgorithm::Bfs.build(&g, 0, &mut rng).contribution(&g);
-    let random = TreeAlgorithm::Random.build(&g, 0, &mut rng).contribution(&g);
+    let random = TreeAlgorithm::Random
+        .build(&g, 0, &mut rng)
+        .contribution(&g);
     assert!(bfs > light, "BFS contribution {bfs} ≤ light tree {light}");
     assert!(bfs > 4 * n as u64, "BFS should violate the 4n bound");
     assert!(
@@ -115,7 +117,14 @@ fn scheme_b_robust_under_async_and_anonymity() {
 fn source_position_does_not_break_bounds() {
     let g = families::lollipop(64);
     for source in (0..64).step_by(7) {
-        let run = execute(&g, source, &LightTreeOracle, &SchemeB, &SimConfig::default()).unwrap();
+        let run = execute(
+            &g,
+            source,
+            &LightTreeOracle,
+            &SchemeB,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert!(run.outcome.all_informed(), "source {source}");
         assert!(run.oracle_bits <= 8 * 64);
         assert!(run.outcome.metrics.messages <= scheme_b_message_bound(64));
