@@ -2,7 +2,6 @@
 //! construction, exploration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use oraclesize_bits::BitString;
 use oraclesize_core::construction::{BfsTreeOracle, ZeroMessageTree};
 use oraclesize_core::election::{AnnouncedLeader, ElectionOracle};
 use oraclesize_core::execute;
@@ -72,7 +71,7 @@ fn bench_exploration(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let g = families::complete_rotational(96);
     let advice = tour_advice(&g, 0);
-    let empty = vec![BitString::new(); 96];
+    let empty = oraclesize_sim::testkit::no_advice(96);
     group.bench_function("guided_tour_k96", |b| {
         b.iter(|| {
             let r = walk(

@@ -1,0 +1,191 @@
+//! Declarative experiment grids over the runtime pool.
+//!
+//! An experiment here is a *grid of cells*: each cell names one
+//! `(instance, scheme, config)` combination, and the whole grid is handed
+//! to [`oraclesize_runtime::run_batch`] in one call. The pool executes
+//! cells on `--threads` workers while the grid keeps cell order — reports,
+//! tables, and the emitted `BENCH_T*.json` artifacts are byte-identical at
+//! any thread count (the runtime's determinism contract).
+
+use std::path::{Path, PathBuf};
+
+use oraclesize_runtime::{
+    drain, run_batch, Aggregate, Json, MetricsSink, Pool, RunReport, RunRequest,
+};
+
+/// Options shared by every experiment invocation.
+#[derive(Debug, Clone, Default)]
+pub struct ExpOptions {
+    /// Run the bigger (slower) sweeps.
+    pub large: bool,
+    /// Worker threads for grid dispatch (`0`/`1` ⇒ serial).
+    pub threads: usize,
+    /// Where to write `BENCH_<ID>.json` artifacts; `None` disables them.
+    pub json_dir: Option<PathBuf>,
+}
+
+impl ExpOptions {
+    /// Serial options with a size flag — what the pre-pool harness took.
+    pub fn sized(large: bool) -> Self {
+        ExpOptions {
+            large,
+            ..Default::default()
+        }
+    }
+
+    /// The pool these options describe.
+    pub fn pool(&self) -> Pool {
+        Pool::new(self.threads.max(1))
+    }
+}
+
+/// A labeled list of cells, built declaratively and dispatched in one
+/// batch.
+#[derive(Default)]
+pub struct CellGrid {
+    labels: Vec<String>,
+    requests: Vec<RunRequest>,
+}
+
+impl CellGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        CellGrid::default()
+    }
+
+    /// Appends one cell. The label is for the JSON artifact only; tables
+    /// derive their columns from the same iteration that built the grid.
+    pub fn cell(&mut self, label: impl Into<String>, request: RunRequest) {
+        self.labels.push(label.into());
+        self.requests.push(request);
+    }
+
+    /// Number of cells added so far.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when no cells were added.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Dispatches every cell across the options' pool, returning reports
+    /// in cell order.
+    pub fn dispatch(&self, opts: &ExpOptions) -> Vec<RunReport> {
+        run_batch(&opts.pool(), &self.requests)
+    }
+
+    /// Renders this grid's reports as a deterministic JSON fragment:
+    /// one labeled record per cell plus an aggregate, all folded in cell
+    /// order.
+    pub fn to_json(&self, reports: &[RunReport]) -> Json {
+        let cells: Vec<Json> = self
+            .labels
+            .iter()
+            .zip(reports)
+            .enumerate()
+            .map(|(i, (label, report))| {
+                let base = Json::obj().field("cell", i).field("label", label.as_str());
+                match &report.result {
+                    Ok(out) => base
+                        .field("completed", out.completed)
+                        .field("uninformed", out.uninformed)
+                        .field("crashed_nodes", out.crashed_nodes)
+                        .field("oracle_bits", out.oracle_bits)
+                        .field("messages", out.metrics.messages)
+                        .field("payload_bits", out.metrics.payload_bits)
+                        .field("max_message_bits", out.metrics.max_message_bits)
+                        .field("rounds", out.metrics.rounds)
+                        .field("steps", out.metrics.steps)
+                        .field("informed_nodes", out.metrics.informed_nodes)
+                        .field("dropped", out.metrics.faults.dropped)
+                        .field("duplicated", out.metrics.faults.duplicated)
+                        .field("payload_flips", out.metrics.faults.payload_flips)
+                        .field("advice_mutations", out.metrics.faults.advice_mutations),
+                    Err(e) => base.field("error", e.as_str()),
+                }
+            })
+            .collect();
+        let mut agg = Aggregate::new();
+        drain(&mut agg, reports);
+        Json::obj()
+            .field("cells", cells)
+            .field("aggregate", agg.finish())
+    }
+}
+
+/// Writes `BENCH_<ID>.json` into the options' `json_dir` (no-op when the
+/// directory is unset). The payload deliberately excludes thread count,
+/// timing, and anything else that could differ between identical runs.
+///
+/// Returns the path written, if any.
+pub fn emit_json(opts: &ExpOptions, id: &str, body: Json) -> Option<PathBuf> {
+    let dir: &Path = opts.json_dir.as_deref()?;
+    std::fs::create_dir_all(dir).expect("create json_dir");
+    let json = Json::obj()
+        .field("experiment", id.to_lowercase())
+        .field("seed", crate::harness::MASTER_SEED)
+        .field("body", body);
+    let path = dir.join(format!("BENCH_{}.json", id.to_uppercase()));
+    std::fs::write(&path, format!("{}\n", json.render())).expect("write BENCH json");
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oraclesize_core::oracle::EmptyOracle;
+    use oraclesize_graph::families;
+    use oraclesize_runtime::Instance;
+    use oraclesize_sim::protocol::FloodOnce;
+    use oraclesize_sim::SimConfig;
+    use std::sync::Arc;
+
+    fn tiny_grid() -> CellGrid {
+        let inst = Instance::build(Arc::new(families::cycle(6)), 0, &EmptyOracle);
+        let mut grid = CellGrid::new();
+        for i in 0..4 {
+            grid.cell(
+                format!("cell-{i}"),
+                RunRequest::new(Arc::clone(&inst), Arc::new(FloodOnce), SimConfig::default()),
+            );
+        }
+        grid
+    }
+
+    #[test]
+    fn grid_json_is_thread_count_invariant() {
+        let grid = tiny_grid();
+        let serial = grid.to_json(&grid.dispatch(&ExpOptions::default()));
+        let threaded = grid.to_json(&grid.dispatch(&ExpOptions {
+            threads: 4,
+            ..Default::default()
+        }));
+        assert_eq!(serial.render(), threaded.render());
+        assert!(oraclesize_runtime::json::parses(&serial.render()));
+    }
+
+    #[test]
+    fn emit_json_respects_unset_dir() {
+        let grid = tiny_grid();
+        let json = grid.to_json(&grid.dispatch(&ExpOptions::default()));
+        assert_eq!(emit_json(&ExpOptions::default(), "t0", json), None);
+    }
+
+    #[test]
+    fn emit_json_writes_parseable_file() {
+        let dir = std::env::temp_dir().join("oraclesize-grid-test");
+        let opts = ExpOptions {
+            json_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let grid = tiny_grid();
+        let json = grid.to_json(&grid.dispatch(&opts));
+        let path = emit_json(&opts, "t0", json).expect("path");
+        assert_eq!(path.file_name().unwrap(), "BENCH_T0.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(oraclesize_runtime::json::parses(&body));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,9 +23,14 @@
 //! | F3 | advice-budget trade-off curve (CSV) |
 //!
 //! Run `cargo run --release -p oraclesize-bench --bin experiments -- all`
-//! to regenerate everything, or pass a list of ids (`t1 t7 f2`).
+//! to regenerate everything, or pass a list of ids (`t1 t7 f2`). Grid
+//! experiments (T10, T20) honor `--threads N` (parallel dispatch through
+//! `oraclesize-runtime`) and `--json-dir DIR` (deterministic
+//! `BENCH_T*.json` artifacts); output is byte-identical at any thread
+//! count.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod grid;
 pub mod harness;

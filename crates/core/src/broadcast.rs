@@ -346,7 +346,7 @@ mod tests {
     #[test]
     fn empty_advice_everywhere_reaches_only_source_component() {
         let g = families::path(3);
-        let advice = vec![BitString::new(); 3];
+        let advice = oraclesize_sim::testkit::no_advice(3);
         let out = oraclesize_sim::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
         assert_eq!(out.informed_count(), 1);
         assert_eq!(out.metrics.messages, 0);

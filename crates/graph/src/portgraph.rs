@@ -123,6 +123,14 @@ impl fmt::Display for GraphError {
 
 impl Error for GraphError {}
 
+// Sharing a PortGraph across worker threads is load-bearing for the
+// parallel runtime; fail compilation loudly if it ever stops being
+// Send + Sync (e.g. by gaining interior mutability).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PortGraph>();
+};
+
 /// An undirected graph with per-node port numbering — the network model of
 /// the paper.
 ///
@@ -189,6 +197,14 @@ impl PortGraph {
         let g = PortGraph { adj, labels };
         g.validate()?;
         Ok(g)
+    }
+
+    /// Wraps the graph in an [`Arc`](std::sync::Arc) for cross-thread
+    /// sharing — the form `oraclesize-runtime` instances and worker pools
+    /// consume. The graph is immutable after construction, so one shared
+    /// copy serves any number of concurrent engine runs.
+    pub fn into_shared(self) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(self)
     }
 
     /// Number of nodes.
@@ -479,5 +495,13 @@ mod tests {
         assert_eq!(g.num_nodes(), 1);
         assert_eq!(g.num_edges(), 0);
         assert!(g.is_connected());
+    }
+
+    #[test]
+    fn into_shared_preserves_the_graph() {
+        let g = PortGraph::from_adjacency(vec![vec![(1, 0)], vec![(0, 0)]]).unwrap();
+        let shared = g.clone().into_shared();
+        assert_eq!(*shared, g);
+        assert_eq!(std::sync::Arc::strong_count(&shared), 1);
     }
 }

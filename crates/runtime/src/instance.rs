@@ -1,0 +1,87 @@
+//! `Arc`-shared immutable problem instances.
+
+use std::sync::Arc;
+
+use oraclesize_bits::BitString;
+use oraclesize_core::{advice_size, Oracle};
+use oraclesize_graph::{NodeId, PortGraph};
+
+/// One immutable problem instance: a port-labeled graph, a source, and the
+/// advice an oracle assigned — built **once**, then shared by every cell
+/// and every worker thread through an `Arc`.
+///
+/// Building dense instances (and running oracles on them) dominates many
+/// sweeps; sharing removes both the rebuild and the per-seed advice
+/// recomputation from the hot path. The graph itself is held behind its
+/// own `Arc` so several instances (e.g. one per scheme, whose oracles
+/// assign different advice) can still share a single adjacency structure.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The shared network.
+    pub graph: Arc<PortGraph>,
+    /// The broadcast/wakeup source the advice was computed for.
+    pub source: NodeId,
+    /// Per-node advice strings.
+    pub advice: Vec<BitString>,
+    /// Total advice size in bits — the paper's oracle size.
+    pub oracle_bits: u64,
+}
+
+impl Instance {
+    /// Runs `oracle` on the shared graph and freezes the result.
+    pub fn build(graph: Arc<PortGraph>, source: NodeId, oracle: &dyn Oracle) -> Arc<Instance> {
+        let advice = oracle.advise(&graph, source);
+        let oracle_bits = advice_size(&advice);
+        Arc::new(Instance {
+            graph,
+            source,
+            advice,
+            oracle_bits,
+        })
+    }
+
+    /// Freezes precomputed advice (for callers that build advice by hand).
+    pub fn with_advice(
+        graph: Arc<PortGraph>,
+        source: NodeId,
+        advice: Vec<BitString>,
+    ) -> Arc<Instance> {
+        let oracle_bits = advice_size(&advice);
+        Arc::new(Instance {
+            graph,
+            source,
+            advice,
+            oracle_bits,
+        })
+    }
+
+    /// Number of nodes in the shared graph.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+// The whole point of Instance is cross-thread sharing; fail compilation
+// loudly if a field ever stops being Send + Sync.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Instance>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oraclesize_core::oracle::EmptyOracle;
+    use oraclesize_graph::families;
+
+    #[test]
+    fn build_computes_oracle_size() {
+        let g = Arc::new(families::cycle(6));
+        let inst = Instance::build(Arc::clone(&g), 0, &EmptyOracle);
+        assert_eq!(inst.oracle_bits, 0);
+        assert_eq!(inst.advice.len(), 6);
+        assert_eq!(inst.num_nodes(), 6);
+        // The graph is shared, not copied.
+        assert!(Arc::ptr_eq(&g, &inst.graph));
+    }
+}

@@ -1,0 +1,250 @@
+//! A minimal, deterministic JSON writer.
+//!
+//! The `BENCH_T*.json` artifacts must be byte-identical across thread
+//! counts and machines, so this writer is deliberately austere: objects
+//! keep insertion order, numbers are integers only (every engine metric is
+//! a count), and rendering appends no whitespace beyond single spaces
+//! after separators.
+
+use std::fmt::Write as _;
+
+/// A JSON value restricted to what deterministic artifacts need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (all engine metrics are counts).
+    U64(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with **insertion-ordered** keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds a field (builder style). Panics never; duplicate keys are the
+    /// caller's bug and render as-is.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        if let Json::Object(fields) = &mut self {
+            fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Renders to a compact, deterministic string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push_str(": ");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+}
+
+/// A tolerant structural check used by tests and the CI smoke job: `true`
+/// iff `s` parses as a JSON value covering the subset this writer emits.
+pub fn parses(s: &str) -> bool {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Option<usize> {
+        let i = skip_ws(b, i);
+        match b.get(i)? {
+            b'{' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return None;
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b'}' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b']' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => string(b, i),
+            b't' => b[i..].starts_with(b"true").then_some(i + 4),
+            b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+            b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+            c if c.is_ascii_digit() || *c == b'-' => {
+                let mut i = i + 1;
+                while i < b.len()
+                    && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    i += 1;
+                }
+                Some(i)
+            }
+            _ => None,
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Option<usize> {
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        let mut i = i + 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i + 1),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+    let b = s.as_bytes();
+    value(b, 0).map(|end| skip_ws(b, end) == b.len()) == Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_deterministically() {
+        let j = Json::obj()
+            .field("name", "t10")
+            .field("cells", vec![Json::U64(1), Json::Bool(true)])
+            .field("note", "a \"quoted\"\nline");
+        let a = j.render();
+        let b = j.render();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "{\"name\": \"t10\", \"cells\": [1, true], \"note\": \"a \\\"quoted\\\"\\nline\"}"
+        );
+    }
+
+    #[test]
+    fn parses_accepts_own_output() {
+        let j = Json::obj()
+            .field("a", 3u64)
+            .field("b", Json::Array(vec![Json::Null, Json::Str("x".into())]));
+        assert!(parses(&j.render()));
+    }
+
+    #[test]
+    fn parses_rejects_garbage() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "\"open", "{} extra"] {
+            assert!(!parses(bad), "{bad:?} should not parse");
+        }
+    }
+}

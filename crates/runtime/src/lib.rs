@@ -1,0 +1,63 @@
+//! Parallel experiment runtime: a dependency-free worker pool and a
+//! deterministic batch API for running many engine executions at once.
+//!
+//! Every theorem-scale experiment in this workspace sweeps *cells* — one
+//! `(instance, scheme, config, seed)` combination per cell — and each cell
+//! is an independent, seeded, deterministic engine run. This crate turns
+//! such sweeps into a batch:
+//!
+//! * [`pool`] — a [`Pool`] of `std::thread` scoped workers pulling cell
+//!   indices off a shared atomic counter (the workspace is offline, so no
+//!   rayon; plain scoped threads are all that is needed),
+//! * [`instance`] — [`Instance`]: an `Arc`-shared immutable
+//!   `(PortGraph, advice)` pair, built once and served to every cell and
+//!   every thread without copying,
+//! * [`batch`] — [`RunRequest`] → [`RunReport`]: the cell description and
+//!   the comparable, fully deterministic result record,
+//! * [`sink`] — [`MetricsSink`]: aggregation that folds reports **in cell
+//!   order**, never completion order, so any thread count produces
+//!   byte-identical output,
+//! * [`json`] — a minimal, deterministic JSON writer (insertion-ordered
+//!   objects, integers only) used for the `BENCH_T*.json` artifacts.
+//!
+//! # Determinism contract
+//!
+//! For a fixed request list, [`run_batch`] returns the same `Vec<RunReport>`
+//! — byte for byte — at any thread count. This holds because (a) every
+//! engine run is seeded and self-contained, (b) reports are written into
+//! per-cell slots, not appended, and (c) sinks consume reports in cell
+//! order. The property tests in `tests/determinism.rs` pin this down.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use oraclesize_core::oracle::EmptyOracle;
+//! use oraclesize_graph::families;
+//! use oraclesize_runtime::{Instance, Pool, RunRequest, run_batch};
+//! use oraclesize_sim::protocol::FloodOnce;
+//! use oraclesize_sim::SimConfig;
+//!
+//! let g = Arc::new(families::cycle(8));
+//! let instance = Instance::build(g, 0, &EmptyOracle);
+//! let protocol = Arc::new(FloodOnce);
+//! let requests: Vec<RunRequest> = (0..4)
+//!     .map(|_| RunRequest::new(Arc::clone(&instance), protocol.clone(), SimConfig::default()))
+//!     .collect();
+//! let reports = run_batch(&Pool::new(2), &requests);
+//! assert!(reports.iter().all(|r| r.outcome().unwrap().completed));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod instance;
+pub mod json;
+pub mod pool;
+pub mod sink;
+
+pub use batch::{run_batch, CellOutcome, RunReport, RunRequest};
+pub use instance::Instance;
+pub use json::Json;
+pub use pool::Pool;
+pub use sink::{drain, Aggregate, MetricsSink, ReportCollector};

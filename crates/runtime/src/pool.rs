@@ -1,0 +1,113 @@
+//! A scoped worker pool over `std::thread` — no external dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width worker pool.
+///
+/// [`Pool::run`] fans an indexed job out to `threads` scoped workers that
+/// pull indices off a shared atomic counter. Results land in per-index
+/// slots, so the returned `Vec` is always in job order no matter which
+/// worker finished which job first — the root of the runtime's
+/// thread-count-independence guarantee.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// A serial pool (one worker) — the deterministic baseline.
+    fn default() -> Self {
+        Pool::new(1)
+    }
+}
+
+impl Pool {
+    /// A pool with the given number of workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(jobs − 1)` across the pool and returns the
+    /// results **in index order**.
+    ///
+    /// With one worker (or one job) this degenerates to a plain loop on
+    /// the calling thread — no spawn overhead for the serial case.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job (the scope joins all workers
+    /// first).
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(jobs);
+        if workers <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        // One mutex per slot: a worker only ever touches the slots of the
+        // indices it claimed, so there is no contention — the mutex is
+        // just the safe way to hand &mut access to scoped threads.
+        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let result = f(i);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every index claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.run(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        assert!(Pool::new(4).run(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(0).run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        assert_eq!(Pool::new(16).run(2, |i| i + 1), vec![1, 2]);
+    }
+}

@@ -1,0 +1,92 @@
+//! The determinism contract, pinned down: for a fixed request list, the
+//! batch report vector — and everything derived from it (aggregates,
+//! rendered JSON) — is identical at `--threads 1`, `2`, and `8`.
+
+use std::sync::Arc;
+
+use oraclesize_core::oracle::EmptyOracle;
+use oraclesize_graph::families::Family;
+use oraclesize_runtime::{
+    drain, run_batch, Aggregate, Instance, MetricsSink, Pool, ReportCollector, RunRequest,
+};
+use oraclesize_sim::protocol::FloodOnce;
+use oraclesize_sim::{FaultPlan, SchedulerKind, SimConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a grid of cells over one shared instance: a seed sweep with
+/// per-cell schedulers and fault plans, exercising every code path that
+/// could conceivably differ across workers.
+fn grid(fam: Family, n: usize, seed: u64, cells: usize) -> Vec<RunRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = Arc::new(fam.build(n, &mut rng));
+    let source = seed as usize % g.num_nodes();
+    let instance = Instance::build(g, source, &EmptyOracle);
+    let protocol: Arc<dyn oraclesize_sim::protocol::Protocol + Send + Sync> = Arc::new(FloodOnce);
+    (0..cells)
+        .map(|cell| {
+            let cell_seed = seed.wrapping_add(cell as u64);
+            let config = SimConfig {
+                synchronous: cell % 2 == 0,
+                scheduler: match cell % 3 {
+                    0 => SchedulerKind::Fifo,
+                    1 => SchedulerKind::Lifo,
+                    _ => SchedulerKind::Random { seed: cell_seed },
+                },
+                faults: if cell % 2 == 0 {
+                    FaultPlan::message_faults(cell_seed, 0.1, 0.1, 0.2)
+                } else {
+                    FaultPlan::default()
+                },
+                ..Default::default()
+            };
+            RunRequest::new(Arc::clone(&instance), Arc::clone(&protocol), config)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite 3: for a fixed seed, `RunReport`s are identical for
+    /// `--threads` 1, 2, and 8 — and so are the aggregate JSON bytes.
+    #[test]
+    fn reports_identical_across_thread_counts(
+        fam in proptest::sample::select(Family::ALL.to_vec()),
+        n in 4usize..24,
+        seed in any::<u64>(),
+    ) {
+        let requests = grid(fam, n, seed, 12);
+        let serial = run_batch(&Pool::new(1), &requests);
+        for threads in [2usize, 8] {
+            let parallel = run_batch(&Pool::new(threads), &requests);
+            prop_assert_eq!(&serial, &parallel, "threads = {}", threads);
+
+            let mut agg_s = Aggregate::new();
+            let mut agg_p = Aggregate::new();
+            drain(&mut agg_s, &serial);
+            drain(&mut agg_p, &parallel);
+            prop_assert_eq!(agg_s.finish().render(), agg_p.finish().render());
+
+            let mut coll_s = ReportCollector::new();
+            let mut coll_p = ReportCollector::new();
+            drain(&mut coll_s, &serial);
+            drain(&mut coll_p, &parallel);
+            prop_assert_eq!(coll_s.finish().render(), coll_p.finish().render());
+        }
+    }
+}
+
+/// A deterministic (non-property) pin of the same contract, so the
+/// guarantee is exercised even when proptest shrinks its case budget.
+#[test]
+fn fixed_grid_is_thread_count_invariant() {
+    let requests = grid(Family::Cycle, 16, 2006, 24);
+    let serial = run_batch(&Pool::new(1), &requests);
+    assert_eq!(serial.len(), 24);
+    assert!(serial.iter().any(|r| r.outcome().is_some()));
+    for threads in [2, 3, 8] {
+        assert_eq!(serial, run_batch(&Pool::new(threads), &requests));
+    }
+}

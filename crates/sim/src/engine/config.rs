@@ -1,0 +1,90 @@
+//! Execution configuration: task rules and delivery model.
+
+use crate::faults::FaultPlan;
+use crate::scheduler::SchedulerKind;
+
+/// Which communication task's rules the engine enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TaskMode {
+    /// Broadcast: every node may transmit spontaneously.
+    #[default]
+    Broadcast,
+    /// Wakeup: a node other than the source must stay silent until it has
+    /// received a message carrying the source message. Any earlier send is
+    /// a [`SimError`](crate::engine::SimError)`::WakeupViolation`.
+    Wakeup,
+}
+
+/// Execution configuration.
+///
+/// The default is synchronous broadcast with FIFO delivery, no message-size
+/// limit, identities visible, and no trace capture.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Task rules to enforce.
+    pub mode: TaskMode,
+    /// `true`: round-based synchronous delivery (all messages sent in round
+    /// `r` arrive in round `r+1`). `false`: asynchronous — the
+    /// [`scheduler`](SimConfig::scheduler) picks each next delivery.
+    pub synchronous: bool,
+    /// Delivery order for asynchronous mode.
+    pub scheduler: SchedulerKind,
+    /// Abort after this many deliveries
+    /// ([`SimError::StepLimit`](crate::engine::SimError::StepLimit)); guards
+    /// against non-quiescent protocols.
+    pub max_steps: u64,
+    /// If set, any payload larger than this many bits aborts the run
+    /// ([`SimError::MessageTooLarge`](crate::engine::SimError::MessageTooLarge))
+    /// — the bounded-message-size model.
+    pub max_message_bits: Option<u64>,
+    /// Erase node identities (`NodeView::id = None`) — the anonymous model
+    /// of §1.3.
+    pub anonymous: bool,
+    /// Record a [`TraceEvent`](crate::engine::TraceEvent) per delivery (for
+    /// tests and examples).
+    pub capture_trace: bool,
+    /// Faults to inject (see [`crate::faults`]). The default plan is inert:
+    /// the engine then behaves bit-for-bit as a fault-free run.
+    pub faults: FaultPlan,
+    /// How many times the engine polls
+    /// [`NodeBehavior::on_quiescence`](crate::protocol::NodeBehavior::on_quiescence)
+    /// after the network drains before declaring the run over. Each poll
+    /// that produces sends resumes delivery; schemes that never speak at
+    /// quiescence terminate after one silent poll regardless of this limit.
+    pub max_quiescence_polls: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mode: TaskMode::Broadcast,
+            synchronous: true,
+            scheduler: SchedulerKind::Fifo,
+            max_steps: 10_000_000,
+            max_message_bits: None,
+            anonymous: false,
+            capture_trace: false,
+            faults: FaultPlan::default(),
+            max_quiescence_polls: 8,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Synchronous wakeup configuration.
+    pub fn wakeup() -> Self {
+        SimConfig {
+            mode: TaskMode::Wakeup,
+            ..Default::default()
+        }
+    }
+
+    /// Asynchronous broadcast under the given scheduler.
+    pub fn asynchronous(scheduler: SchedulerKind) -> Self {
+        SimConfig {
+            synchronous: false,
+            scheduler,
+            ..Default::default()
+        }
+    }
+}

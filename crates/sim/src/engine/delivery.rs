@@ -1,0 +1,197 @@
+//! The network state machine: send validation, accounting, fault
+//! injection, and the zero-clone delivery hot path.
+
+use std::collections::VecDeque;
+
+use oraclesize_bits::BitString;
+use oraclesize_graph::{NodeId, Port, PortGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::config::{SimConfig, TaskMode};
+use crate::engine::outcome::SimError;
+use crate::metrics::RunMetrics;
+use crate::protocol::{Message, Outgoing};
+
+/// An in-flight message.
+pub(crate) struct InFlight {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub arrival_port: Port,
+    pub message: Message,
+}
+
+/// Everything the engine mutates while messages are in flight: node status
+/// (informed, crashed, send budgets), accounting, and the fault RNG.
+///
+/// Splitting this off the driver loop lets [`enqueue`](NetState::enqueue)
+/// borrow the whole machine mutably while the driver keeps its own handles
+/// on the delivery queues.
+pub(crate) struct NetState<'a> {
+    g: &'a PortGraph,
+    config: &'a SimConfig,
+    /// Which nodes have the source message.
+    pub informed: Vec<bool>,
+    /// Which nodes have crash-stopped.
+    pub crashed: Vec<bool>,
+    sends_made: Vec<u64>,
+    /// Accounting, updated per accepted send.
+    pub metrics: RunMetrics,
+    fault_rng: Option<StdRng>,
+}
+
+impl<'a> NetState<'a> {
+    /// Fresh state: only the source is informed; zero-budget crash nodes
+    /// are dead from the start. An inert fault plan takes no RNG and the
+    /// run is bit-for-bit identical to a fault-free execution.
+    pub fn new(g: &'a PortGraph, config: &'a SimConfig, source: NodeId) -> Self {
+        let n = g.num_nodes();
+        let plan = &config.faults;
+        let fault_rng = if plan.is_inert() {
+            None
+        } else {
+            Some(StdRng::seed_from_u64(plan.seed))
+        };
+        let mut informed = vec![false; n];
+        informed[source] = true;
+        let crashed = (0..n)
+            .map(|v| plan.crashes.get(&v).is_some_and(|&k| k == 0))
+            .collect();
+        NetState {
+            g,
+            config,
+            informed,
+            crashed,
+            sends_made: vec![0; n],
+            metrics: RunMetrics::default(),
+            fault_rng,
+        }
+    }
+
+    /// Applies the advice-corruption adversary, returning the mutated
+    /// advice if the plan has an active fault RNG. Must be called before
+    /// any [`enqueue`](NetState::enqueue) so the RNG stream matches the
+    /// documented draw order (advice first, then in-flight faults).
+    pub fn corrupt_advice(&mut self, advice: &[BitString]) -> Option<Vec<BitString>> {
+        let rng = self.fault_rng.as_mut()?;
+        let mut mutated = advice.to_vec();
+        self.metrics.faults.advice_mutations = self.config.faults.advice.corrupt(&mut mutated, rng);
+        Some(mutated)
+    }
+
+    /// Enqueues `sends` from node `v` onto `out`, validating rules,
+    /// accounting, and injecting in-flight faults. A crashed node's sends
+    /// are suppressed (it is dead, so they are not wakeup violations
+    /// either); protocol errors from live nodes still abort the run even
+    /// under faults.
+    ///
+    /// This is the delivery hot path: each accepted payload is *moved*
+    /// into the queue. The only copies are the extra deliveries a
+    /// duplication fault manufactures, counted in
+    /// [`FaultCounts::payload_copies`](crate::faults::FaultCounts::payload_copies).
+    pub fn enqueue(
+        &mut self,
+        v: NodeId,
+        sends: Vec<Outgoing>,
+        out: &mut VecDeque<InFlight>,
+    ) -> Result<(), SimError> {
+        if sends.is_empty() {
+            return Ok(());
+        }
+        if self.crashed[v] {
+            self.metrics.faults.suppressed_sends += sends.len() as u64;
+            return Ok(());
+        }
+        if self.config.mode == TaskMode::Wakeup && !self.informed[v] {
+            return Err(SimError::WakeupViolation { node: v });
+        }
+        for s in sends {
+            if s.port >= self.g.degree(v) {
+                return Err(SimError::PortOutOfRange {
+                    node: v,
+                    port: s.port,
+                    degree: self.g.degree(v),
+                });
+            }
+            let bits = s.message.size_bits() as u64;
+            if let Some(limit) = self.config.max_message_bits {
+                if bits > limit {
+                    return Err(SimError::MessageTooLarge {
+                        node: v,
+                        bits,
+                        limit,
+                    });
+                }
+            }
+            if self.crashed[v] {
+                // The crash budget ran out earlier in this batch.
+                self.metrics.faults.suppressed_sends += 1;
+                continue;
+            }
+            let (to, arrival_port) = self.g.neighbor_via(v, s.port);
+            let mut message = s.message;
+            message.carries_source = self.informed[v];
+            self.metrics.messages += 1;
+            if message.carries_source {
+                self.metrics.informed_messages += 1;
+            }
+            self.metrics.payload_bits += bits;
+            self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+            self.sends_made[v] += 1;
+            if self
+                .config
+                .faults
+                .crashes
+                .get(&v)
+                .is_some_and(|&k| self.sends_made[v] >= k)
+            {
+                self.crashed[v] = true;
+            }
+            // In-flight faults: drop, duplicate, or corrupt the payload.
+            let mut copies: u32 = 1;
+            if let Some(rng) = self.fault_rng.as_mut() {
+                if rng.gen_bool(self.config.faults.drop_prob.clamp(0.0, 1.0)) {
+                    self.metrics.faults.dropped += 1;
+                    copies = 0;
+                } else if rng.gen_bool(self.config.faults.duplicate_prob.clamp(0.0, 1.0)) {
+                    self.metrics.faults.duplicated += 1;
+                    copies = 2;
+                }
+            }
+            // Zero-clone hot path: the final copy takes ownership of the
+            // payload; only the extra deliveries of a duplication fault
+            // are cloned (and counted).
+            let mut message = Some(message);
+            for i in 0..copies {
+                let mut delivered = if i + 1 == copies {
+                    message.take().expect("final copy moves the payload")
+                } else {
+                    self.metrics.faults.payload_copies += 1;
+                    message.as_ref().expect("cloned before the move").clone()
+                };
+                if let Some(rng) = self.fault_rng.as_mut() {
+                    if !delivered.payload.is_empty()
+                        && rng.gen_bool(self.config.faults.bit_flip_prob.clamp(0.0, 1.0))
+                    {
+                        let idx = rng.gen_range(0..delivered.payload.len());
+                        delivered.payload = BitString::from_bits(
+                            delivered
+                                .payload
+                                .iter()
+                                .enumerate()
+                                .map(|(i, b)| if i == idx { !b } else { b }),
+                        );
+                        self.metrics.faults.payload_flips += 1;
+                    }
+                }
+                out.push_back(InFlight {
+                    from: v,
+                    to,
+                    arrival_port,
+                    message: delivered,
+                });
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,27 @@
+//! The executor: delivers messages, enforces the task rules, accounts.
+//!
+//! The engine is split along its three concerns:
+//!
+//! * [`config`] — what to run: [`TaskMode`], [`SimConfig`];
+//! * [`delivery`] — the network state machine: validation, accounting,
+//!   fault injection, and the zero-clone delivery hot path (payloads move
+//!   out of the send queue; a clone happens only when a duplication fault
+//!   manufactures an extra delivery);
+//! * [`outcome`] — what came back: [`RunOutcome`], [`Completion`],
+//!   [`TraceEvent`], and the [`SimError`] abort reasons;
+//! * [`run`](mod@run) — the driver loop tying them together.
+//!
+//! All public names are re-exported here, so `engine::run`,
+//! `engine::SimConfig`, … keep working exactly as before the split.
+
+pub mod config;
+pub mod delivery;
+pub mod outcome;
+pub mod run;
+
+pub use config::{SimConfig, TaskMode};
+pub use outcome::{Completion, RunOutcome, SimError, TraceEvent};
+pub use run::run;
+
+#[cfg(test)]
+mod tests;

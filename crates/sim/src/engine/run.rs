@@ -1,0 +1,170 @@
+//! The driver loop: instantiate schemes, drain the network, poll
+//! quiescence, collect the outcome.
+
+use std::collections::VecDeque;
+
+use oraclesize_bits::BitString;
+use oraclesize_graph::{NodeId, PortGraph};
+
+use crate::engine::config::SimConfig;
+use crate::engine::delivery::{InFlight, NetState};
+use crate::engine::outcome::{RunOutcome, SimError, TraceEvent};
+use crate::protocol::{NodeBehavior, NodeView, Protocol};
+use crate::scheduler::Scheduler;
+
+/// Executes `protocol` on `g` from `source` with the given per-node advice.
+///
+/// Nodes are instantiated in node-id order; `on_start` is invoked in that
+/// order before any delivery. Execution runs to quiescence (no in-flight
+/// messages) and returns the outcome.
+///
+/// # Errors
+///
+/// See [`SimError`]. Any error aborts the run immediately.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn run(
+    g: &PortGraph,
+    source: NodeId,
+    advice: &[BitString],
+    protocol: &dyn Protocol,
+    config: &SimConfig,
+) -> Result<RunOutcome, SimError> {
+    assert!(source < g.num_nodes(), "source out of range");
+    let n = g.num_nodes();
+    if advice.len() != n {
+        return Err(SimError::AdviceCount {
+            expected: n,
+            got: advice.len(),
+        });
+    }
+
+    let mut net = NetState::new(g, config, source);
+    let corrupted = net.corrupt_advice(advice);
+    let advice: &[BitString] = corrupted.as_deref().unwrap_or(advice);
+
+    let mut behaviors: Vec<Box<dyn NodeBehavior>> = (0..n)
+        .map(|v| {
+            protocol.create(NodeView {
+                advice: advice[v].clone(),
+                is_source: v == source,
+                id: if config.anonymous {
+                    None
+                } else {
+                    Some(g.label(v))
+                },
+                degree: g.degree(v),
+            })
+        })
+        .collect();
+
+    let mut trace = Vec::new();
+    let mut pending: VecDeque<InFlight> = VecDeque::new();
+    let mut next_round: VecDeque<InFlight> = VecDeque::new();
+
+    // Spontaneous phase.
+    for (v, behavior) in behaviors.iter_mut().enumerate() {
+        let sends = behavior.on_start();
+        net.enqueue(v, sends, &mut pending)?;
+    }
+
+    let mut scheduler: Scheduler = config.scheduler.instantiate();
+    let mut steps: u64 = 0;
+    let mut rounds: u64 = 0;
+    let mut polls: u32 = 0;
+
+    'run: loop {
+        // Delivery loop: drain the network to quiescence.
+        loop {
+            if pending.is_empty() {
+                if config.synchronous && !next_round.is_empty() {
+                    pending = std::mem::take(&mut next_round);
+                    rounds += 1;
+                    continue;
+                }
+                break;
+            }
+            if steps >= config.max_steps {
+                return Err(SimError::StepLimit {
+                    limit: config.max_steps,
+                });
+            }
+            let InFlight {
+                from,
+                to,
+                arrival_port,
+                message,
+            } = if config.synchronous {
+                pending.pop_front().expect("nonempty checked above")
+            } else {
+                scheduler.take(&mut pending, |m: &InFlight| m.message.carries_source)
+            };
+
+            if config.capture_trace {
+                trace.push(TraceEvent {
+                    step: steps,
+                    from,
+                    to,
+                    arrival_port,
+                    bits: message.size_bits() as u64,
+                    carries_source: message.carries_source,
+                });
+            }
+            steps += 1;
+
+            if net.crashed[to] {
+                // The wire delivered it, but nobody is listening: the node
+                // neither learns the source message nor reacts.
+                net.metrics.faults.to_crashed += 1;
+                continue;
+            }
+            if message.carries_source {
+                net.informed[to] = true;
+            }
+
+            let sends = behaviors[to].on_receive(arrival_port, &message);
+            let out = if config.synchronous {
+                &mut next_round
+            } else {
+                &mut pending
+            };
+            net.enqueue(to, sends, out)?;
+        }
+
+        // Quiescence: poll live nodes for retries, bounded by the config.
+        // A fully silent poll (the default hook) ends the run. "Silent"
+        // means no node *returned* a send — a poll whose sends were all
+        // dropped by the fault plan still counts as speaking, so a retrying
+        // scheme keeps its remaining attempts under total message loss.
+        if polls >= config.max_quiescence_polls {
+            break;
+        }
+        polls += 1;
+        let mut spoke = false;
+        for (v, behavior) in behaviors.iter_mut().enumerate() {
+            if net.crashed[v] {
+                continue;
+            }
+            let sends = behavior.on_quiescence();
+            spoke |= !sends.is_empty();
+            net.enqueue(v, sends, &mut pending)?;
+        }
+        if !spoke {
+            break 'run;
+        }
+    }
+
+    net.metrics.steps = steps;
+    net.metrics.rounds = rounds;
+    net.metrics.informed_nodes = net.informed.iter().filter(|&&x| x).count() as u64;
+    let outputs = behaviors.iter().map(|b| b.output()).collect();
+    Ok(RunOutcome {
+        metrics: net.metrics,
+        informed: net.informed,
+        crashed: net.crashed,
+        trace,
+        outputs,
+    })
+}

@@ -229,6 +229,11 @@ pub struct FaultCounts {
     pub to_crashed: u64,
     /// Mutations the advice adversary performed before the run.
     pub advice_mutations: u64,
+    /// Payload clones the duplication fault manufactured. The delivery
+    /// hot path *moves* payloads, so this is `0` for every run — faulty
+    /// or not — in which no duplication fired; tests use it to assert the
+    /// engine's zero-copy contract.
+    pub payload_copies: u64,
 }
 
 impl FaultCounts {
@@ -369,7 +374,10 @@ mod tests {
             suppressed_sends: 4,
             to_crashed: 5,
             advice_mutations: 6,
+            payload_copies: 7,
         };
+        // payload_copies is bookkeeping for the zero-copy contract, not a
+        // fault kind, so it stays out of total().
         assert_eq!(c.total(), 21);
         assert_eq!(FaultCounts::default().total(), 0);
     }

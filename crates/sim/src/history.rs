@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn history_flooding_matches_reactive_flooding() {
         let g = families::complete_rotational(10);
-        let advice = vec![BitString::new(); 10];
+        let advice = crate::testkit::no_advice(10);
         let cfg = SimConfig {
             capture_trace: true,
             ..Default::default()
@@ -176,7 +176,7 @@ mod tests {
             })
         };
         let g = families::star(5);
-        let advice = vec![BitString::new(); 5];
+        let advice = crate::testkit::no_advice(5);
         // Nothing is ever sent, so histories stay empty…
         run(&g, 0, &advice, &probe, &SimConfig::default()).unwrap();
         assert_eq!(max_seen.load(Ordering::Relaxed), 0);
@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn informedness_matches_engine_view() {
         let g = families::path(4);
-        let advice = vec![BitString::new(); 4];
+        let advice = crate::testkit::no_advice(4);
         let scheme = HistoryProtocol::new("chain", |h: &History| {
             // Forward the source message down the path using history only.
             if h.is_source && h.received.is_empty() {

@@ -19,7 +19,9 @@
 //!   starving adversary that delays source-carrying messages,
 //! * [`faults`] — seeded fault injection: message drop/duplication/bit
 //!   flips, crash-stop nodes, and the advice-corruption adversary,
-//! * [`metrics`] — message/bit/round/fault counts used by every experiment.
+//! * [`metrics`] — message/bit/round/fault counts used by every experiment,
+//! * [`testkit`] — shared helpers (e.g. the trivial no-advice oracle) used
+//!   by tests across the workspace.
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub mod history;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
+pub mod testkit;
 
 pub use engine::{run, Completion, RunOutcome, SimConfig, SimError, TaskMode};
 pub use faults::{AdviceAdversary, FaultCounts, FaultPlan};

@@ -1,0 +1,25 @@
+//! Shared test support used by unit, property, and integration tests
+//! across the workspace.
+//!
+//! These helpers are deliberately tiny — the point is that every crate
+//! spells "the trivial oracle" the same way instead of redefining it.
+
+use oraclesize_bits::BitString;
+
+/// Advice for the trivial (empty) oracle: `n` empty strings, total size 0
+/// bits. The advice every oracle-free baseline runs with.
+pub fn no_advice(n: usize) -> Vec<BitString> {
+    vec![BitString::new(); n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_advice_is_empty_per_node() {
+        let a = no_advice(3);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|s| s.is_empty()));
+    }
+}

@@ -50,7 +50,7 @@ proptest! {
             capture_trace: true,
             ..Default::default()
         };
-        let advice = vec![BitString::new(); nodes];
+        let advice = oraclesize_sim::testkit::no_advice(nodes);
         let out = run(&g, source, &advice, &FloodOnce, &cfg).unwrap();
         prop_assert!(out.all_informed());
         // Deterministic count: deg(source) + Σ_{v≠source} (deg(v) − 1).
@@ -74,7 +74,7 @@ proptest! {
             capture_trace: true,
             ..Default::default()
         };
-        let advice = vec![BitString::new(); n];
+        let advice = oraclesize_sim::testkit::no_advice(n);
         let out = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         // Replay the trace: a node can only send a source-carrying message
         // after the source or after receiving one.
@@ -103,7 +103,7 @@ proptest! {
             capture_trace: true,
             ..Default::default()
         };
-        let advice = vec![BitString::new(); n];
+        let advice = oraclesize_sim::testkit::no_advice(n);
         let a = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         let b = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         prop_assert_eq!(a.trace, b.trace);
@@ -130,7 +130,7 @@ proptest! {
             faults: plan,
             ..Default::default()
         };
-        let advice = vec![BitString::new(); nodes];
+        let advice = oraclesize_sim::testkit::no_advice(nodes);
         let out = run(&g, seed as usize % nodes, &advice, &FloodOnce, &cfg).unwrap();
         let m = &out.metrics;
         prop_assert!(m.informed_messages <= m.messages,
@@ -156,7 +156,7 @@ proptest! {
             faults: plan,
             ..Default::default()
         };
-        let advice = vec![BitString::new(); n];
+        let advice = oraclesize_sim::testkit::no_advice(n);
         let a = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         let b = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         prop_assert_eq!(a.trace, b.trace);

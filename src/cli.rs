@@ -5,10 +5,16 @@
 //! oraclesize run --family complete --n 64 --task broadcast
 //! oraclesize run --family random-sparse --n 128 --task election --scheduler lifo
 //! oraclesize run --family grid --n 100 --task spanner --stretch 3
+//! oraclesize sweep --task broadcast --n 128 --runs 64 --threads 4 --drop 0.1
 //! oraclesize list
 //! ```
+//!
+//! `sweep` builds one `Arc`-shared instance, declares one cell per seeded
+//! run, and dispatches the grid to the `oraclesize-runtime` pool —
+//! `--threads N` changes wall-clock time only, never the report.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
 use oraclesize_core::construction::{
@@ -24,8 +30,9 @@ use oraclesize_core::spanner::{collect_port_sets, verify_spanner, SpannerOracle}
 use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
 use oraclesize_core::{execute, OracleRun};
 use oraclesize_graph::families::Family;
-use oraclesize_sim::protocol::FloodOnce;
-use oraclesize_sim::{SchedulerKind, SimConfig, TaskMode};
+use oraclesize_runtime::{drain, run_batch, Aggregate, Instance, Pool, RunRequest};
+use oraclesize_sim::protocol::{FloodOnce, Protocol};
+use oraclesize_sim::{FaultPlan, SchedulerKind, SimConfig, TaskMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -96,6 +103,8 @@ impl Task {
 pub enum Command {
     /// `run …`
     Run(RunArgs),
+    /// `sweep …`
+    Sweep(SweepArgs),
     /// `list`
     List,
     /// `help` (also the zero-argument default)
@@ -121,6 +130,31 @@ pub struct RunArgs {
     pub seed: u64,
     /// Spanner stretch.
     pub stretch: usize,
+}
+
+/// Arguments of the `sweep` subcommand: a declarative grid of seeded
+/// runs over one shared instance, dispatched to the runtime pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Graph family.
+    pub family: Family,
+    /// Approximate size.
+    pub n: usize,
+    /// Task to sweep (`broadcast`, `wakeup`, or `flood`).
+    pub task: Task,
+    /// Source / root node.
+    pub source: usize,
+    /// Cells in the grid (one seeded run each).
+    pub runs: usize,
+    /// Worker threads for dispatch.
+    pub threads: usize,
+    /// Asynchronous scheduler; `None` = synchronous. A `random` scheduler
+    /// is re-seeded per cell so the cells stay independent.
+    pub scheduler: Option<SchedulerKind>,
+    /// Per-message drop probability (`0.0` = fault-free).
+    pub drop: f64,
+    /// RNG seed (graph generation and per-cell derivation).
+    pub seed: u64,
 }
 
 fn parse_family(s: &str) -> Option<Family> {
@@ -205,6 +239,94 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 stretch,
             }))
         }
+        Some("sweep") => {
+            let mut family = Family::RandomSparse;
+            let mut n = 64usize;
+            let mut task = None;
+            let mut source = 0usize;
+            let mut runs = 16usize;
+            let mut threads = 1usize;
+            let mut scheduler = None;
+            let mut drop = 0.0f64;
+            let mut seed = 2006u64;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--family" => {
+                        let v = value("--family")?;
+                        family = parse_family(v).ok_or_else(|| format!("unknown family {v:?}"))?;
+                    }
+                    "--n" => {
+                        n = value("--n")?
+                            .parse()
+                            .map_err(|_| "--n needs an integer".to_string())?;
+                    }
+                    "--task" => {
+                        let v = value("--task")?;
+                        task = Some(Task::parse(v).ok_or_else(|| format!("unknown task {v:?}"))?);
+                    }
+                    "--source" => {
+                        source = value("--source")?
+                            .parse()
+                            .map_err(|_| "--source needs an integer".to_string())?;
+                    }
+                    "--runs" => {
+                        runs = value("--runs")?
+                            .parse()
+                            .map_err(|_| "--runs needs an integer".to_string())?;
+                    }
+                    "--threads" => {
+                        threads = value("--threads")?
+                            .parse()
+                            .map_err(|_| "--threads needs an integer".to_string())?;
+                    }
+                    "--scheduler" => {
+                        let v = value("--scheduler")?;
+                        scheduler = Some(match v.as_str() {
+                            "fifo" => SchedulerKind::Fifo,
+                            "lifo" => SchedulerKind::Lifo,
+                            "random" => SchedulerKind::Random { seed },
+                            "starve" => SchedulerKind::Starve,
+                            other => return Err(format!("unknown scheduler {other:?}")),
+                        });
+                    }
+                    "--drop" => {
+                        drop = value("--drop")?
+                            .parse()
+                            .map_err(|_| "--drop needs a probability".to_string())?;
+                        if !(0.0..=1.0).contains(&drop) {
+                            return Err("--drop must be within [0, 1]".into());
+                        }
+                    }
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| "--seed needs an integer".to_string())?;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let task = task.ok_or("sweep requires --task".to_string())?;
+            if !matches!(task, Task::Broadcast | Task::Wakeup | Task::Flood) {
+                return Err("sweep supports --task broadcast, wakeup, or flood".into());
+            }
+            if runs == 0 {
+                return Err("--runs must be at least 1".into());
+            }
+            Ok(Command::Sweep(SweepArgs {
+                family,
+                n,
+                task,
+                source,
+                runs,
+                threads,
+                scheduler,
+                drop,
+                seed,
+            }))
+        }
         Some(other) => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -216,6 +338,9 @@ pub fn usage() -> String {
          USAGE:\n  oraclesize run --task <task> [--family <family>] [--n <size>]\n\
          \x20                [--source <node>] [--scheduler fifo|lifo|random|starve]\n\
          \x20                [--anonymous] [--seed <u64>] [--stretch <t>]\n\
+         \x20 oraclesize sweep --task broadcast|wakeup|flood [--runs <k>]\n\
+         \x20                [--threads <t>] [--drop <p>] [--family <family>]\n\
+         \x20                [--n <size>] [--scheduler <s>] [--seed <u64>]\n\
          \x20 oraclesize list\n\n\
          TASKS:    {}\nFAMILIES: {}\n",
         Task::NAMES.join(" "),
@@ -239,6 +364,7 @@ pub fn run_command(cmd: &Command) -> Result<String, String> {
             Ok(out)
         }
         Command::Run(args) => run_task(args),
+        Command::Sweep(args) => run_sweep(args),
     }
 }
 
@@ -394,6 +520,113 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// Builds one shared instance, declares `runs` seeded cells, dispatches
+/// them across the pool, and folds the reports in cell order — the output
+/// is identical at any `--threads` value.
+fn run_sweep(args: &SweepArgs) -> Result<String, String> {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let g = args.family.build(args.n, &mut rng).into_shared();
+    if args.source >= g.num_nodes() {
+        return Err(format!(
+            "--source {} out of range (graph has {} nodes)",
+            args.source,
+            g.num_nodes()
+        ));
+    }
+    let (instance, protocol): (Arc<Instance>, Arc<dyn Protocol + Send + Sync>) = match args.task {
+        Task::Broadcast => (
+            Instance::build(Arc::clone(&g), args.source, &LightTreeOracle),
+            Arc::new(SchemeB),
+        ),
+        Task::Wakeup => (
+            Instance::build(Arc::clone(&g), args.source, &SpanningTreeOracle::default()),
+            Arc::new(TreeWakeup),
+        ),
+        Task::Flood => (
+            Instance::build(Arc::clone(&g), args.source, &EmptyOracle),
+            Arc::new(FloodOnce),
+        ),
+        _ => return Err("sweep supports --task broadcast, wakeup, or flood".into()),
+    };
+
+    let requests: Vec<RunRequest> = (0..args.runs)
+        .map(|k| {
+            let cell_seed = args.seed.wrapping_add(k as u64 + 1);
+            let mut config = match args.scheduler {
+                Some(SchedulerKind::Random { .. }) => {
+                    // Re-seed per cell so the cells sample different
+                    // delivery orders while staying reproducible.
+                    SimConfig::asynchronous(SchedulerKind::Random { seed: cell_seed })
+                }
+                Some(kind) => SimConfig::asynchronous(kind),
+                None => SimConfig::default(),
+            };
+            if args.task == Task::Wakeup {
+                config.mode = TaskMode::Wakeup;
+            }
+            if args.drop > 0.0 {
+                config.faults = FaultPlan::message_faults(cell_seed, args.drop, 0.0, 0.0);
+                config.max_quiescence_polls = 16;
+            }
+            RunRequest::new(Arc::clone(&instance), Arc::clone(&protocol), config)
+        })
+        .collect();
+
+    let reports = run_batch(&Pool::new(args.threads), &requests);
+    let mut agg = Aggregate::new();
+    drain(&mut agg, &reports);
+    if agg.errors > 0 {
+        let first = reports
+            .iter()
+            .find_map(|r| r.result.as_ref().err())
+            .expect("errors counted");
+        return Err(format!(
+            "{} of {} cells aborted: {first}",
+            agg.errors, agg.cells
+        ));
+    }
+
+    let cells = agg.cells;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph:        {} (n = {}, m = {})",
+        args.family.name(),
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let _ = writeln!(
+        out,
+        "sweep:        {} cells, {} thread(s), drop = {:.2}",
+        cells,
+        args.threads.max(1),
+        args.drop
+    );
+    let _ = writeln!(
+        out,
+        "execution:    {}",
+        args.scheduler.map_or("synchronous", |k| k.name())
+    );
+    let _ = writeln!(out, "oracle bits:  {}", agg.oracle_bits / cells);
+    let _ = writeln!(out, "completed:    {}/{}", agg.completed, cells);
+    let _ = writeln!(
+        out,
+        "messages:     total {}, mean {:.1}, max {}",
+        agg.totals.messages,
+        agg.totals.messages as f64 / cells as f64,
+        agg.max_messages
+    );
+    let _ = writeln!(
+        out,
+        "rounds:       total {}, max {}",
+        agg.totals.rounds, agg.max_rounds
+    );
+    if args.drop > 0.0 {
+        let _ = writeln!(out, "dropped:      {}", agg.totals.faults.dropped);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,10 +759,94 @@ mod tests {
     }
 
     #[test]
+    fn parse_sweep_flags() {
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "--task",
+            "flood",
+            "--family",
+            "cycle",
+            "--n",
+            "20",
+            "--runs",
+            "8",
+            "--threads",
+            "3",
+            "--drop",
+            "0.25",
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        let Command::Sweep(a) = cmd else {
+            panic!("not sweep")
+        };
+        assert_eq!(a.task, Task::Flood);
+        assert_eq!(a.family, Family::Cycle);
+        assert_eq!(a.runs, 8);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.drop, 0.25);
+        assert_eq!(a.seed, 11);
+    }
+
+    #[test]
+    fn sweep_rejects_unsupported_input() {
+        assert!(parse_args(&args(&["sweep"])).is_err()); // no task
+        assert!(parse_args(&args(&["sweep", "--task", "gossip"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--task", "flood", "--drop", "1.5"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--task", "flood", "--runs", "0"])).is_err());
+    }
+
+    #[test]
+    fn sweep_output_is_thread_count_invariant() {
+        let base = ["sweep", "--task", "wakeup", "--n", "24", "--runs", "6"];
+        let serial = {
+            let cmd = parse_args(&args(&base)).unwrap();
+            run_command(&cmd).unwrap()
+        };
+        assert!(serial.contains("completed:    6/6"), "{serial}");
+        for threads in ["2", "8"] {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(["--threads", threads]);
+            let cmd = parse_args(&args(&argv)).unwrap();
+            let parallel = run_command(&cmd).unwrap();
+            // The thread count is echoed in the header; everything below
+            // it must match the serial run byte for byte.
+            let tail = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("sweep:"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(tail(&serial), tail(&parallel), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_with_drops_degrades_not_errors() {
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "--task",
+            "broadcast",
+            "--n",
+            "24",
+            "--runs",
+            "4",
+            "--drop",
+            "0.3",
+        ]))
+        .unwrap();
+        let report = run_command(&cmd).unwrap();
+        assert!(report.contains("dropped:"), "{report}");
+    }
+
+    #[test]
     fn usage_lists_everything() {
         let u = usage();
         for t in Task::NAMES {
             assert!(u.contains(t), "usage missing task {t}");
         }
+        assert!(u.contains("sweep"), "usage missing sweep subcommand");
+        assert!(u.contains("--threads"), "usage missing --threads");
     }
 }

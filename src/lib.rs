@@ -17,6 +17,7 @@
 //! | [`core`] | oracles and dissemination schemes (the paper's results) |
 //! | [`lowerbound`] | adversary, counting bounds, trade-off experiments |
 //! | [`analysis`] | model fitting, statistics, table rendering |
+//! | [`runtime`] | worker pool + deterministic batch/sweep execution |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use oraclesize_core as core;
 pub use oraclesize_explore as explore;
 pub use oraclesize_graph as graph;
 pub use oraclesize_lowerbound as lowerbound;
+pub use oraclesize_runtime as runtime;
 pub use oraclesize_sim as sim;
 
 /// The most common imports, for examples and downstream experiments.
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use oraclesize_core::{advice_size, execute, Oracle, OracleRun};
     pub use oraclesize_graph::families;
     pub use oraclesize_graph::{PortGraph, PortGraphBuilder, RootedTree};
+    pub use oraclesize_runtime::{run_batch, Instance, Pool, RunRequest};
     pub use oraclesize_sim::protocol::FloodOnce;
     pub use oraclesize_sim::{run, RunMetrics, SchedulerKind, SimConfig, TaskMode};
 }
