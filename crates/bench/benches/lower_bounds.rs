@@ -9,7 +9,7 @@ use oraclesize_lowerbound::discovery::{all_edges, SequentialStrategy};
 use oraclesize_lowerbound::truncation::tradeoff_curve;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 fn bench_adversary_game(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench_adversary_game(c: &mut Criterion) {
         b.iter(|| {
             let result = play(
                 6,
-                &HashSet::new(),
+                &BTreeSet::new(),
                 ExplicitAdversary::new(family.clone()),
                 &mut SequentialStrategy,
             );

@@ -5,7 +5,7 @@
 //! pool, so `--threads N` parallelizes them without changing a byte of
 //! output.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use oraclesize_analysis::fit::{best_model, fit_model, Model};
@@ -293,10 +293,10 @@ pub fn t5_adversary_games() -> String {
     let mut ok = true;
     for n in [5usize, 6, 7] {
         for x_size in [1usize, 2] {
-            let y: HashSet<(usize, usize)> = if n == 7 {
+            let y: BTreeSet<(usize, usize)> = if n == 7 {
                 [(0, 1), (1, 2), (2, 3)].into_iter().collect()
             } else {
-                HashSet::new()
+                BTreeSet::new()
             };
             let pool: Vec<(usize, usize)> = all_edges(n)
                 .into_iter()
@@ -345,7 +345,7 @@ pub fn t5_adversary_games() -> String {
     for n in [16usize, 32, 64, 128] {
         let pool = all_edges(n);
         let pool_len = pool.len();
-        let result = play_symbolic(n, pool, &HashSet::new(), n, &mut SequentialStrategy);
+        let result = play_symbolic(n, pool, &BTreeSet::new(), n, &mut SequentialStrategy);
         sym_ok &= result.probes as f64 >= result.bound;
         sym.row([
             n.to_string(),

@@ -39,7 +39,7 @@ pub fn subdivide_edges(g: &PortGraph, subdivided: &[EdgeRef]) -> PortGraph {
     let mut labels: Vec<u64> = (0..n).map(|v| g.label(v)).collect();
     let max_label = labels.iter().copied().max().unwrap_or(0);
 
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for (i, e) in subdivided.iter().enumerate() {
         assert!(
             g.edge_between(e.u, e.v) == Some(*e),
@@ -121,7 +121,7 @@ pub fn clique_gadget_graph(g: &PortGraph, k: usize, s: &[EdgeRef], c: &MissingEd
     let mut labels: Vec<u64> = (0..n).map(|v| g.label(v)).collect();
     let max_label = labels.iter().copied().max().unwrap_or(0);
 
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for (i, (e, &(ai, bi))) in s.iter().zip(c.iter()).enumerate() {
         assert!(
             g.edge_between(e.u, e.v) == Some(*e),
@@ -351,7 +351,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = complete_rotational(7);
         let s = random_distinct_edges(&g, 10, &mut rng);
-        let mut set = std::collections::HashSet::new();
+        let mut set = std::collections::BTreeSet::new();
         for e in &s {
             assert!(set.insert((e.u, e.v)));
         }

@@ -307,7 +307,7 @@ impl PortGraph {
     pub fn validate(&self) -> Result<(), GraphError> {
         let n = self.adj.len();
         for (v, ports) in self.adj.iter().enumerate() {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for (p, &(u, q)) in ports.iter().enumerate() {
                 if u >= n {
                     return Err(GraphError::OutOfRange { node: v, port: p });

@@ -287,9 +287,11 @@ pub fn light_tree(g: &PortGraph, root: NodeId) -> RootedTree {
     let mut chosen: Vec<EdgeRef> = Vec::with_capacity(n.saturating_sub(1));
     let mut k = 1u32;
     while chosen.len() + 1 < n {
-        // Group nodes by component representative.
-        let mut members: std::collections::HashMap<usize, Vec<NodeId>> =
-            std::collections::HashMap::new();
+        // Group nodes by component representative. Ordered map: the phase
+        // visits small trees in representative order, so ties between
+        // equal-weight outgoing edges resolve identically on every run.
+        let mut members: std::collections::BTreeMap<usize, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
         for v in 0..n {
             members.entry(uf.find(v)).or_default().push(v);
         }

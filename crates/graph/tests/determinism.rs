@@ -1,0 +1,50 @@
+//! Regression tests for D001: spanning-tree construction must not depend
+//! on hash-map iteration order.
+//!
+//! `light_tree` groups union-find components with a map keyed by
+//! representative and picks a minimum-weight outgoing edge per small tree.
+//! With the original `HashMap` grouping, ties between equal-weight edges
+//! were broken by whatever order the map yielded — different from process
+//! to process. The golden parent map below pins the `BTreeMap` order; a
+//! re-randomized grouping would fail it with overwhelming probability.
+
+use oraclesize_graph::families::complete_rotational;
+use oraclesize_graph::spanning::{light_tree, RootedTree};
+use oraclesize_graph::NodeId;
+
+fn parents(t: &RootedTree) -> Vec<Option<NodeId>> {
+    (0..t.num_nodes())
+        .map(|v| t.parent(v).map(|(p, _, _)| p))
+        .collect()
+}
+
+#[test]
+fn light_tree_identical_across_runs() {
+    // K*_9: every edge weight is a port minimum, so ties abound — the
+    // worst case for order-dependent grouping.
+    let g = complete_rotational(9);
+    let a = light_tree(&g, 0);
+    let b = light_tree(&g, 0);
+    assert_eq!(parents(&a), parents(&b));
+}
+
+#[test]
+fn light_tree_parent_map_pinned() {
+    let g = complete_rotational(9);
+    let t = light_tree(&g, 0);
+    t.validate(&g).expect("light tree spans");
+    // GOLDEN: computed once from the BTreeMap grouping; any change to
+    // tie-breaking (including a regression to unordered maps) shifts it.
+    let golden: Vec<Option<NodeId>> = vec![
+        None,
+        Some(0),
+        Some(1),
+        Some(2),
+        Some(3),
+        Some(4),
+        Some(5),
+        Some(6),
+        Some(7),
+    ];
+    assert_eq!(parents(&t), golden);
+}

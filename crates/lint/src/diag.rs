@@ -1,0 +1,104 @@
+//! Diagnostics: ordering and text/JSON rendering.
+
+use oraclesize_runtime::Json;
+
+/// One finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule ID (`D001`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// Sorts diagnostics into report order: path, then line, then rule.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}
+
+/// `path:line: RULE: message`, one finding per line, plus a summary line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}: {}: {}\n",
+            d.path, d.line, d.rule, d.message
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("lint: clean\n");
+    } else {
+        out.push_str(&format!("lint: {} finding(s)\n", diags.len()));
+    }
+    out
+}
+
+/// A deterministic JSON document: `{"findings": […], "count": N}` with
+/// findings already in report order.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let findings: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            Json::obj()
+                .field("rule", d.rule)
+                .field("path", d.path.as_str())
+                .field("line", d.line as u64)
+                .field("message", d.message.as_str())
+        })
+        .collect();
+    Json::obj()
+        .field("findings", findings)
+        .field("count", diags.len())
+        .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_path_then_line_then_rule() {
+        let mut v = vec![
+            d("P001", "b.rs", 1),
+            d("D002", "a.rs", 9),
+            d("D001", "a.rs", 9),
+            d("D001", "a.rs", 2),
+        ];
+        sort(&mut v);
+        let order: Vec<(&str, u32, &str)> = v
+            .iter()
+            .map(|x| (x.path.as_str(), x.line, x.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 2, "D001"),
+                ("a.rs", 9, "D001"),
+                ("a.rs", 9, "D002"),
+                ("b.rs", 1, "P001")
+            ]
+        );
+    }
+
+    #[test]
+    fn json_output_parses_and_is_deterministic() {
+        let v = vec![d("D001", "a.rs", 2), d("D003", "b.rs", 7)];
+        let first = render_json(&v);
+        assert!(oraclesize_runtime::json::parses(&first));
+        assert_eq!(first, render_json(&v));
+        assert!(first.contains("\"count\": 2"));
+    }
+}

@@ -1,0 +1,103 @@
+//! CLI for the determinism linter.
+//!
+//! ```text
+//! oraclesize-lint check                     # lint the whole workspace
+//! oraclesize-lint check --rule D001         # one rule only
+//! oraclesize-lint check --format json       # machine-readable output
+//! oraclesize-lint check --root /some/tree   # lint another checkout
+//! oraclesize-lint rules                     # list rules
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oraclesize_lint::{check_workspace, known_rule, render_json, render_text, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: oraclesize-lint check [--rule <id>] [--format text|json] [--root <path>]\n\
+         \x20      oraclesize-lint rules"
+    );
+    ExitCode::from(2)
+}
+
+fn default_root() -> PathBuf {
+    // When run via `cargo run -p oraclesize-lint`, the workspace root is
+    // two levels above this crate's manifest; fall back to the current
+    // directory for a relocated binary.
+    let baked = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if baked.join("Cargo.toml").is_file() {
+        baked
+    } else {
+        PathBuf::from(".")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for r in RULES {
+                println!("{}  {}", r.id, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut rule: Option<String> = None;
+    let mut format = "text".to_string();
+    let mut root = default_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rule" => match it.next() {
+                Some(v) => rule = Some(v.clone()),
+                None => return usage(),
+            },
+            "--format" => match it.next() {
+                Some(v) if v == "text" || v == "json" => format = v.clone(),
+                _ => return usage(),
+            },
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if let Some(r) = &rule {
+        if !known_rule(r) {
+            eprintln!(
+                "unknown rule {r:?}; known: {}",
+                RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let diags = match check_workspace(&root, rule.as_deref()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "error: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if format == "json" {
+        println!("{}", render_json(&diags));
+    } else {
+        print!("{}", render_text(&diags));
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,142 @@
+//! A lightweight item tracker: which tokens live inside test code.
+//!
+//! Test code is any brace region introduced by an item carrying a
+//! `#[test]`-like attribute (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test,
+//! …))]` — any attribute naming `test` without `not`), or by `mod tests`.
+//! Regions nest; a `#[cfg(test)]` attribute on a braceless item
+//! (`mod tests;`, `use …;`) covers nothing here — the out-of-line file is
+//! classified by path instead (see [`crate::walk::is_test_path`]).
+
+use crate::lexer::{Tok, TokKind};
+
+/// For each token, `true` iff it is inside a test region.
+pub fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut depth = 0usize;
+    let mut test_stack: Vec<usize> = Vec::new();
+    // Brace depth at which a pending test attribute / `mod tests` header
+    // waits for its item's opening brace.
+    let mut pending: Option<usize> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        // An attribute: scan it whole so its own tokens (e.g. the `test`
+        // in `#[cfg(test)]`) never leak into rule passes as "code", and
+        // decide whether it marks the next item as test.
+        if t.is_punct("#") && toks.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            let close = matching_bracket(toks, i + 1);
+            let body = &toks[i + 2..close.min(toks.len())];
+            let has_test = body
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("tests"));
+            let has_not = body.iter().any(|t| t.is_ident("not"));
+            if has_test && !has_not {
+                pending = Some(depth);
+            }
+            let end = close.min(toks.len().saturating_sub(1));
+            for _ in i..=end {
+                out.push(!test_stack.is_empty());
+            }
+            i = close + 1;
+            continue;
+        }
+        out.push(!test_stack.is_empty());
+        if t.is_ident("mod") && toks.get(i + 1).is_some_and(|n| n.is_ident("tests")) {
+            pending = Some(depth);
+        } else if t.is_punct("{") {
+            if pending == Some(depth) {
+                test_stack.push(depth);
+                pending = None;
+            }
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if test_stack.last() == Some(&depth) {
+                test_stack.pop();
+            }
+        } else if t.is_punct(";") && pending == Some(depth) {
+            // Attribute applied to a braceless item: nothing to cover.
+            pending = None;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `]` matching the `[` at `open`, or `toks.len()` if
+/// unbalanced.
+fn matching_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0isize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_flag_of(src: &str, ident: &str) -> bool {
+        let l = lex(src);
+        let flags = test_regions(&l.toks);
+        let idx = l
+            .toks
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .unwrap_or_else(|| panic!("ident {ident} not found"));
+        flags[idx]
+    }
+
+    #[test]
+    fn cfg_test_module_is_test_code() {
+        let src = "fn shipping() {}\n#[cfg(test)]\nmod tests {\n fn helper() { inner(); }\n}";
+        assert!(!test_flag_of(src, "shipping"));
+        assert!(test_flag_of(src, "inner"));
+    }
+
+    #[test]
+    fn test_attribute_on_fn() {
+        let src = "#[test]\nfn check() { probe(); }\nfn lib_code() { real(); }";
+        assert!(test_flag_of(src, "probe"));
+        assert!(!test_flag_of(src, "real"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nmod shipping { fn real_work() {} }";
+        assert!(!test_flag_of(src, "real_work"));
+    }
+
+    #[test]
+    fn nested_cfg_test_pops_correctly() {
+        let src = "mod a {\n#[cfg(test)]\nmod tests { fn t() { x(); } }\nfn after() { y(); }\n}";
+        assert!(test_flag_of(src, "x"));
+        assert!(!test_flag_of(src, "y"));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_covers_nothing() {
+        let src = "#[cfg(test)]\nmod tests;\nfn shipping() { live(); }";
+        assert!(!test_flag_of(src, "live"));
+    }
+
+    #[test]
+    fn mod_tests_without_attribute_counts() {
+        let src = "mod tests { fn t() { x(); } }";
+        assert!(test_flag_of(src, "x"));
+    }
+}

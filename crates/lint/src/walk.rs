@@ -1,0 +1,83 @@
+//! Workspace file discovery: every `.rs` file under the roots the rules
+//! care about, in a deterministic order.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that are scanned for sources.
+const SCAN_ROOTS: &[&str] = &["src", "crates", "tests", "examples"];
+
+/// Path components that are never scanned.
+const SKIP_COMPONENTS: &[&str] = &["target", "vendor", ".git"];
+
+/// `true` when the path is test or bench code by location alone:
+/// `tests/`, `benches/`, or a `tests.rs` out-of-line module.
+pub fn is_test_path(path: &str) -> bool {
+    let parts: Vec<&str> = path.split('/').collect();
+    parts.iter().any(|p| *p == "tests" || *p == "benches")
+        || parts.last().is_some_and(|p| *p == "tests.rs")
+}
+
+/// Collects every `.rs` file under the scan roots, returning
+/// `(relative_path, contents)` pairs sorted by path. Relative paths use
+/// forward slashes on every platform.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            visit(&dir, &mut files)?;
+        }
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let contents = fs::read_to_string(&f)?;
+        out.push((rel, contents));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_COMPONENTS.contains(&name.as_str()) {
+                visit(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_paths_by_location() {
+        assert!(is_test_path("crates/sim/tests/props.rs"));
+        assert!(is_test_path("tests/lower_bounds.rs"));
+        assert!(is_test_path("crates/bench/benches/lower_bounds.rs"));
+        assert!(is_test_path("crates/sim/src/engine/tests.rs"));
+        assert!(!is_test_path("crates/sim/src/engine/run.rs"));
+        assert!(!is_test_path("crates/sim/src/testkit.rs"));
+    }
+}

@@ -1,0 +1,63 @@
+//! End-to-end CLI contract: exit 0 clean, 1 with findings (and a
+//! clickable file:line on stdout), 2 on usage errors.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture_tree(name: &str, src: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/lint-fixtures")
+        .join(name);
+    let src_dir = dir.join("crates/sim/src");
+    fs::create_dir_all(&src_dir).expect("create fixture tree");
+    fs::write(src_dir.join("fixture.rs"), src).expect("write fixture");
+    dir
+}
+
+fn run(args: &[&str], root: &PathBuf) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_oraclesize-lint"))
+        .args(args)
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("run linter binary");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn violations_exit_one_with_file_line() {
+    let dir = fixture_tree("bad", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    let (code, stdout) = run(&["check"], &dir);
+    assert_eq!(code, Some(1));
+    assert!(
+        stdout.contains("crates/sim/src/fixture.rs:1: P001:"),
+        "stdout was: {stdout}"
+    );
+
+    let (code, stdout) = run(&["check", "--format", "json"], &dir);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"count\": 1"), "stdout was: {stdout}");
+    assert!(
+        stdout.contains("\"rule\": \"P001\""),
+        "stdout was: {stdout}"
+    );
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let dir = fixture_tree("clean", "pub fn f(x: u32) -> u32 { x + 1 }\n");
+    let (code, stdout) = run(&["check"], &dir);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("lint: clean"), "stdout was: {stdout}");
+}
+
+#[test]
+fn unknown_rule_exits_two() {
+    let dir = fixture_tree("usage", "pub fn f() {}\n");
+    let (code, _) = run(&["check", "--rule", "Z999"], &dir);
+    assert_eq!(code, Some(2));
+}

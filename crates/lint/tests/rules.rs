@@ -1,0 +1,304 @@
+//! Fixture tests: every rule has at least one firing and one clean
+//! fixture, exercised through the library API with synthetic paths.
+
+use oraclesize_lint::{analyze_sources, render_json, Diagnostic};
+
+fn lint_one(path: &str, src: &str) -> Vec<Diagnostic> {
+    analyze_sources(&[(path.to_string(), src.to_string())], None)
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------- D001
+
+#[test]
+fn d001_fires_on_hashmap_method_iteration() {
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: &HashMap<u32, u32>) -> u32 {\n\
+               \x20   m.keys().sum()\n\
+               }\n";
+    let diags = lint_one("crates/sim/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["D001"]);
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn d001_fires_on_for_loop_over_hashset() {
+    let src = "use std::collections::HashSet;\n\
+               fn g(s: &HashSet<u32>) {\n\
+               \x20   for x in s.iter() { drop(x); }\n\
+               }\n\
+               fn h() {\n\
+               \x20   let mut seen = std::collections::HashSet::new();\n\
+               \x20   seen.insert(1);\n\
+               \x20   for x in &seen { drop(x); }\n\
+               }\n";
+    let diags = lint_one("crates/graph/src/fixture.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "D001" && d.line == 3));
+    assert!(diags.iter().any(|d| d.rule == "D001" && d.line == 8));
+}
+
+#[test]
+fn d001_clean_on_btreemap_and_lookup_only_hashmap() {
+    let src = "use std::collections::{BTreeMap, HashMap};\n\
+               fn f(m: &BTreeMap<u32, u32>, h: &HashMap<u32, u32>) -> u32 {\n\
+               \x20   m.keys().sum::<u32>() + h.get(&1).copied().unwrap_or(0)\n\
+               }\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn d001_ignores_out_of_scope_crates_and_tests() {
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: &HashMap<u32, u32>) -> u32 { m.keys().sum() }\n";
+    // `analysis` is not a deterministic crate.
+    assert!(lint_one("crates/analysis/src/fixture.rs", src).is_empty());
+    // Test modules inside a deterministic crate are exempt.
+    let test_src = "#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n\
+                    fn f(m: &HashMap<u32, u32>) -> u32 { m.keys().sum() }\n}\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", test_src).is_empty());
+}
+
+#[test]
+fn d001_skips_mentions_inside_strings_and_comments() {
+    let src = "fn f() -> &'static str {\n\
+               \x20   // a HashMap .iter() in a comment is fine\n\
+               \x20   \"for x in HashMap::new().iter()\"\n\
+               }\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D002
+
+#[test]
+fn d002_fires_on_instant_now() {
+    let src = "fn f() {\n    let t = std::time::Instant::now();\n    drop(t);\n}\n";
+    let diags = lint_one("crates/core/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["D002"]);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn d002_fires_on_system_time_anywhere() {
+    let src = "fn f() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+    assert_eq!(
+        rules_of(&lint_one("crates/analysis/src/fixture.rs", src)),
+        vec!["D002"]
+    );
+}
+
+#[test]
+fn d002_suppressed_by_trailing_allow() {
+    let src = "fn f() {\n\
+               \x20   let t = std::time::Instant::now(); // lint:allow(D002): report footer only\n\
+               \x20   drop(t);\n\
+               }\n";
+    assert!(lint_one("crates/bench/src/fixture.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D003
+
+#[test]
+fn d003_fires_on_thread_spawn() {
+    let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    let diags = lint_one("crates/sim/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["D003"]);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn d003_fires_on_scoped_spawn_method() {
+    let src = "fn f(scope: &S) {\n    scope.spawn(|| {});\n}\n";
+    assert_eq!(
+        rules_of(&lint_one("crates/bench/src/fixture.rs", src)),
+        vec!["D003"]
+    );
+}
+
+#[test]
+fn d003_exempts_the_pool_module() {
+    let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    assert!(lint_one("crates/runtime/src/pool.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D004
+
+#[test]
+fn d004_fires_on_thread_rng_and_os_rng() {
+    let src = "fn f() {\n\
+               \x20   let mut a = rand::thread_rng();\n\
+               \x20   let mut b = StdRng::from_entropy();\n\
+               }\n";
+    let diags = lint_one("crates/explore/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["D004", "D004"]);
+    assert_eq!((diags[0].line, diags[1].line), (2, 3));
+}
+
+#[test]
+fn d004_clean_on_seeded_rng() {
+    let src = "fn f() {\n    let mut rng = StdRng::seed_from_u64(7);\n    drop(rng);\n}\n";
+    assert!(lint_one("crates/explore/src/fixture.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- P001
+
+#[test]
+fn p001_fires_on_unwrap_expect_panic_in_engine_code() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   let a = x.unwrap();\n\
+               \x20   let b = x.expect(\"present\");\n\
+               \x20   if a != b { panic!(\"mismatch\"); }\n\
+               \x20   a\n\
+               }\n";
+    let diags = lint_one("crates/sim/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["P001", "P001", "P001"]);
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![2, 3, 4]
+    );
+}
+
+#[test]
+fn p001_scoped_to_sim_and_runtime_only() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(
+        rules_of(&lint_one("crates/runtime/src/fixture.rs", src)),
+        vec!["P001"]
+    );
+    assert!(lint_one("crates/graph/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn p001_exempts_tests_and_honors_justified_allows() {
+    let in_test = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", in_test).is_empty());
+
+    let justified = "fn f(x: Option<u32>) -> u32 {\n\
+         \x20   // lint:allow(P001): x is Some by the caller's invariant\n\
+         \x20   x.unwrap()\n\
+         }\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", justified).is_empty());
+}
+
+#[test]
+fn p001_allow_without_reason_does_not_suppress() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   x.unwrap() // lint:allow(P001)\n\
+               }\n";
+    assert_eq!(
+        rules_of(&lint_one("crates/sim/src/fixture.rs", src)),
+        vec!["P001"]
+    );
+}
+
+// ---------------------------------------------------------------- H001
+
+const ENUM_DEF: &str = "#[non_exhaustive]\npub enum Verdict { Yes, No }\n\
+                        fn local(v: &Verdict) -> u32 {\n\
+                        \x20   match v { Verdict::Yes => 1, Verdict::No => 0 }\n\
+                        }\n";
+
+fn lint_pair(user_src: &str) -> Vec<Diagnostic> {
+    analyze_sources(
+        &[
+            (
+                "crates/core/src/verdict.rs".to_string(),
+                ENUM_DEF.to_string(),
+            ),
+            ("crates/sim/src/user.rs".to_string(), user_src.to_string()),
+        ],
+        None,
+    )
+}
+
+#[test]
+fn h001_fires_on_cross_file_match_without_wildcard() {
+    let user = "use crate::Verdict;\n\
+                fn f(v: &Verdict) -> u32 {\n\
+                \x20   match v {\n\
+                \x20       Verdict::Yes => 1,\n\
+                \x20       Verdict::No => 0,\n\
+                \x20   }\n\
+                }\n";
+    let diags = lint_pair(user);
+    assert_eq!(rules_of(&diags), vec!["H001"]);
+    assert_eq!(diags[0].path, "crates/sim/src/user.rs");
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn h001_clean_with_wildcard_or_binding_arm() {
+    let underscore = "fn f(v: &Verdict) -> u32 {\n\
+                      \x20   match v { Verdict::Yes => 1, _ => 0 }\n\
+                      }\n";
+    assert!(lint_pair(underscore).is_empty());
+    let binding = "fn f(v: &Verdict) -> u32 {\n\
+                   \x20   match v { Verdict::Yes => 1, other => why(other) }\n\
+                   }\n";
+    assert!(lint_pair(binding).is_empty());
+}
+
+#[test]
+fn h001_exempts_the_defining_file() {
+    // ENUM_DEF itself matches exhaustively in the defining file; rustc's
+    // own exhaustiveness check covers that site.
+    let diags = analyze_sources(
+        &[(
+            "crates/core/src/verdict.rs".to_string(),
+            ENUM_DEF.to_string(),
+        )],
+        None,
+    );
+    assert!(diags.is_empty());
+}
+
+// ----------------------------------------------------- output contracts
+
+#[test]
+fn diagnostics_sort_path_then_line_and_json_is_deterministic() {
+    let sources = vec![
+        (
+            "crates/sim/src/zz.rs".to_string(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+        ),
+        (
+            "crates/sim/src/aa.rs".to_string(),
+            "fn g() {\n    std::thread::spawn(|| {});\n    let t = std::time::Instant::now();\n}\n"
+                .to_string(),
+        ),
+    ];
+    let diags = analyze_sources(&sources, None);
+    let keys: Vec<(&str, u32, &str)> = diags
+        .iter()
+        .map(|d| (d.path.as_str(), d.line, d.rule))
+        .collect();
+    assert_eq!(
+        keys,
+        vec![
+            ("crates/sim/src/aa.rs", 2, "D003"),
+            ("crates/sim/src/aa.rs", 3, "D002"),
+            ("crates/sim/src/zz.rs", 1, "P001"),
+        ]
+    );
+    let json = render_json(&diags);
+    assert!(oraclesize_runtime::json::parses(&json));
+    assert_eq!(json, render_json(&analyze_sources(&sources, None)));
+    let aa = json.find("aa.rs").unwrap();
+    let zz = json.find("zz.rs").unwrap();
+    assert!(aa < zz, "findings must be ordered by path");
+}
+
+#[test]
+fn rule_filter_restricts_output() {
+    let src = "fn g(x: Option<u32>) {\n\
+               \x20   std::thread::spawn(|| {});\n\
+               \x20   x.unwrap();\n\
+               }\n";
+    let sources = vec![("crates/sim/src/fixture.rs".to_string(), src.to_string())];
+    let only_d003 = analyze_sources(&sources, Some("D003"));
+    assert_eq!(rules_of(&only_d003), vec!["D003"]);
+    let only_p001 = analyze_sources(&sources, Some("P001"));
+    assert_eq!(rules_of(&only_p001), vec!["P001"]);
+}

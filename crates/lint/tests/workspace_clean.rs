@@ -1,0 +1,16 @@
+//! The workspace must lint clean: the same check CI runs, as a test.
+
+use std::path::PathBuf;
+
+use oraclesize_lint::check_workspace;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = check_workspace(&root, None).expect("workspace sources must be readable");
+    assert!(
+        diags.is_empty(),
+        "lint findings in workspace:\n{}",
+        oraclesize_lint::render_text(&diags)
+    );
+}

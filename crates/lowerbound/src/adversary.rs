@@ -11,7 +11,7 @@
 //! and the guaranteed consequence is
 //! `probes ≥ log2(|I|) − log2(|X|!)` ([`lemma_2_1_bound`]).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::counting::log2_factorial;
 use crate::discovery::{all_edges, DiscoveryStrategy, Edge, GameView};
@@ -50,7 +50,7 @@ pub struct ExplicitAdversary {
     initial_count: usize,
     x_size: usize,
     revealed: Vec<(Edge, usize)>,
-    probed: HashSet<Edge>,
+    probed: BTreeSet<Edge>,
     probes: usize,
 }
 
@@ -73,7 +73,7 @@ impl ExplicitAdversary {
             active: instances,
             x_size,
             revealed: Vec::new(),
-            probed: HashSet::new(),
+            probed: BTreeSet::new(),
             probes: 0,
         }
     }
@@ -190,11 +190,11 @@ pub struct GameResult {
 /// strategy, not a valid outcome.
 pub fn play(
     n: usize,
-    y: &HashSet<Edge>,
+    y: &BTreeSet<Edge>,
     mut adversary: ExplicitAdversary,
     strategy: &mut dyn DiscoveryStrategy,
 ) -> GameResult {
-    let mut regular: HashSet<Edge> = HashSet::new();
+    let mut regular: BTreeSet<Edge> = BTreeSet::new();
     let budget = all_edges(n).len();
     let x_size = adversary.x_size();
     while !adversary.is_settled() {
@@ -284,7 +284,7 @@ mod tests {
         for x_size in [1usize, 2] {
             let family = all_ordered_instances(&pool, x_size);
             let adv = ExplicitAdversary::new(family.clone());
-            let result = play(n, &HashSet::new(), adv, &mut SequentialStrategy);
+            let result = play(n, &BTreeSet::new(), adv, &mut SequentialStrategy);
             assert!(
                 (result.probes as f64) >= result.bound,
                 "x={x_size}: {} < {}",
@@ -302,7 +302,7 @@ mod tests {
         let family = all_ordered_instances(&pool, 2);
         for seed in 0..5 {
             let adv = ExplicitAdversary::new(family.clone());
-            let result = play(n, &HashSet::new(), adv, &mut RandomStrategy::new(seed));
+            let result = play(n, &BTreeSet::new(), adv, &mut RandomStrategy::new(seed));
             assert!((result.probes as f64) >= result.bound, "seed {seed}");
         }
     }
@@ -316,14 +316,14 @@ mod tests {
         let pool = all_edges(n);
         let family = all_ordered_instances(&pool, 1);
         let adv = ExplicitAdversary::new(family);
-        let result = play(n, &HashSet::new(), adv, &mut SequentialStrategy);
+        let result = play(n, &BTreeSet::new(), adv, &mut SequentialStrategy);
         assert!(result.probes >= 9, "only {} probes", result.probes);
     }
 
     #[test]
     fn y_edges_shrink_the_pool() {
         let n = 5;
-        let y: HashSet<Edge> = [(0, 1), (0, 2), (0, 3)].into_iter().collect();
+        let y: BTreeSet<Edge> = [(0, 1), (0, 2), (0, 3)].into_iter().collect();
         let pool: Vec<Edge> = all_edges(n)
             .into_iter()
             .filter(|e| !y.contains(e))

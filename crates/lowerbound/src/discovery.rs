@@ -7,7 +7,7 @@
 //! `(e, ℓ) ∈ X` or that `e` is regular. It must *discover* `X` — reach a
 //! state where exactly one labeled set is consistent with everything seen.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -35,11 +35,11 @@ pub struct GameView<'a> {
     /// `|X|`: how many specials exist.
     pub x_size: usize,
     /// `Y`: edges known a priori to be regular (never worth probing).
-    pub y: &'a HashSet<Edge>,
+    pub y: &'a BTreeSet<Edge>,
     /// Specials revealed so far, with their labels.
     pub revealed: &'a [(Edge, usize)],
     /// Edges probed and found regular.
-    pub regular: &'a HashSet<Edge>,
+    pub regular: &'a BTreeSet<Edge>,
 }
 
 impl GameView<'_> {
@@ -130,7 +130,7 @@ pub struct AdaptiveNeighborStrategy;
 
 impl DiscoveryStrategy for AdaptiveNeighborStrategy {
     fn next_probe(&mut self, view: &GameView<'_>) -> Edge {
-        let hot: HashSet<usize> = view
+        let hot: BTreeSet<usize> = view
             .revealed
             .iter()
             .flat_map(|&((u, v), _)| [u, v])
@@ -166,8 +166,8 @@ mod tests {
 
     #[test]
     fn game_view_knowledge_queries() {
-        let y: HashSet<Edge> = [(0, 1)].into_iter().collect();
-        let regular: HashSet<Edge> = [(1, 2)].into_iter().collect();
+        let y: BTreeSet<Edge> = [(0, 1)].into_iter().collect();
+        let regular: BTreeSet<Edge> = [(1, 2)].into_iter().collect();
         let revealed = vec![((2, 3), 0)];
         let view = GameView {
             n: 5,
@@ -185,8 +185,8 @@ mod tests {
 
     #[test]
     fn sequential_skips_known_edges() {
-        let y: HashSet<Edge> = [(0, 1), (0, 2)].into_iter().collect();
-        let regular = HashSet::new();
+        let y: BTreeSet<Edge> = [(0, 1), (0, 2)].into_iter().collect();
+        let regular = BTreeSet::new();
         let view = GameView {
             n: 4,
             x_size: 1,
@@ -199,8 +199,8 @@ mod tests {
 
     #[test]
     fn random_strategy_is_deterministic_per_seed() {
-        let y = HashSet::new();
-        let regular = HashSet::new();
+        let y = BTreeSet::new();
+        let regular = BTreeSet::new();
         let view = GameView {
             n: 6,
             x_size: 1,
@@ -215,8 +215,8 @@ mod tests {
 
     #[test]
     fn adaptive_prefers_hot_nodes() {
-        let y = HashSet::new();
-        let regular: HashSet<Edge> = [(0, 1)].into_iter().collect();
+        let y = BTreeSet::new();
+        let regular: BTreeSet<Edge> = [(0, 1)].into_iter().collect();
         let revealed = vec![((3, 4), 0)];
         let view = GameView {
             n: 6,

@@ -19,7 +19,7 @@
 //! The mass invariant of the proof (`x_{t,r} ≥ |I|·(|X|−r)!/(2^t·|X|!)`)
 //! is tracked in log2 and asserted after every probe.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::counting::log2_factorial;
 use crate::discovery::{DiscoveryStrategy, Edge, GameView};
@@ -35,7 +35,7 @@ pub fn log2_falling(u: u64, j: u64) -> f64 {
 #[derive(Debug, Clone)]
 pub struct SymbolicAdversary {
     pool: Vec<Edge>,
-    probed: HashSet<Edge>,
+    probed: BTreeSet<Edge>,
     revealed: Vec<(Edge, usize)>,
     x_size: usize,
     probes: usize,
@@ -54,7 +54,7 @@ impl SymbolicAdversary {
         let initial_log2 = log2_falling(pool.len() as u64, x_size as u64);
         SymbolicAdversary {
             pool,
-            probed: HashSet::new(),
+            probed: BTreeSet::new(),
             revealed: Vec::new(),
             x_size,
             probes: 0,
@@ -110,7 +110,7 @@ impl SymbolicAdversary {
         // scalar factors.
         if remaining >= u - remaining {
             // Plurality label: all remaining labels tie; reveal the smallest.
-            let used: HashSet<usize> = self.revealed.iter().map(|&(_, l)| l).collect();
+            let used: BTreeSet<usize> = self.revealed.iter().map(|&(_, l)| l).collect();
             let label = (0..self.x_size)
                 .find(|l| !used.contains(l))
                 .expect("labels remain");
@@ -151,12 +151,12 @@ pub struct SymbolicGameResult {
 pub fn play_symbolic(
     n: usize,
     pool: Vec<Edge>,
-    y: &HashSet<Edge>,
+    y: &BTreeSet<Edge>,
     x_size: usize,
     strategy: &mut dyn DiscoveryStrategy,
 ) -> SymbolicGameResult {
     let mut adversary = SymbolicAdversary::new(pool, x_size);
-    let mut regular: HashSet<Edge> = HashSet::new();
+    let mut regular: BTreeSet<Edge> = BTreeSet::new();
     let budget = adversary.pool.len();
     while !adversary.is_settled() {
         assert!(
@@ -214,12 +214,12 @@ mod tests {
                 let family = all_ordered_instances(&pool, x_size);
                 let explicit = play(
                     n,
-                    &HashSet::new(),
+                    &BTreeSet::new(),
                     ExplicitAdversary::new(family),
                     &mut SequentialStrategy,
                 );
                 let symbolic =
-                    play_symbolic(n, pool, &HashSet::new(), x_size, &mut SequentialStrategy);
+                    play_symbolic(n, pool, &BTreeSet::new(), x_size, &mut SequentialStrategy);
                 assert_eq!(
                     explicit.probes, symbolic.probes,
                     "n={n} x={x_size}: explicit {} vs symbolic {}",
@@ -240,7 +240,7 @@ mod tests {
         let result = play_symbolic(
             n,
             pool.clone(),
-            &HashSet::new(),
+            &BTreeSet::new(),
             x_size,
             &mut SequentialStrategy,
         );
@@ -258,7 +258,7 @@ mod tests {
             let result = play_symbolic(
                 n,
                 pool.clone(),
-                &HashSet::new(),
+                &BTreeSet::new(),
                 6,
                 &mut RandomStrategy::new(seed),
             );

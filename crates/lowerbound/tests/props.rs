@@ -1,6 +1,6 @@
 //! Property-based tests for the lower-bound machinery.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use oraclesize_lowerbound::adversary::{
     all_ordered_instances, lemma_2_1_bound, play, ExplicitAdversary,
@@ -25,7 +25,7 @@ proptest! {
         let family = all_ordered_instances(&pool, x_size);
         let result = play(
             n,
-            &HashSet::new(),
+            &BTreeSet::new(),
             ExplicitAdversary::new(family.clone()),
             &mut RandomStrategy::new(seed),
         );
@@ -43,7 +43,7 @@ proptest! {
         let family = all_ordered_instances(&pool, x_size);
         let result = play(
             n,
-            &HashSet::new(),
+            &BTreeSet::new(),
             ExplicitAdversary::new(family.clone()),
             &mut SequentialStrategy,
         );
@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn y_edges_never_discovered(n in 5usize..7, seed in any::<u64>()) {
         let edges = all_edges(n);
-        let y: HashSet<(usize, usize)> = edges.iter().copied().take(3).collect();
+        let y: BTreeSet<(usize, usize)> = edges.iter().copied().take(3).collect();
         let pool: Vec<(usize, usize)> =
             edges.into_iter().filter(|e| !y.contains(e)).collect();
         let family = all_ordered_instances(&pool, 2);

@@ -1,7 +1,7 @@
 //! A scoped worker pool over `std::thread` — no external dependencies.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A fixed-width worker pool.
 ///
@@ -67,7 +67,10 @@ impl Pool {
                         break;
                     }
                     let result = f(i);
-                    *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                    // A poisoned slot only means another job panicked; the
+                    // scope will propagate that panic on join, and this
+                    // write is still well-defined.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
@@ -75,7 +78,10 @@ impl Pool {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("slot lock poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    // lint:allow(P001): the atomic counter hands every index
+                    // `< jobs` to exactly one worker, and the scope joins all
+                    // workers before this drain — an empty slot is impossible.
                     .expect("every index claimed exactly once")
             })
             .collect()

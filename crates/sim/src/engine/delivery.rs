@@ -158,32 +158,23 @@ impl<'a> NetState<'a> {
                     copies = 2;
                 }
             }
-            // Zero-clone hot path: the final copy takes ownership of the
-            // payload; only the extra deliveries of a duplication fault
-            // are cloned (and counted).
-            let mut message = Some(message);
-            for i in 0..copies {
-                let mut delivered = if i + 1 == copies {
-                    message.take().expect("final copy moves the payload")
-                } else {
-                    self.metrics.faults.payload_copies += 1;
-                    message.as_ref().expect("cloned before the move").clone()
-                };
-                if let Some(rng) = self.fault_rng.as_mut() {
-                    if !delivered.payload.is_empty()
-                        && rng.gen_bool(self.config.faults.bit_flip_prob.clamp(0.0, 1.0))
-                    {
-                        let idx = rng.gen_range(0..delivered.payload.len());
-                        delivered.payload = BitString::from_bits(
-                            delivered
-                                .payload
-                                .iter()
-                                .enumerate()
-                                .map(|(i, b)| if i == idx { !b } else { b }),
-                        );
-                        self.metrics.faults.payload_flips += 1;
-                    }
-                }
+            // Zero-clone hot path: the last delivery takes ownership of
+            // the payload; only the extra deliveries of a duplication
+            // fault are cloned (and counted). Clones go first so the RNG
+            // draw order (one flip check per delivered copy) matches the
+            // committed artifacts.
+            for _ in 1..copies {
+                self.metrics.faults.payload_copies += 1;
+                let delivered = self.maybe_flip(message.clone());
+                out.push_back(InFlight {
+                    from: v,
+                    to,
+                    arrival_port,
+                    message: delivered,
+                });
+            }
+            if copies > 0 {
+                let delivered = self.maybe_flip(message);
                 out.push_back(InFlight {
                     from: v,
                     to,
@@ -193,5 +184,27 @@ impl<'a> NetState<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Applies the bit-flip fault to one delivered copy: with the plan's
+    /// probability, one uniformly chosen payload bit is inverted.
+    fn maybe_flip(&mut self, mut message: Message) -> Message {
+        if let Some(rng) = self.fault_rng.as_mut() {
+            if !message.payload.is_empty()
+                && rng.gen_bool(self.config.faults.bit_flip_prob.clamp(0.0, 1.0))
+            {
+                let idx = rng.gen_range(0..message.payload.len());
+                message.payload =
+                    BitString::from_bits(message.payload.iter().enumerate().map(|(i, b)| {
+                        if i == idx {
+                            !b
+                        } else {
+                            b
+                        }
+                    }));
+                self.metrics.faults.payload_flips += 1;
+            }
+        }
+        message
     }
 }

@@ -91,15 +91,21 @@ pub fn run(
                     limit: config.max_steps,
                 });
             }
-            let InFlight {
+            let next = if config.synchronous {
+                pending.pop_front()
+            } else {
+                scheduler.take(&mut pending, |m: &InFlight| m.message.carries_source)
+            };
+            let Some(InFlight {
                 from,
                 to,
                 arrival_port,
                 message,
-            } = if config.synchronous {
-                pending.pop_front().expect("nonempty checked above")
-            } else {
-                scheduler.take(&mut pending, |m: &InFlight| m.message.carries_source)
+            }) = next
+            else {
+                // Unreachable given the nonempty check above; an empty pool
+                // is quiescence, not an error.
+                break;
             };
 
             if config.capture_trace {

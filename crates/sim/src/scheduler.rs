@@ -75,32 +75,32 @@ pub(crate) enum Scheduler {
 }
 
 impl Scheduler {
-    /// Removes and returns the next in-flight message. FIFO pops the front,
-    /// LIFO the back, and the random scheduler swaps its pick to the front
-    /// first (uniform over the remaining pool either way) — all O(1). The
-    /// starving scheduler delivers the oldest message for which
-    /// `is_starved` is `false`, falling back to the front when every
-    /// message is starved; this scans the pool (O(n)).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pending` is empty.
+    /// Removes and returns the next in-flight message, or `None` on an
+    /// empty pool. FIFO pops the front, LIFO the back, and the random
+    /// scheduler swaps its pick to the front first (uniform over the
+    /// remaining pool either way) — all O(1). The starving scheduler
+    /// delivers the oldest message for which `is_starved` is `false`,
+    /// falling back to the front when every message is starved; this scans
+    /// the pool (O(n)).
     pub(crate) fn take<T>(
         &mut self,
         pending: &mut std::collections::VecDeque<T>,
         is_starved: impl Fn(&T) -> bool,
-    ) -> T {
+    ) -> Option<T> {
         match self {
-            Scheduler::Fifo => pending.pop_front().expect("nonempty pool"),
-            Scheduler::Lifo => pending.pop_back().expect("nonempty pool"),
+            Scheduler::Fifo => pending.pop_front(),
+            Scheduler::Lifo => pending.pop_back(),
             Scheduler::Random(rng) => {
+                if pending.is_empty() {
+                    return None;
+                }
                 let idx = rng.gen_range(0..pending.len());
                 pending.swap(0, idx);
-                pending.pop_front().expect("nonempty pool")
+                pending.pop_front()
             }
             Scheduler::Starve => {
                 let idx = pending.iter().position(|m| !is_starved(m)).unwrap_or(0);
-                pending.remove(idx).expect("nonempty pool")
+                pending.remove(idx)
             }
         }
     }
@@ -123,8 +123,8 @@ mod tests {
         let mut s = kind.instantiate();
         let mut pool: VecDeque<u32> = items.into();
         let mut out = Vec::new();
-        while !pool.is_empty() {
-            out.push(s.take(&mut pool, &is_starved));
+        while let Some(next) = s.take(&mut pool, &is_starved) {
+            out.push(next);
         }
         out
     }

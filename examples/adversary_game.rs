@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example adversary_game`
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use oraclesize::lowerbound::adversary::{all_ordered_instances, play, ExplicitAdversary};
 use oraclesize::lowerbound::discovery::{
@@ -33,14 +33,14 @@ fn main() {
     {
         let mut adversary = ExplicitAdversary::new(family.clone());
         let mut strategy = SequentialStrategy;
-        let mut regular: HashSet<(usize, usize)> = HashSet::new();
+        let mut regular: BTreeSet<(usize, usize)> = BTreeSet::new();
         println!("trace (sequential strategy):");
         while !adversary.is_settled() {
             let revealed = adversary.revealed().to_vec();
             let view = oraclesize::lowerbound::GameView {
                 n,
                 x_size,
-                y: &HashSet::new(),
+                y: &BTreeSet::new(),
                 revealed: &revealed,
                 regular: &regular,
             };
@@ -70,7 +70,7 @@ fn main() {
     println!("{:<20} {:>8} {:>10}", "strategy", "probes", "bound");
     for mut s in strategies {
         let adversary = ExplicitAdversary::new(family.clone());
-        let result = play(n, &HashSet::new(), adversary, s.as_mut());
+        let result = play(n, &BTreeSet::new(), adversary, s.as_mut());
         println!(
             "{:<20} {:>8} {:>10.2}",
             s.name(),

@@ -2,7 +2,7 @@
 //! — adversary games, counting tables, and the trade-off experiments that
 //! exhibit the predicted blow-ups.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use oraclesize::graph::gadgets;
 use oraclesize::lowerbound::adversary::{
@@ -24,7 +24,7 @@ fn lemma_2_1_bound_holds_for_all_strategies_and_pools() {
             let bound = lemma_2_1_bound(family.len() as f64, x_size);
             let seq = play(
                 n,
-                &HashSet::new(),
+                &BTreeSet::new(),
                 ExplicitAdversary::new(family.clone()),
                 &mut SequentialStrategy,
             );
@@ -32,7 +32,7 @@ fn lemma_2_1_bound_holds_for_all_strategies_and_pools() {
             for seed in 0..3 {
                 let rnd = play(
                     n,
-                    &HashSet::new(),
+                    &BTreeSet::new(),
                     ExplicitAdversary::new(family.clone()),
                     &mut RandomStrategy::new(seed),
                 );
