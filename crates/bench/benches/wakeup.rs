@@ -1,9 +1,10 @@
 //! T1/T2 runtime benches: wakeup oracle construction and scheme execution.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oraclesize_core::execute;
 use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
-use oraclesize_core::{execute, Oracle};
 use oraclesize_graph::families;
+use oraclesize_sim::Oracle;
 use oraclesize_sim::SimConfig;
 use std::time::Duration;
 

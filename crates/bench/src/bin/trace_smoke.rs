@@ -1,0 +1,95 @@
+//! Emits the trace-smoke JSONL artifact: a fixed, fully-traced broadcast
+//! grid (a T10-style scheduler × fault matrix on one hypercube instance)
+//! rendered in cell order.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_smoke --threads 1 --out trace-serial.jsonl
+//! trace_smoke --threads 2 --out trace-pooled.jsonl
+//! ```
+//!
+//! CI runs this at two thread counts and diffs the files byte-for-byte —
+//! the executable half of the observability determinism contract
+//! (`crates/runtime/tests/trace_determinism.rs` is the property-test
+//! half).
+
+use std::sync::Arc;
+
+use oraclesize_bench::harness::MASTER_SEED;
+use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
+use oraclesize_graph::families;
+use oraclesize_runtime::trace::render_jsonl;
+use oraclesize_runtime::{run_batch, Pool, RunRequest};
+use oraclesize_sim::{FaultPlan, Instance, SchedulerKind, SimConfig, TraceSpec};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = flag_value(&args, "--threads")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--threads expects a positive integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
+    let out = flag_value(&args, "--out");
+
+    let g = Arc::new(families::hypercube(5));
+    let instance = Instance::build(g, 0, &LightTreeOracle);
+    let protocol: Arc<dyn oraclesize_sim::Protocol + Send + Sync> = Arc::new(SchemeB);
+    let requests: Vec<RunRequest> = (0..12)
+        .map(|cell| {
+            let seed = MASTER_SEED.wrapping_add(cell as u64);
+            let config = SimConfig::broadcast()
+                .with_scheduler(match cell % 3 {
+                    0 => SchedulerKind::Fifo,
+                    1 => SchedulerKind::Lifo,
+                    _ => SchedulerKind::Random { seed },
+                })
+                .with_synchronous(cell % 2 == 0)
+                .with_faults(if cell % 4 == 3 {
+                    FaultPlan::message_faults(seed, 0.05, 0.0, 0.0)
+                } else {
+                    FaultPlan::default()
+                })
+                .with_quiescence_polls(16)
+                .capture_trace(TraceSpec::Full);
+            RunRequest::new(Arc::clone(&instance), Arc::clone(&protocol), config)
+        })
+        .collect();
+
+    let reports = run_batch(&Pool::new(threads.max(1)), &requests);
+    let mut jsonl = String::new();
+    for report in &reports {
+        match report.outcome() {
+            Some(outcome) => jsonl.push_str(&render_jsonl(report.cell as u64, &outcome.trace)),
+            None => {
+                eprintln!("cell {} aborted: {:?}", report.cell, report.result);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &jsonl).unwrap_or_else(|e| {
+                eprintln!("cannot write {path:?}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "wrote {path} ({} lines, {} cells, threads = {threads})",
+                jsonl.lines().count(),
+                reports.len()
+            );
+        }
+        None => print!("{jsonl}"),
+    }
+}

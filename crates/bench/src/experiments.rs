@@ -12,9 +12,9 @@ use oraclesize_analysis::fit::{best_model, fit_model, Model};
 use oraclesize_analysis::table::{fmt_num, Table};
 use oraclesize_core::baselines::{FullMapOracle, MapWakeup};
 use oraclesize_core::broadcast::{scheme_b_message_bound, LightTreeOracle, SchemeB};
+use oraclesize_core::execute;
 use oraclesize_core::oracle::EmptyOracle;
 use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
-use oraclesize_core::{advice_size, execute, Oracle};
 use oraclesize_graph::families::{self, Family};
 use oraclesize_graph::gadgets;
 use oraclesize_graph::spanning::TreeAlgorithm;
@@ -26,9 +26,9 @@ use oraclesize_lowerbound::discovery::{
     all_edges, AdaptiveNeighborStrategy, DiscoveryStrategy, RandomStrategy, SequentialStrategy,
 };
 use oraclesize_lowerbound::truncation::tradeoff_curve;
-use oraclesize_runtime::{Instance, RunRequest};
+use oraclesize_runtime::RunRequest;
 use oraclesize_sim::protocol::{FloodOnce, Protocol};
-use oraclesize_sim::{SchedulerKind, SimConfig, TaskMode};
+use oraclesize_sim::{advice_size, Instance, Oracle, SchedulerKind, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -136,10 +136,7 @@ pub fn t2_wakeup_messages(large: bool) -> String {
                 &SimConfig::wakeup(),
             )
             .expect("wakeup runs");
-            let async_cfg = SimConfig {
-                mode: TaskMode::Wakeup,
-                ..SimConfig::asynchronous(SchedulerKind::Random { seed: 7 })
-            };
+            let async_cfg = SimConfig::wakeup().with_scheduler(SchedulerKind::Random { seed: 7 });
             let asynchronous = execute(
                 &g,
                 0,
@@ -245,10 +242,9 @@ pub fn t4_broadcast_bounds(large: bool) -> String {
             let nodes = g.num_nodes();
             let sync = execute(&g, 0, &LightTreeOracle, &SchemeB, &SimConfig::default())
                 .expect("broadcast runs");
-            let async_cfg = SimConfig {
-                anonymous: true,
-                ..SimConfig::asynchronous(SchedulerKind::Lifo)
-            };
+            let async_cfg = SimConfig::broadcast()
+                .with_scheduler(SchedulerKind::Lifo)
+                .with_anonymous(true);
             let asynchronous =
                 execute(&g, 0, &LightTreeOracle, &SchemeB, &async_cfg).expect("broadcast runs");
             ok &= sync.oracle_bits <= 8 * nodes as u64
@@ -561,23 +557,20 @@ pub fn t10_robustness_matrix(opts: &ExpOptions) -> String {
     let mut meta = Vec::new();
     for kind in SchedulerKind::sweep(MASTER_SEED) {
         for anonymous in [false, true] {
-            let wakeup_cfg = SimConfig {
-                mode: TaskMode::Wakeup,
-                anonymous,
-                max_message_bits: Some(0),
-                ..SimConfig::asynchronous(kind)
-            };
+            let wakeup_cfg = SimConfig::wakeup()
+                .with_scheduler(kind)
+                .with_anonymous(anonymous)
+                .with_max_message_bits(0);
             grid.cell(
                 format!("tree-wakeup/{}/anon={anonymous}", kind.name()),
                 RunRequest::new(Arc::clone(&wakeup), Arc::clone(&tree_wakeup), wakeup_cfg),
             );
             meta.push(("tree-wakeup", kind, anonymous));
 
-            let broadcast_cfg = SimConfig {
-                anonymous,
-                max_message_bits: Some(0),
-                ..SimConfig::asynchronous(kind)
-            };
+            let broadcast_cfg = SimConfig::broadcast()
+                .with_scheduler(kind)
+                .with_anonymous(anonymous)
+                .with_max_message_bits(0);
             grid.cell(
                 format!("scheme-b/{}/anon={anonymous}", kind.name()),
                 RunRequest::new(Arc::clone(&broadcast), Arc::clone(&scheme_b), broadcast_cfg),
@@ -1285,11 +1278,7 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> String {
                         bits: 40,
                     },
                 );
-                let cfg = SimConfig {
-                    mode: TaskMode::Wakeup,
-                    faults: plan,
-                    ..Default::default()
-                };
+                let cfg = SimConfig::wakeup().with_faults(plan);
                 let (inst, proto) = if robust {
                     (&robust_inst, &robust_proto)
                 } else {
@@ -1374,11 +1363,9 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> String {
         for (label, retries) in RETRY_SCHEMES {
             for trial in 0..trials {
                 let plan = FaultPlan::message_faults(MASTER_SEED ^ (trial + 31), rate, 0.0, 0.0);
-                let cfg = SimConfig {
-                    faults: plan,
-                    max_quiescence_polls: 16,
-                    ..Default::default()
-                };
+                let cfg = SimConfig::broadcast()
+                    .with_faults(plan)
+                    .with_quiescence_polls(16);
                 let proto: Arc<dyn Protocol + Send + Sync> = match retries {
                     None => Arc::clone(&tree_wakeup),
                     Some(r) => Arc::new(RetryBroadcast { retries: r }),
@@ -1449,11 +1436,7 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> String {
             crashes: crash_set.iter().map(|&v| (v, 0u64)).collect(),
             ..Default::default()
         };
-        let cfg = SimConfig {
-            mode: TaskMode::Wakeup,
-            faults: plan,
-            ..Default::default()
-        };
+        let cfg = SimConfig::wakeup().with_faults(plan);
         crash_grid.cell(
             format!("crashes={budget}"),
             RunRequest::new(Arc::clone(&robust_inst), Arc::clone(&robust_proto), cfg),

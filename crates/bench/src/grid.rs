@@ -9,9 +9,11 @@
 
 use std::path::{Path, PathBuf};
 
+use oraclesize_runtime::trace::stats_json;
 use oraclesize_runtime::{
     drain, run_batch, Aggregate, Json, MetricsSink, Pool, RunReport, RunRequest,
 };
+use oraclesize_sim::TraceStats;
 
 /// Options shared by every experiment invocation.
 #[derive(Debug, Clone, Default)]
@@ -88,21 +90,31 @@ impl CellGrid {
             .map(|(i, (label, report))| {
                 let base = Json::obj().field("cell", i).field("label", label.as_str());
                 match &report.result {
-                    Ok(out) => base
-                        .field("completed", out.completed)
-                        .field("uninformed", out.uninformed)
-                        .field("crashed_nodes", out.crashed_nodes)
-                        .field("oracle_bits", out.oracle_bits)
-                        .field("messages", out.metrics.messages)
-                        .field("payload_bits", out.metrics.payload_bits)
-                        .field("max_message_bits", out.metrics.max_message_bits)
-                        .field("rounds", out.metrics.rounds)
-                        .field("steps", out.metrics.steps)
-                        .field("informed_nodes", out.metrics.informed_nodes)
-                        .field("dropped", out.metrics.faults.dropped)
-                        .field("duplicated", out.metrics.faults.duplicated)
-                        .field("payload_flips", out.metrics.faults.payload_flips)
-                        .field("advice_mutations", out.metrics.faults.advice_mutations),
+                    Ok(out) => {
+                        let record = base
+                            .field("completed", out.completed)
+                            .field("uninformed", out.uninformed)
+                            .field("crashed_nodes", out.crashed_nodes)
+                            .field("oracle_bits", out.oracle_bits)
+                            .field("messages", out.metrics.messages)
+                            .field("payload_bits", out.metrics.payload_bits)
+                            .field("max_message_bits", out.metrics.max_message_bits)
+                            .field("rounds", out.metrics.rounds)
+                            .field("steps", out.metrics.steps)
+                            .field("informed_nodes", out.metrics.informed_nodes)
+                            .field("dropped", out.metrics.faults.dropped)
+                            .field("duplicated", out.metrics.faults.duplicated)
+                            .field("payload_flips", out.metrics.faults.payload_flips)
+                            .field("advice_mutations", out.metrics.faults.advice_mutations);
+                        // Untraced cells (the committed BENCH_T*.json
+                        // artifacts) carry zeroed stats and keep their
+                        // exact historical bytes.
+                        if out.trace_stats == TraceStats::default() {
+                            record
+                        } else {
+                            record.field("trace", stats_json(&out.trace_stats))
+                        }
+                    }
                     Err(e) => base.field("error", e.as_str()),
                 }
             })
@@ -137,9 +149,8 @@ mod tests {
     use super::*;
     use oraclesize_core::oracle::EmptyOracle;
     use oraclesize_graph::families;
-    use oraclesize_runtime::Instance;
     use oraclesize_sim::protocol::FloodOnce;
-    use oraclesize_sim::SimConfig;
+    use oraclesize_sim::{Instance, SimConfig, TraceSpec};
     use std::sync::Arc;
 
     fn tiny_grid() -> CellGrid {
@@ -164,6 +175,30 @@ mod tests {
         }));
         assert_eq!(serial.render(), threaded.render());
         assert!(oraclesize_runtime::json::parses(&serial.render()));
+    }
+
+    #[test]
+    fn traced_cells_get_a_trace_record_untraced_cells_do_not() {
+        let inst = Instance::build(Arc::new(families::cycle(6)), 0, &EmptyOracle);
+        let mut grid = CellGrid::new();
+        grid.cell(
+            "plain",
+            RunRequest::new(Arc::clone(&inst), Arc::new(FloodOnce), SimConfig::default()),
+        );
+        grid.cell(
+            "traced",
+            RunRequest::new(
+                inst,
+                Arc::new(FloodOnce),
+                SimConfig::broadcast().capture_trace(TraceSpec::Full),
+            ),
+        );
+        let json = grid
+            .to_json(&grid.dispatch(&ExpOptions::default()))
+            .render();
+        // Exactly one cell carries the trace sub-object.
+        assert_eq!(json.matches("\"trace\": {").count(), 1, "{json}");
+        assert!(json.contains("\"delivered\": "), "{json}");
     }
 
     #[test]

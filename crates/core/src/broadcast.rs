@@ -223,7 +223,7 @@ mod tests {
     use crate::oracle::advice_size;
     use crate::runner::execute;
     use oraclesize_graph::families::{self, Family};
-    use oraclesize_sim::{SchedulerKind, SimConfig};
+    use oraclesize_sim::{SchedulerKind, SimConfig, TraceSpec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -279,11 +279,10 @@ mod tests {
         // bounded (here: empty) messages.
         let g = families::complete_rotational(30);
         for kind in SchedulerKind::sweep(13) {
-            let cfg = SimConfig {
-                anonymous: true,
-                max_message_bits: Some(0),
-                ..SimConfig::asynchronous(kind)
-            };
+            let cfg = SimConfig::broadcast()
+                .with_scheduler(kind)
+                .with_anonymous(true)
+                .with_max_message_bits(0);
             let run = execute(&g, 11, &LightTreeOracle, &SchemeB, &cfg).unwrap();
             assert!(run.outcome.all_informed(), "{}", kind.name());
             assert!(run.outcome.metrics.messages <= scheme_b_message_bound(30));
@@ -317,16 +316,12 @@ mod tests {
     #[test]
     fn hello_counts_bounded_by_tree_edges() {
         let g = families::complete_rotational(20);
-        let cfg = SimConfig {
-            capture_trace: true,
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast().capture_trace(TraceSpec::Full);
         let run = execute(&g, 0, &LightTreeOracle, &SchemeB, &cfg).unwrap();
         let hellos = run
             .outcome
-            .trace
-            .iter()
-            .filter(|e| !e.carries_source)
+            .deliveries()
+            .filter(|d| !d.carries_source)
             .count();
         assert!(hellos <= 19, "{hellos} pure hellos > n-1");
     }
@@ -339,7 +334,8 @@ mod tests {
         let g = families::path(2);
         // Edge {0,1}: ports 0 at both. Give the advice to node 1 only.
         let advice = vec![BitString::new(), encode_weight_list(&[0])];
-        let out = oraclesize_sim::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
+        let out =
+            oraclesize_sim::engine::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
         assert!(out.all_informed());
     }
 
@@ -347,7 +343,8 @@ mod tests {
     fn empty_advice_everywhere_reaches_only_source_component() {
         let g = families::path(3);
         let advice = oraclesize_sim::testkit::no_advice(3);
-        let out = oraclesize_sim::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
+        let out =
+            oraclesize_sim::engine::run(&g, 0, &advice, &SchemeB, &SimConfig::default()).unwrap();
         assert_eq!(out.informed_count(), 1);
         assert_eq!(out.metrics.messages, 0);
     }
@@ -381,19 +378,19 @@ mod tests {
     fn reflush_ablation_is_schedule_dependent() {
         let g = families::path(8);
         for kind in SchedulerKind::sweep(29) {
-            let cfg = SimConfig::asynchronous(kind);
+            let cfg = SimConfig::broadcast().with_scheduler(kind);
             let faithful = execute(&g, 0, &LightTreeOracle, &SchemeB, &cfg).unwrap();
             assert!(faithful.outcome.all_informed(), "{}", kind.name());
         }
         // FIFO delivers M before the hellos: the naive variant stalls.
-        let cfg = SimConfig::asynchronous(SchedulerKind::Fifo);
+        let cfg = SimConfig::broadcast().with_scheduler(SchedulerKind::Fifo);
         let naive = execute(&g, 0, &LightTreeOracle, &SchemeBNoReflush, &cfg).unwrap();
         assert!(!naive.outcome.all_informed());
         // LIFO happens to deliver every hello before M, rescuing the naive
         // variant on this instance — correctness that depends on the
         // adversary's mood is exactly what the paper's level-triggered
         // loop removes.
-        let cfg = SimConfig::asynchronous(SchedulerKind::Lifo);
+        let cfg = SimConfig::broadcast().with_scheduler(SchedulerKind::Lifo);
         let rescued = execute(&g, 0, &LightTreeOracle, &SchemeBNoReflush, &cfg).unwrap();
         assert!(rescued.outcome.all_informed());
     }
@@ -401,18 +398,15 @@ mod tests {
     #[test]
     fn m_never_crosses_an_edge_twice_in_same_direction() {
         let g = families::complete_rotational(16);
-        let cfg = SimConfig {
-            capture_trace: true,
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast().capture_trace(TraceSpec::Full);
         let run = execute(&g, 0, &LightTreeOracle, &SchemeB, &cfg).unwrap();
         let mut seen = std::collections::HashSet::new();
-        for e in run.outcome.trace.iter().filter(|e| e.carries_source) {
+        for d in run.outcome.deliveries().filter(|d| d.carries_source) {
             assert!(
-                seen.insert((e.from, e.to)),
+                seen.insert((d.from, d.to)),
                 "M crossed {}->{} twice",
-                e.from,
-                e.to
+                d.from,
+                d.to
             );
         }
     }

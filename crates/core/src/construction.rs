@@ -367,7 +367,7 @@ mod tests {
     #[test]
     fn distributed_bfs_async_still_spans_but_may_not_be_bfs() {
         let g = families::complete_rotational(16);
-        let cfg = SimConfig::asynchronous(SchedulerKind::Lifo);
+        let cfg = SimConfig::broadcast().with_scheduler(SchedulerKind::Lifo);
         let run = execute(&g, 0, &crate::oracle::EmptyOracle, &DistributedBfs, &cfg).unwrap();
         let ports = collect_parent_ports(&run.outcome.outputs).unwrap();
         // Spanning always holds…

@@ -495,7 +495,7 @@ mod tests {
                 7,
                 &ElectionOracle,
                 &AnnouncedLeader,
-                &SimConfig::asynchronous(kind),
+                &SimConfig::broadcast().with_scheduler(kind),
             )
             .unwrap();
             let leader = verify_election(&g, &run.outcome.outputs, false).unwrap();
@@ -512,7 +512,7 @@ mod tests {
                 0,
                 &EmptyOracle,
                 &FloodMax,
-                &SimConfig::asynchronous(kind),
+                &SimConfig::broadcast().with_scheduler(kind),
             )
             .unwrap();
             verify_election(&g, &run.outcome.outputs, true)
@@ -607,7 +607,7 @@ mod tests {
                 0,
                 &EmptyOracle,
                 &HirschbergSinclair,
-                &SimConfig::asynchronous(kind),
+                &SimConfig::broadcast().with_scheduler(kind),
             )
             .unwrap();
             verify_election(&g, &run.outcome.outputs, true)

@@ -321,7 +321,7 @@ mod tests {
                 4,
                 &GossipOracle::default(),
                 &TreeGossip,
-                &SimConfig::asynchronous(kind),
+                &SimConfig::broadcast().with_scheduler(kind),
             )
             .unwrap();
             assert_eq!(run.outcome.metrics.messages, 38, "{}", kind.name());

@@ -19,7 +19,7 @@
 //! # Examples
 //!
 //! ```
-//! use oraclesize_core::{execute, advice_size};
+//! use oraclesize_core::execute;
 //! use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
 //! use oraclesize_graph::families;
 //! use oraclesize_sim::SimConfig;
@@ -46,5 +46,4 @@ pub mod runner;
 pub mod spanner;
 pub mod wakeup;
 
-pub use oracle::{advice_size, Oracle};
 pub use runner::{execute, OracleRun};

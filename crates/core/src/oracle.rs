@@ -1,32 +1,18 @@
-//! The oracle abstraction and size accounting.
+//! Generic oracle building blocks: the empty baseline and budget
+//! truncation.
+//!
+//! The [`Oracle`] trait itself (and the [`advice_size`] accounting) lives
+//! in `oraclesize_sim::oracle`, next to the engine that consumes advice;
+//! this module holds the scheme-independent implementations. The
+//! re-import below is crate-internal so the workspace keeps exactly one
+//! canonical public path for the trait.
+
+// Crate-internal alias: every module here says `crate::oracle::Oracle`;
+// the public path is `oraclesize_sim::Oracle`.
+pub(crate) use oraclesize_sim::oracle::{advice_size, Oracle};
 
 use oraclesize_bits::BitString;
 use oraclesize_graph::{NodeId, PortGraph};
-
-/// An oracle `O`: looks at the entire labeled network (and the source) and
-/// assigns an advice string to every node.
-///
-/// The paper's oracles depend only on the network, but the source is part
-/// of the labeled instance (the status bit marks it), so we pass it
-/// explicitly: the constructive oracles root their spanning trees there.
-///
-/// The returned vector is indexed by node id and must have exactly
-/// `g.num_nodes()` entries.
-pub trait Oracle {
-    /// Computes the advice assignment `f = O(G)`.
-    fn advise(&self, g: &PortGraph, source: NodeId) -> Vec<BitString>;
-
-    /// Short name used in experiment tables.
-    fn name(&self) -> &'static str {
-        "unnamed"
-    }
-}
-
-/// The paper's oracle size: the sum of the lengths of all assigned strings,
-/// in bits.
-pub fn advice_size(advice: &[BitString]) -> u64 {
-    advice.iter().map(|s| s.len() as u64).sum()
-}
 
 /// The empty oracle: every node receives the empty string (size 0). The
 /// baseline against which *any* advice is compared.
@@ -92,16 +78,6 @@ mod tests {
         let advice = EmptyOracle.advise(&g, 0);
         assert_eq!(advice.len(), 5);
         assert_eq!(advice_size(&advice), 0);
-    }
-
-    #[test]
-    fn advice_size_sums_bits() {
-        let advice = vec![
-            BitString::parse("101").unwrap(),
-            BitString::new(),
-            BitString::parse("1").unwrap(),
-        ];
-        assert_eq!(advice_size(&advice), 4);
     }
 
     struct ConstOracle(usize);

@@ -304,18 +304,12 @@ mod tests {
     use crate::runner::execute;
     use crate::wakeup::TreeWakeup;
     use oraclesize_graph::families::{self, Family};
-    use oraclesize_sim::{
-        AdviceAdversary, Completion, FaultPlan, SchedulerKind, SimConfig, TaskMode,
-    };
+    use oraclesize_sim::{AdviceAdversary, Completion, FaultPlan, SchedulerKind, SimConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn wakeup_with_faults(plan: FaultPlan) -> SimConfig {
-        SimConfig {
-            mode: TaskMode::Wakeup,
-            faults: plan,
-            ..Default::default()
-        }
+        SimConfig::wakeup().with_faults(plan)
     }
 
     #[test]
@@ -479,13 +473,9 @@ mod tests {
             },
         );
         for kind in SchedulerKind::sweep(41) {
-            let cfg = SimConfig {
-                mode: TaskMode::Wakeup,
-                synchronous: false,
-                scheduler: kind,
-                faults: plan.clone(),
-                ..Default::default()
-            };
+            let cfg = SimConfig::wakeup()
+                .with_scheduler(kind)
+                .with_faults(plan.clone());
             let run = execute(
                 &g,
                 3,
@@ -539,10 +529,7 @@ mod tests {
                 0,
                 &SpanningTreeOracle::default(),
                 &TreeWakeup,
-                &SimConfig {
-                    faults: plan.clone(),
-                    ..Default::default()
-                },
+                &SimConfig::broadcast().with_faults(plan.clone()),
             )
             .unwrap();
             if brittle.outcome.classify() != Completion::Completed {
@@ -553,11 +540,9 @@ mod tests {
                 0,
                 &SpanningTreeOracle::default(),
                 &RetryBroadcast { retries: 8 },
-                &SimConfig {
-                    faults: plan,
-                    max_quiescence_polls: 16,
-                    ..Default::default()
-                },
+                &SimConfig::broadcast()
+                    .with_faults(plan)
+                    .with_quiescence_polls(16),
             )
             .unwrap();
             assert_eq!(
@@ -579,10 +564,7 @@ mod tests {
             0,
             &SpanningTreeOracle::default(),
             &RetryBroadcast { retries: 4 },
-            &SimConfig {
-                faults: FaultPlan::message_faults(1, 1.0, 0.0, 0.0),
-                ..Default::default()
-            },
+            &SimConfig::broadcast().with_faults(FaultPlan::message_faults(1, 1.0, 0.0, 0.0)),
         )
         .unwrap();
         assert_eq!(
@@ -611,11 +593,9 @@ mod tests {
             0,
             &SpanningTreeOracle::default(),
             &RetryBroadcast { retries: 4 },
-            &SimConfig {
-                faults: plan,
-                max_quiescence_polls: 8,
-                ..Default::default()
-            },
+            &SimConfig::broadcast()
+                .with_faults(plan)
+                .with_quiescence_polls(8),
         )
         .unwrap();
         assert_eq!(run.outcome.classify(), Completion::Completed);

@@ -185,12 +185,10 @@ mod tests {
     fn wakeup_works_asynchronously_and_anonymously() {
         let g = families::complete_rotational(25);
         for kind in SchedulerKind::sweep(11) {
-            let cfg = SimConfig {
-                mode: oraclesize_sim::TaskMode::Wakeup,
-                anonymous: true,
-                max_message_bits: Some(0),
-                ..SimConfig::asynchronous(kind)
-            };
+            let cfg = SimConfig::wakeup()
+                .with_scheduler(kind)
+                .with_anonymous(true)
+                .with_max_message_bits(0);
             let run = execute(&g, 7, &SpanningTreeOracle::default(), &TreeWakeup, &cfg).unwrap();
             assert!(run.outcome.all_informed(), "{}", kind.name());
             assert_eq!(run.outcome.metrics.messages, 24);
@@ -231,7 +229,8 @@ mod tests {
         // self-healing counterpart lives in [`crate::robust`].)
         let g = families::path(4);
         let advice = vec![BitString::parse("0101101").unwrap(); 4];
-        let out = oraclesize_sim::run(&g, 0, &advice, &TreeWakeup, &SimConfig::wakeup()).unwrap();
+        let out =
+            oraclesize_sim::engine::run(&g, 0, &advice, &TreeWakeup, &SimConfig::wakeup()).unwrap();
         assert!(!out.all_informed());
         assert_eq!(
             out.classify(),

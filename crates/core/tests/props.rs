@@ -2,11 +2,11 @@
 //! guarantees hold on *random* networks, sources, and schedulers.
 
 use oraclesize_core::broadcast::{scheme_b_message_bound, LightTreeOracle, SchemeB};
-use oraclesize_core::oracle::{advice_size, TruncatedOracle};
+use oraclesize_core::execute;
+use oraclesize_core::oracle::TruncatedOracle;
 use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
-use oraclesize_core::{execute, Oracle};
 use oraclesize_graph::families::{self, Family};
-use oraclesize_sim::{SchedulerKind, SimConfig, TaskMode};
+use oraclesize_sim::{advice_size, Oracle, SchedulerKind, SimConfig, TaskMode};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,14 +31,12 @@ proptest! {
         let g = fam.build(n, &mut rng);
         let nodes = g.num_nodes();
         let source = seed as usize % nodes;
-        let cfg = SimConfig {
-            mode: TaskMode::Wakeup,
-            synchronous,
-            scheduler: SchedulerKind::Random { seed: sched_seed },
-            anonymous,
-            max_message_bits: Some(0),
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast()
+            .with_mode(TaskMode::Wakeup)
+            .with_scheduler(SchedulerKind::Random { seed: sched_seed })
+            .with_synchronous(synchronous)
+            .with_anonymous(anonymous)
+            .with_max_message_bits(0);
         let run = execute(&g, source, &SpanningTreeOracle::default(), &TreeWakeup, &cfg).unwrap();
         prop_assert!(run.outcome.all_informed());
         prop_assert_eq!(run.outcome.metrics.messages, (nodes - 1) as u64);
@@ -57,13 +55,11 @@ proptest! {
         let g = fam.build(n, &mut rng);
         let nodes = g.num_nodes();
         let source = seed as usize % nodes;
-        let cfg = SimConfig {
-            synchronous,
-            scheduler: SchedulerKind::Random { seed: sched_seed },
-            anonymous,
-            max_message_bits: Some(0),
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast()
+            .with_scheduler(SchedulerKind::Random { seed: sched_seed })
+            .with_synchronous(synchronous)
+            .with_anonymous(anonymous)
+            .with_max_message_bits(0);
         let run = execute(&g, source, &LightTreeOracle, &SchemeB, &cfg).unwrap();
         prop_assert!(run.outcome.all_informed());
         prop_assert!(run.oracle_bits <= 8 * nodes as u64,

@@ -19,17 +19,25 @@ use crate::discovery::{all_edges, DiscoveryStrategy, Edge, GameView};
 /// One instance of edge discovery: the labeled special set `X` as an
 /// ordered tuple — `specials[ℓ]` is the edge with label `ℓ`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Instance {
+pub struct GameInstance {
     /// `specials[label] = edge`.
     pub specials: Vec<Edge>,
 }
 
-impl Instance {
+impl GameInstance {
     /// Label of `e` in this instance, if special.
     pub fn label_of(&self, e: Edge) -> Option<usize> {
         self.specials.iter().position(|&s| s == e)
     }
 }
+
+/// Old name of [`GameInstance`], kept for one release so downstream code
+/// migrates away from the collision with [`oraclesize_sim::Instance`]
+/// (a frozen simulation input, an unrelated concept).
+///
+/// [`oraclesize_sim::Instance`]: https://docs.rs/oraclesize-sim
+#[deprecated(note = "renamed to `GameInstance`")]
+pub type Instance = GameInstance;
 
 /// The adversary's answer to a probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +54,7 @@ pub enum ProbeResult {
 /// The explicit (instance-enumerating) adversary of Lemma 2.1.
 #[derive(Debug, Clone)]
 pub struct ExplicitAdversary {
-    active: Vec<Instance>,
+    active: Vec<GameInstance>,
     initial_count: usize,
     x_size: usize,
     revealed: Vec<(Edge, usize)>,
@@ -61,7 +69,7 @@ impl ExplicitAdversary {
     /// # Panics
     ///
     /// Panics if `instances` is empty or sizes differ.
-    pub fn new(instances: Vec<Instance>) -> Self {
+    pub fn new(instances: Vec<GameInstance>) -> Self {
         assert!(!instances.is_empty(), "need at least one instance");
         let x_size = instances[0].specials.len();
         assert!(
@@ -114,7 +122,7 @@ impl ExplicitAdversary {
     pub fn respond(&mut self, e: Edge) -> ProbeResult {
         assert!(self.probed.insert(e), "edge {e:?} probed twice");
         self.probes += 1;
-        let (special, regular): (Vec<Instance>, Vec<Instance>) = self
+        let (special, regular): (Vec<GameInstance>, Vec<GameInstance>) = self
             .active
             .drain(..)
             .partition(|inst| inst.label_of(e).is_some());
@@ -241,13 +249,13 @@ pub fn play(
 /// # Panics
 ///
 /// Panics if `x_size > pool.len()` or `x_size == 0`.
-pub fn all_ordered_instances(pool: &[Edge], x_size: usize) -> Vec<Instance> {
+pub fn all_ordered_instances(pool: &[Edge], x_size: usize) -> Vec<GameInstance> {
     assert!(x_size >= 1 && x_size <= pool.len(), "bad x_size");
     let mut out = Vec::new();
     let mut current: Vec<Edge> = Vec::with_capacity(x_size);
-    fn recurse(pool: &[Edge], x_size: usize, current: &mut Vec<Edge>, out: &mut Vec<Instance>) {
+    fn recurse(pool: &[Edge], x_size: usize, current: &mut Vec<Edge>, out: &mut Vec<GameInstance>) {
         if current.len() == x_size {
-            out.push(Instance {
+            out.push(GameInstance {
                 specials: current.clone(),
             });
             return;

@@ -29,6 +29,6 @@ pub mod discovery;
 pub mod symbolic;
 pub mod truncation;
 
-pub use adversary::{ExplicitAdversary, GameResult, ProbeResult};
+pub use adversary::{ExplicitAdversary, GameInstance, GameResult, ProbeResult};
 pub use discovery::{DiscoveryStrategy, Edge, GameView};
 pub use symbolic::{play_symbolic, SymbolicAdversary};

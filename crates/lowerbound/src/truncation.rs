@@ -10,11 +10,10 @@
 
 use oraclesize_bits::lists::decode_port_list;
 use oraclesize_bits::BitString;
-use oraclesize_core::oracle::{advice_size, Oracle};
 use oraclesize_core::wakeup::SpanningTreeOracle;
 use oraclesize_graph::{NodeId, Port, PortGraph};
 use oraclesize_sim::protocol::{Message, NodeBehavior, NodeView, Outgoing, Protocol};
-use oraclesize_sim::{RunMetrics, SimConfig, SimError};
+use oraclesize_sim::{advice_size, Oracle, RunMetrics, SimConfig, SimError};
 
 /// Cuts an inner oracle to a global bit budget by *whole strings*,
 /// cheapest-first: strings are kept in ascending order of length while the
@@ -201,8 +200,13 @@ pub fn tradeoff_curve(
             let oracle = StringBudgetOracle::new(inner, budget_bits);
             let advice = oracle.advise(g, source);
             let oracle_bits = advice_size(&advice);
-            let outcome =
-                oraclesize_sim::run(g, source, &advice, &FallbackWakeup, &SimConfig::wakeup())?;
+            let outcome = oraclesize_sim::engine::run(
+                g,
+                source,
+                &advice,
+                &FallbackWakeup,
+                &SimConfig::wakeup(),
+            )?;
             debug_assert!(outcome.all_informed(), "fallback wakeup must complete");
             Ok(TradeoffPoint {
                 budget_bits,

@@ -2,11 +2,11 @@
 
 use std::sync::Arc;
 
-use oraclesize_sim::engine::{run, Completion, SimConfig, SimError};
+use oraclesize_sim::engine::{run_with_sink, Completion, RunOutcome, SimConfig, SimError};
 use oraclesize_sim::protocol::Protocol;
-use oraclesize_sim::RunMetrics;
+use oraclesize_sim::trace::{NullSink, RingSink, TraceEvent, TraceSpec, TraceStats, VecSink};
+use oraclesize_sim::{Instance, RunMetrics};
 
-use crate::instance::Instance;
 use crate::pool::Pool;
 
 /// One cell of an experiment grid: which instance to run, with which
@@ -59,6 +59,12 @@ pub struct CellOutcome {
     pub uninformed: usize,
     /// Nodes that crash-stopped during the run.
     pub crashed_nodes: usize,
+    /// Captured events when the request's config asked for
+    /// [`TraceSpec::Full`]; empty otherwise (ring tails go to the report's
+    /// post-mortem instead).
+    pub trace: Vec<TraceEvent>,
+    /// Constant-size trace tallies (zeroed when tracing was off).
+    pub trace_stats: TraceStats,
 }
 
 /// The result of one cell: its index plus either an outcome or the
@@ -70,6 +76,11 @@ pub struct RunReport {
     pub cell: usize,
     /// Outcome, or the rendered [`SimError`] if the run aborted.
     pub result: Result<CellOutcome, String>,
+    /// The last events before things went wrong: when the request asked
+    /// for [`TraceSpec::Ring`] tracing and the cell degraded or aborted,
+    /// this holds the ring's tail (oldest first). Empty for completed
+    /// cells and untraced requests.
+    pub post_mortem: Vec<TraceEvent>,
 }
 
 impl RunReport {
@@ -79,36 +90,97 @@ impl RunReport {
     }
 }
 
+fn cell_outcome(inst: &Instance, outcome: RunOutcome) -> CellOutcome {
+    let (completed, uninformed) = match outcome.classify() {
+        Completion::Completed => (true, 0),
+        Completion::Degraded { uninformed } => (false, uninformed),
+    };
+    CellOutcome {
+        oracle_bits: inst.oracle_bits,
+        crashed_nodes: outcome.crashed.iter().filter(|&&c| c).count(),
+        completed,
+        uninformed,
+        metrics: outcome.metrics,
+        trace: outcome.trace,
+        trace_stats: outcome.trace_stats,
+    }
+}
+
 /// Executes a single request on the calling thread.
+///
+/// Traces are materialized with [`oraclesize_sim::engine::run`] semantics:
+/// both [`TraceSpec::Full`] captures and [`TraceSpec::Ring`] tails land in
+/// the outcome's `trace`. (Ring post-mortems for *aborted* cells are only
+/// available through [`run_cell_report`], which keeps the sink across the
+/// failure.)
+///
+/// # Errors
+///
+/// Propagates the engine's [`SimError`] on abort.
 pub fn run_cell(request: &RunRequest) -> Result<CellOutcome, SimError> {
     let inst = &request.instance;
-    let outcome = run(
+    let outcome = oraclesize_sim::engine::run(
         &inst.graph,
         inst.source,
         &inst.advice,
         request.protocol.as_ref(),
         &request.config,
     )?;
-    let (completed, uninformed) = match outcome.classify() {
-        Completion::Completed => (true, 0),
-        Completion::Degraded { uninformed } => (false, uninformed),
+    Ok(cell_outcome(inst, outcome))
+}
+
+/// Executes a single request, capturing traces per the request's
+/// `config.trace`: [`TraceSpec::Full`] events land in the outcome's
+/// `trace`, a [`TraceSpec::Ring`] tail lands in `post_mortem` when (and
+/// only when) the cell degrades or aborts.
+pub fn run_cell_report(cell: usize, request: &RunRequest) -> RunReport {
+    let inst = &request.instance;
+    let run = |sink: &mut dyn oraclesize_sim::TraceSink| {
+        run_with_sink(
+            &inst.graph,
+            inst.source,
+            &inst.advice,
+            request.protocol.as_ref(),
+            &request.config,
+            sink,
+        )
     };
-    Ok(CellOutcome {
-        oracle_bits: inst.oracle_bits,
-        metrics: outcome.metrics,
-        completed,
-        uninformed,
-        crashed_nodes: outcome.crashed.iter().filter(|&&c| c).count(),
-    })
+    let (result, post_mortem) = match request.config.trace {
+        TraceSpec::Off => (run(&mut NullSink), Vec::new()),
+        TraceSpec::Full => {
+            let mut sink = VecSink::new();
+            let result = run(&mut sink).map(|mut outcome| {
+                outcome.trace = sink.into_events();
+                outcome
+            });
+            (result, Vec::new())
+        }
+        TraceSpec::Ring { capacity } => {
+            let mut sink = RingSink::new(capacity);
+            let result = run(&mut sink);
+            let went_wrong = match &result {
+                Ok(outcome) => outcome.classify() != Completion::Completed,
+                Err(_) => true,
+            };
+            let tail = if went_wrong { sink.tail() } else { Vec::new() };
+            (result, tail)
+        }
+    };
+    RunReport {
+        cell,
+        result: result
+            .map(|outcome| cell_outcome(inst, outcome))
+            .map_err(|e| e.to_string()),
+        post_mortem,
+    }
 }
 
 /// Runs every request across the pool and returns reports **in cell
 /// order**. Identical output at any thread count (see the crate-level
 /// determinism contract).
 pub fn run_batch(pool: &Pool, requests: &[RunRequest]) -> Vec<RunReport> {
-    pool.run(requests.len(), |cell| RunReport {
-        cell,
-        result: run_cell(&requests[cell]).map_err(|e| e.to_string()),
+    pool.run(requests.len(), |cell| {
+        run_cell_report(cell, &requests[cell])
     })
 }
 
@@ -118,7 +190,7 @@ mod tests {
     use oraclesize_core::oracle::EmptyOracle;
     use oraclesize_graph::families;
     use oraclesize_sim::protocol::FloodOnce;
-    use oraclesize_sim::{SimConfig, TaskMode};
+    use oraclesize_sim::{FaultPlan, SimConfig};
 
     #[test]
     fn batch_reports_carry_cell_indices() {
@@ -176,15 +248,63 @@ mod tests {
             }
         }
         let inst = Instance::build(Arc::new(families::path(3)), 0, &EmptyOracle);
-        let cfg = SimConfig {
-            mode: TaskMode::Wakeup,
-            ..Default::default()
-        };
+        let cfg = SimConfig::wakeup();
         let reports = run_batch(
             &Pool::default(),
             &[RunRequest::new(inst, Arc::new(AllStart), cfg)],
         );
         let err = reports[0].result.as_ref().unwrap_err();
         assert!(err.contains("before being woken up"), "{err}");
+    }
+
+    #[test]
+    fn full_trace_requests_fill_cell_outcomes() {
+        let inst = Instance::build(Arc::new(families::cycle(5)), 0, &EmptyOracle);
+        let cfg = SimConfig::broadcast().capture_trace(TraceSpec::Full);
+        let reports = run_batch(
+            &Pool::new(2),
+            &[RunRequest::new(inst, Arc::new(FloodOnce), cfg)],
+        );
+        let out = reports[0].outcome().unwrap();
+        assert!(!out.trace.is_empty());
+        assert_eq!(TraceStats::tally(&out.trace), out.trace_stats);
+        assert_eq!(out.trace_stats.delivered, out.metrics.steps);
+        assert!(reports[0].post_mortem.is_empty(), "completed: no tail");
+    }
+
+    #[test]
+    fn ring_post_mortem_captured_only_when_cells_go_wrong() {
+        // Total message loss: the run completes degraded, so the ring tail
+        // must surface as the report's post-mortem.
+        let g = Arc::new(families::path(4));
+        let inst = Instance::build(Arc::clone(&g), 0, &EmptyOracle);
+        let doomed = SimConfig::broadcast()
+            .with_faults(FaultPlan::message_faults(3, 1.0, 0.0, 0.0))
+            .capture_trace(TraceSpec::Ring { capacity: 8 });
+        let clean = SimConfig::broadcast().capture_trace(TraceSpec::Ring { capacity: 8 });
+        let reports = run_batch(
+            &Pool::new(1),
+            &[
+                RunRequest::new(Arc::clone(&inst), Arc::new(FloodOnce), doomed),
+                RunRequest::new(inst, Arc::new(FloodOnce), clean),
+            ],
+        );
+        assert!(!reports[0].outcome().unwrap().completed);
+        assert!(!reports[0].post_mortem.is_empty());
+        assert!(reports[0].outcome().unwrap().trace.is_empty());
+        assert!(reports[1].outcome().unwrap().completed);
+        assert!(reports[1].post_mortem.is_empty());
+    }
+
+    #[test]
+    fn aborted_ring_cells_keep_their_tail() {
+        let inst = Instance::build(Arc::new(families::path(3)), 0, &EmptyOracle);
+        let cfg = SimConfig::broadcast()
+            .with_max_steps(1)
+            .capture_trace(TraceSpec::Ring { capacity: 4 });
+        let report = run_cell_report(0, &RunRequest::new(inst, Arc::new(FloodOnce), cfg));
+        assert!(report.result.is_err());
+        assert!(!report.post_mortem.is_empty());
+        assert!(report.post_mortem.len() <= 4);
     }
 }

@@ -9,16 +9,18 @@
 //! * [`pool`] — a [`Pool`] of `std::thread` scoped workers pulling cell
 //!   indices off a shared atomic counter (the workspace is offline, so no
 //!   rayon; plain scoped threads are all that is needed),
-//! * [`instance`] — [`Instance`]: an `Arc`-shared immutable
-//!   `(PortGraph, advice)` pair, built once and served to every cell and
-//!   every thread without copying,
 //! * [`batch`] — [`RunRequest`] → [`RunReport`]: the cell description and
-//!   the comparable, fully deterministic result record,
+//!   the comparable, fully deterministic result record. Cells are built
+//!   over [`oraclesize_sim::Instance`], the `Arc`-shared immutable
+//!   `(graph, advice)` pair,
 //! * [`sink`] — [`MetricsSink`]: aggregation that folds reports **in cell
 //!   order**, never completion order, so any thread count produces
 //!   byte-identical output,
 //! * [`json`] — a minimal, deterministic JSON writer (insertion-ordered
-//!   objects, integers only) used for the `BENCH_T*.json` artifacts.
+//!   objects, integers only) used for the `BENCH_T*.json` artifacts,
+//! * [`trace`] — deterministic JSONL rendering of engine traces
+//!   ([`trace::JsonlSink`], [`trace::event_json`]) for the `trace`
+//!   subcommand and the CI trace-smoke job.
 //!
 //! # Determinism contract
 //!
@@ -34,9 +36,9 @@
 //! use std::sync::Arc;
 //! use oraclesize_core::oracle::EmptyOracle;
 //! use oraclesize_graph::families;
-//! use oraclesize_runtime::{Instance, Pool, RunRequest, run_batch};
+//! use oraclesize_runtime::{Pool, RunRequest, run_batch};
 //! use oraclesize_sim::protocol::FloodOnce;
-//! use oraclesize_sim::SimConfig;
+//! use oraclesize_sim::{Instance, SimConfig};
 //!
 //! let g = Arc::new(families::cycle(8));
 //! let instance = Instance::build(g, 0, &EmptyOracle);
@@ -51,13 +53,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod instance;
 pub mod json;
 pub mod pool;
 pub mod sink;
+pub mod trace;
 
-pub use batch::{run_batch, CellOutcome, RunReport, RunRequest};
-pub use instance::Instance;
+pub use batch::{run_batch, run_cell_report, CellOutcome, RunReport, RunRequest};
 pub use json::Json;
 pub use pool::Pool;
 pub use sink::{drain, Aggregate, MetricsSink, ReportCollector};
+pub use trace::JsonlSink;

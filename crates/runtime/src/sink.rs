@@ -200,7 +200,10 @@ mod tests {
                 completed,
                 uninformed: usize::from(!completed),
                 crashed_nodes: 0,
+                trace: Vec::new(),
+                trace_stats: Default::default(),
             }),
+            post_mortem: Vec::new(),
         }
     }
 
@@ -228,6 +231,7 @@ mod tests {
                 RunReport {
                     cell: 1,
                     result: Err("boom".into()),
+                    post_mortem: Vec::new(),
                 },
             ],
         );

@@ -7,10 +7,10 @@ use std::sync::Arc;
 use oraclesize_core::oracle::EmptyOracle;
 use oraclesize_graph::families::Family;
 use oraclesize_runtime::{
-    drain, run_batch, Aggregate, Instance, MetricsSink, Pool, ReportCollector, RunRequest,
+    drain, run_batch, Aggregate, MetricsSink, Pool, ReportCollector, RunRequest,
 };
 use oraclesize_sim::protocol::FloodOnce;
-use oraclesize_sim::{FaultPlan, SchedulerKind, SimConfig};
+use oraclesize_sim::{FaultPlan, Instance, SchedulerKind, SimConfig, TraceSpec};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,20 +27,23 @@ fn grid(fam: Family, n: usize, seed: u64, cells: usize) -> Vec<RunRequest> {
     (0..cells)
         .map(|cell| {
             let cell_seed = seed.wrapping_add(cell as u64);
-            let config = SimConfig {
-                synchronous: cell % 2 == 0,
-                scheduler: match cell % 3 {
+            let config = SimConfig::broadcast()
+                .with_scheduler(match cell % 3 {
                     0 => SchedulerKind::Fifo,
                     1 => SchedulerKind::Lifo,
                     _ => SchedulerKind::Random { seed: cell_seed },
-                },
-                faults: if cell % 2 == 0 {
+                })
+                .with_synchronous(cell % 2 == 0)
+                .with_faults(if cell % 2 == 0 {
                     FaultPlan::message_faults(cell_seed, 0.1, 0.1, 0.2)
                 } else {
                     FaultPlan::default()
-                },
-                ..Default::default()
-            };
+                })
+                .capture_trace(match cell % 4 {
+                    0 => TraceSpec::Full,
+                    1 => TraceSpec::Ring { capacity: 16 },
+                    _ => TraceSpec::Off,
+                });
             RunRequest::new(Arc::clone(&instance), Arc::clone(&protocol), config)
         })
         .collect()

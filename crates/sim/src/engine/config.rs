@@ -1,7 +1,8 @@
-//! Execution configuration: task rules and delivery model.
+//! Execution configuration: task rules, delivery model, and the builder.
 
 use crate::faults::FaultPlan;
 use crate::scheduler::SchedulerKind;
+use crate::trace::TraceSpec;
 
 /// Which communication task's rules the engine enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -18,8 +19,24 @@ pub enum TaskMode {
 /// Execution configuration.
 ///
 /// The default is synchronous broadcast with FIFO delivery, no message-size
-/// limit, identities visible, and no trace capture.
+/// limit, identities visible, and no trace capture. Configurations are
+/// built fluently from a base constructor — fields stay readable, but the
+/// struct is `#[non_exhaustive]`, so construction outside this crate goes
+/// through the `#[must_use]` builder methods:
+///
+/// ```
+/// use oraclesize_sim::engine::SimConfig;
+/// use oraclesize_sim::scheduler::SchedulerKind;
+/// use oraclesize_sim::trace::TraceSpec;
+///
+/// let config = SimConfig::wakeup()
+///     .with_scheduler(SchedulerKind::Lifo)
+///     .with_max_steps(100_000)
+///     .capture_trace(TraceSpec::Full);
+/// assert!(!config.synchronous);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Task rules to enforce.
     pub mode: TaskMode,
@@ -40,9 +57,9 @@ pub struct SimConfig {
     /// Erase node identities (`NodeView::id = None`) — the anonymous model
     /// of §1.3.
     pub anonymous: bool,
-    /// Record a [`TraceEvent`](crate::engine::TraceEvent) per delivery (for
-    /// tests and examples).
-    pub capture_trace: bool,
+    /// What trace to capture (see [`crate::trace`]). [`TraceSpec::Off`] by
+    /// default: the trace path then performs no allocations at all.
+    pub trace: TraceSpec,
     /// Faults to inject (see [`crate::faults`]). The default plan is inert:
     /// the engine then behaves bit-for-bit as a fault-free run.
     pub faults: FaultPlan,
@@ -63,7 +80,7 @@ impl Default for SimConfig {
             max_steps: 10_000_000,
             max_message_bits: None,
             anonymous: false,
-            capture_trace: false,
+            trace: TraceSpec::Off,
             faults: FaultPlan::default(),
             max_quiescence_polls: 8,
         }
@@ -71,20 +88,118 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Synchronous broadcast — the same as [`Default`], spelled as a base
+    /// for builder chains.
+    pub fn broadcast() -> Self {
+        SimConfig::default()
+    }
+
     /// Synchronous wakeup configuration.
     pub fn wakeup() -> Self {
-        SimConfig {
-            mode: TaskMode::Wakeup,
-            ..Default::default()
-        }
+        SimConfig::default().with_mode(TaskMode::Wakeup)
     }
 
     /// Asynchronous broadcast under the given scheduler.
+    #[deprecated(note = "use `SimConfig::broadcast().with_scheduler(kind)`")]
     pub fn asynchronous(scheduler: SchedulerKind) -> Self {
-        SimConfig {
-            synchronous: false,
-            scheduler,
-            ..Default::default()
-        }
+        SimConfig::broadcast().with_scheduler(scheduler)
+    }
+
+    /// Sets the task rules to enforce.
+    #[must_use]
+    pub fn with_mode(mut self, mode: TaskMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Switches to asynchronous delivery under `scheduler`.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.synchronous = false;
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Picks the delivery model directly: `true` for round-based
+    /// synchronous delivery, `false` for the configured scheduler.
+    #[must_use]
+    pub fn with_synchronous(mut self, synchronous: bool) -> Self {
+        self.synchronous = synchronous;
+        self
+    }
+
+    /// Sets the delivery budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Bounds every payload to `bits` bits.
+    #[must_use]
+    pub fn with_max_message_bits(mut self, bits: u64) -> Self {
+        self.max_message_bits = Some(bits);
+        self
+    }
+
+    /// Hides node identities (the anonymous model).
+    #[must_use]
+    pub fn with_anonymous(mut self, anonymous: bool) -> Self {
+        self.anonymous = anonymous;
+        self
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the quiescence-poll budget.
+    #[must_use]
+    pub fn with_quiescence_polls(mut self, polls: u32) -> Self {
+        self.max_quiescence_polls = polls;
+        self
+    }
+
+    /// Requests a trace (see [`crate::trace`] for the taxonomy and sinks).
+    #[must_use]
+    pub fn capture_trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let cfg = SimConfig::wakeup()
+            .with_scheduler(SchedulerKind::Lifo)
+            .with_max_steps(5)
+            .with_max_message_bits(7)
+            .with_anonymous(true)
+            .with_quiescence_polls(3)
+            .capture_trace(TraceSpec::Ring { capacity: 16 });
+        assert_eq!(cfg.mode, TaskMode::Wakeup);
+        assert!(!cfg.synchronous);
+        assert_eq!(cfg.scheduler, SchedulerKind::Lifo);
+        assert_eq!(cfg.max_steps, 5);
+        assert_eq!(cfg.max_message_bits, Some(7));
+        assert!(cfg.anonymous);
+        assert_eq!(cfg.max_quiescence_polls, 3);
+        assert_eq!(cfg.trace, TraceSpec::Ring { capacity: 16 });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_asynchronous_matches_builder() {
+        let old = SimConfig::asynchronous(SchedulerKind::Lifo);
+        let new = SimConfig::broadcast().with_scheduler(SchedulerKind::Lifo);
+        assert!(!old.synchronous && !new.synchronous);
+        assert_eq!(old.scheduler, new.scheduler);
     }
 }

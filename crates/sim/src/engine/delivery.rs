@@ -12,9 +12,11 @@ use crate::engine::config::{SimConfig, TaskMode};
 use crate::engine::outcome::SimError;
 use crate::metrics::RunMetrics;
 use crate::protocol::{Message, Outgoing};
+use crate::trace::{DropFault, MsgId, Recorder, TraceEvent, TraceSink};
 
 /// An in-flight message.
 pub(crate) struct InFlight {
+    pub msg: MsgId,
     pub from: NodeId,
     pub to: NodeId,
     pub arrival_port: Port,
@@ -22,7 +24,8 @@ pub(crate) struct InFlight {
 }
 
 /// Everything the engine mutates while messages are in flight: node status
-/// (informed, crashed, send budgets), accounting, and the fault RNG.
+/// (informed, crashed, send budgets), accounting, the fault RNG, and the
+/// trace recorder.
 ///
 /// Splitting this off the driver loop lets [`enqueue`](NetState::enqueue)
 /// borrow the whole machine mutably while the driver keeps its own handles
@@ -38,13 +41,23 @@ pub(crate) struct NetState<'a> {
     /// Accounting, updated per accepted send.
     pub metrics: RunMetrics,
     fault_rng: Option<StdRng>,
+    /// Next message id: assigned serially in enqueue order, so ids are a
+    /// deterministic function of the run, not of any surrounding batch.
+    next_msg: MsgId,
+    /// Trace emission (no-op when the sink is disabled).
+    pub rec: Recorder<'a>,
 }
 
 impl<'a> NetState<'a> {
     /// Fresh state: only the source is informed; zero-budget crash nodes
     /// are dead from the start. An inert fault plan takes no RNG and the
     /// run is bit-for-bit identical to a fault-free execution.
-    pub fn new(g: &'a PortGraph, config: &'a SimConfig, source: NodeId) -> Self {
+    pub fn new(
+        g: &'a PortGraph,
+        config: &'a SimConfig,
+        source: NodeId,
+        sink: &'a mut dyn TraceSink,
+    ) -> Self {
         let n = g.num_nodes();
         let plan = &config.faults;
         let fault_rng = if plan.is_inert() {
@@ -65,6 +78,8 @@ impl<'a> NetState<'a> {
             sends_made: vec![0; n],
             metrics: RunMetrics::default(),
             fault_rng,
+            next_msg: 0,
+            rec: Recorder::new(sink),
         }
     }
 
@@ -89,6 +104,8 @@ impl<'a> NetState<'a> {
     /// into the queue. The only copies are the extra deliveries a
     /// duplication fault manufactures, counted in
     /// [`FaultCounts::payload_copies`](crate::faults::FaultCounts::payload_copies).
+    /// Trace emission is likewise free when off: event construction sits
+    /// behind the recorder's cached `on` flag and events are stack-only.
     pub fn enqueue(
         &mut self,
         v: NodeId,
@@ -147,12 +164,27 @@ impl<'a> NetState<'a> {
             {
                 self.crashed[v] = true;
             }
+            let msg = self.next_msg;
+            self.next_msg += 1;
+            self.rec.emit(TraceEvent::Enqueue {
+                msg,
+                from: v,
+                to,
+                bits,
+                carries_source: message.carries_source,
+            });
             // In-flight faults: drop, duplicate, or corrupt the payload.
             let mut copies: u32 = 1;
             if let Some(rng) = self.fault_rng.as_mut() {
                 if rng.gen_bool(self.config.faults.drop_prob.clamp(0.0, 1.0)) {
                     self.metrics.faults.dropped += 1;
                     copies = 0;
+                    self.rec.emit(TraceEvent::Drop {
+                        msg,
+                        from: v,
+                        to,
+                        fault: DropFault::Lost,
+                    });
                 } else if rng.gen_bool(self.config.faults.duplicate_prob.clamp(0.0, 1.0)) {
                     self.metrics.faults.duplicated += 1;
                     copies = 2;
@@ -162,11 +194,23 @@ impl<'a> NetState<'a> {
             // the payload; only the extra deliveries of a duplication
             // fault are cloned (and counted). Clones go first so the RNG
             // draw order (one flip check per delivered copy) matches the
-            // committed artifacts.
+            // committed artifacts. Each extra copy gets its own message id
+            // (fresh `Enqueue` event): it is a distinct in-flight delivery
+            // with its own fate.
             for _ in 1..copies {
                 self.metrics.faults.payload_copies += 1;
-                let delivered = self.maybe_flip(message.clone());
+                let copy_id = self.next_msg;
+                self.next_msg += 1;
+                self.rec.emit(TraceEvent::Enqueue {
+                    msg: copy_id,
+                    from: v,
+                    to,
+                    bits,
+                    carries_source: message.carries_source,
+                });
+                let delivered = self.maybe_flip(copy_id, message.clone());
                 out.push_back(InFlight {
+                    msg: copy_id,
                     from: v,
                     to,
                     arrival_port,
@@ -174,8 +218,9 @@ impl<'a> NetState<'a> {
                 });
             }
             if copies > 0 {
-                let delivered = self.maybe_flip(message);
+                let delivered = self.maybe_flip(msg, message);
                 out.push_back(InFlight {
+                    msg,
                     from: v,
                     to,
                     arrival_port,
@@ -188,7 +233,7 @@ impl<'a> NetState<'a> {
 
     /// Applies the bit-flip fault to one delivered copy: with the plan's
     /// probability, one uniformly chosen payload bit is inverted.
-    fn maybe_flip(&mut self, mut message: Message) -> Message {
+    fn maybe_flip(&mut self, msg: MsgId, mut message: Message) -> Message {
         if let Some(rng) = self.fault_rng.as_mut() {
             if !message.payload.is_empty()
                 && rng.gen_bool(self.config.faults.bit_flip_prob.clamp(0.0, 1.0))
@@ -203,6 +248,10 @@ impl<'a> NetState<'a> {
                         }
                     }));
                 self.metrics.faults.payload_flips += 1;
+                self.rec.emit(TraceEvent::Corrupt {
+                    msg,
+                    bit: idx as u64,
+                });
             }
         }
         message

@@ -2,17 +2,21 @@
 //!
 //! The engine is split along its three concerns:
 //!
-//! * [`config`] — what to run: [`TaskMode`], [`SimConfig`];
+//! * [`config`] — what to run: [`TaskMode`], [`SimConfig`] and its
+//!   builder;
 //! * [`delivery`] — the network state machine: validation, accounting,
 //!   fault injection, and the zero-clone delivery hot path (payloads move
 //!   out of the send queue; a clone happens only when a duplication fault
 //!   manufactures an extra delivery);
-//! * [`outcome`] — what came back: [`RunOutcome`], [`Completion`],
-//!   [`TraceEvent`], and the [`SimError`] abort reasons;
-//! * [`run`](mod@run) — the driver loop tying them together.
+//! * [`outcome`] — what came back: [`RunOutcome`], [`Completion`], and
+//!   the [`SimError`] abort reasons;
+//! * [`run`](mod@run) — the driver loop tying them together, emitting
+//!   [`crate::trace`] events through a
+//!   [`TraceSink`](crate::trace::TraceSink) as it goes.
 //!
 //! All public names are re-exported here, so `engine::run`,
-//! `engine::SimConfig`, … keep working exactly as before the split.
+//! `engine::SimConfig`, … keep working exactly as before the split. The
+//! instance-level facade is [`crate::run`].
 
 pub mod config;
 pub mod delivery;
@@ -20,8 +24,8 @@ pub mod outcome;
 pub mod run;
 
 pub use config::{SimConfig, TaskMode};
-pub use outcome::{Completion, RunOutcome, SimError, TraceEvent};
-pub use run::run;
+pub use outcome::{Completion, RunOutcome, SimError};
+pub use run::{run, run_with_sink};
 
 #[cfg(test)]
 mod tests;

@@ -7,6 +7,7 @@ use oraclesize_bits::BitString;
 use oraclesize_graph::{NodeId, Port};
 
 use crate::metrics::RunMetrics;
+use crate::trace::{Delivery, TraceEvent, TraceStats};
 
 /// Errors that abort an execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,24 +72,6 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
-/// One delivery, as recorded when
-/// [`SimConfig::capture_trace`](crate::engine::SimConfig::capture_trace) is on.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Delivery step (0-based).
-    pub step: u64,
-    /// Sending node.
-    pub from: NodeId,
-    /// Receiving node.
-    pub to: NodeId,
-    /// Arrival port at the receiver.
-    pub arrival_port: Port,
-    /// Payload size in bits.
-    pub bits: u64,
-    /// Whether the message carried the source message.
-    pub carries_source: bool,
-}
-
 /// How a quiescent run is judged once faults are possible: reaching
 /// quiescence alone is *not* success — a scheme whose messages were dropped
 /// quiesces with part of the network still asleep.
@@ -114,9 +97,16 @@ pub struct RunOutcome {
     /// Which nodes crash-stopped during the run (all `false` without a
     /// fault plan).
     pub crashed: Vec<bool>,
-    /// Delivery trace (empty unless
-    /// [`SimConfig::capture_trace`](crate::engine::SimConfig::capture_trace)).
+    /// Captured trace events: all of them under
+    /// [`TraceSpec::Full`](crate::trace::TraceSpec::Full), the retained
+    /// tail under [`TraceSpec::Ring`](crate::trace::TraceSpec::Ring),
+    /// empty (no allocation) when tracing is off or events streamed to an
+    /// external sink via [`run_with_sink`](crate::engine::run::run_with_sink).
     pub trace: Vec<TraceEvent>,
+    /// Constant-size tallies of everything emitted, kept even when the
+    /// events themselves streamed through a bounded sink. All-zero when
+    /// tracing is off.
+    pub trace_stats: TraceStats,
     /// Per-node outputs collected from
     /// [`crate::protocol::NodeBehavior::output`] at quiescence.
     pub outputs: Vec<Option<BitString>>,
@@ -132,6 +122,12 @@ impl RunOutcome {
     /// Number of informed nodes.
     pub fn informed_count(&self) -> usize {
         self.informed.iter().filter(|&&x| x).count()
+    }
+
+    /// The delivery records in the captured [`trace`](RunOutcome::trace),
+    /// in execution order — the view the old flat delivery trace offered.
+    pub fn deliveries(&self) -> impl Iterator<Item = &Delivery> {
+        self.trace.iter().filter_map(TraceEvent::as_delivery)
     }
 
     /// Judges the run against the surviving nodes: crashed nodes are

@@ -1,5 +1,11 @@
 //! The driver loop: instantiate schemes, drain the network, poll
 //! quiescence, collect the outcome.
+//!
+//! [`run_with_sink`] is the single underlying implementation; [`run`]
+//! wraps it, materialising the sink requested by
+//! [`SimConfig::trace`](crate::engine::SimConfig::trace). Every other
+//! entry point in the workspace (`sim::run`, `core::execute`,
+//! `runtime::batch`) delegates here.
 
 use std::collections::VecDeque;
 
@@ -8,15 +14,23 @@ use oraclesize_graph::{NodeId, PortGraph};
 
 use crate::engine::config::SimConfig;
 use crate::engine::delivery::{InFlight, NetState};
-use crate::engine::outcome::{RunOutcome, SimError, TraceEvent};
+use crate::engine::outcome::{RunOutcome, SimError};
 use crate::protocol::{NodeBehavior, NodeView, Protocol};
 use crate::scheduler::Scheduler;
+use crate::trace::{
+    Delivery, NullSink, Phase, RingSink, Rollup, TraceEvent, TraceSink, TraceSpec, VecSink,
+};
 
 /// Executes `protocol` on `g` from `source` with the given per-node advice.
 ///
 /// Nodes are instantiated in node-id order; `on_start` is invoked in that
 /// order before any delivery. Execution runs to quiescence (no in-flight
-/// messages) and returns the outcome.
+/// messages) and returns the outcome. The trace requested by
+/// [`SimConfig::trace`](crate::engine::SimConfig::trace) is collected into
+/// [`RunOutcome::trace`] (all events for [`TraceSpec::Full`], the retained
+/// tail for [`TraceSpec::Ring`], nothing — and no allocation — for
+/// [`TraceSpec::Off`]). To stream events into your own sink instead, use
+/// [`run_with_sink`].
 ///
 /// # Errors
 ///
@@ -32,6 +46,44 @@ pub fn run(
     protocol: &dyn Protocol,
     config: &SimConfig,
 ) -> Result<RunOutcome, SimError> {
+    match config.trace {
+        TraceSpec::Off => run_with_sink(g, source, advice, protocol, config, &mut NullSink),
+        TraceSpec::Full => {
+            let mut sink = VecSink::new();
+            let mut out = run_with_sink(g, source, advice, protocol, config, &mut sink)?;
+            out.trace = sink.into_events();
+            Ok(out)
+        }
+        TraceSpec::Ring { capacity } => {
+            let mut sink = RingSink::new(capacity);
+            let mut out = run_with_sink(g, source, advice, protocol, config, &mut sink)?;
+            out.trace = sink.tail();
+            Ok(out)
+        }
+    }
+}
+
+/// [`run`], streaming trace events into a caller-supplied sink.
+///
+/// This is the single underlying executor. The sink argument wins over
+/// [`SimConfig::trace`](crate::engine::SimConfig::trace) — the spec only
+/// tells [`run`] which stock sink to materialise — and
+/// [`RunOutcome::trace`] comes back empty (the caller owns the events).
+/// Because the caller keeps the sink even when the run aborts with a
+/// [`SimError`], a [`RingSink`] passed here doubles as an error
+/// post-mortem buffer.
+///
+/// # Errors / Panics
+///
+/// As [`run`].
+pub fn run_with_sink(
+    g: &PortGraph,
+    source: NodeId,
+    advice: &[BitString],
+    protocol: &dyn Protocol,
+    config: &SimConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<RunOutcome, SimError> {
     assert!(source < g.num_nodes(), "source out of range");
     let n = g.num_nodes();
     if advice.len() != n {
@@ -41,7 +93,7 @@ pub fn run(
         });
     }
 
-    let mut net = NetState::new(g, config, source);
+    let mut net = NetState::new(g, config, source, sink);
     let corrupted = net.corrupt_advice(advice);
     let advice: &[BitString] = corrupted.as_deref().unwrap_or(advice);
 
@@ -60,11 +112,13 @@ pub fn run(
         })
         .collect();
 
-    let mut trace = Vec::new();
     let mut pending: VecDeque<InFlight> = VecDeque::new();
     let mut next_round: VecDeque<InFlight> = VecDeque::new();
 
     // Spontaneous phase.
+    net.rec.emit(TraceEvent::PhaseStart {
+        phase: Phase::Spontaneous,
+    });
     for (v, behavior) in behaviors.iter_mut().enumerate() {
         let sends = behavior.on_start();
         net.enqueue(v, sends, &mut pending)?;
@@ -80,8 +134,19 @@ pub fn run(
         loop {
             if pending.is_empty() {
                 if config.synchronous && !next_round.is_empty() {
+                    if net.rec.on {
+                        net.rec.emit(TraceEvent::Rollup(Rollup {
+                            round: rounds,
+                            informed: net.informed.iter().filter(|&&x| x).count() as u64,
+                            messages: net.metrics.messages,
+                            frontier: next_round.len() as u64,
+                        }));
+                    }
                     pending = std::mem::take(&mut next_round);
                     rounds += 1;
+                    net.rec.emit(TraceEvent::PhaseStart {
+                        phase: Phase::Round(rounds),
+                    });
                     continue;
                 }
                 break;
@@ -97,6 +162,7 @@ pub fn run(
                 scheduler.take(&mut pending, |m: &InFlight| m.message.carries_source)
             };
             let Some(InFlight {
+                msg,
                 from,
                 to,
                 arrival_port,
@@ -108,26 +174,37 @@ pub fn run(
                 break;
             };
 
-            if config.capture_trace {
-                trace.push(TraceEvent {
-                    step: steps,
-                    from,
-                    to,
-                    arrival_port,
-                    bits: message.size_bits() as u64,
-                    carries_source: message.carries_source,
-                });
-            }
+            let step = steps;
             steps += 1;
 
             if net.crashed[to] {
                 // The wire delivered it, but nobody is listening: the node
                 // neither learns the source message nor reacts.
                 net.metrics.faults.to_crashed += 1;
+                net.rec.emit(TraceEvent::Drop {
+                    msg,
+                    from,
+                    to,
+                    fault: crate::trace::DropFault::ToCrashed,
+                });
                 continue;
             }
-            if message.carries_source {
+            net.rec.emit(TraceEvent::Deliver(Delivery {
+                msg,
+                step,
+                from,
+                to,
+                arrival_port,
+                bits: message.size_bits() as u64,
+                carries_source: message.carries_source,
+            }));
+            if message.carries_source && !net.informed[to] {
                 net.informed[to] = true;
+                net.rec.emit(TraceEvent::Wake {
+                    node: to,
+                    step,
+                    msg,
+                });
             }
 
             let sends = behaviors[to].on_receive(arrival_port, &message);
@@ -148,6 +225,9 @@ pub fn run(
             break;
         }
         polls += 1;
+        net.rec.emit(TraceEvent::PhaseStart {
+            phase: Phase::QuiescencePoll(polls),
+        });
         let mut spoke = false;
         for (v, behavior) in behaviors.iter_mut().enumerate() {
             if net.crashed[v] {
@@ -157,6 +237,7 @@ pub fn run(
             spoke |= !sends.is_empty();
             net.enqueue(v, sends, &mut pending)?;
         }
+        net.rec.emit(TraceEvent::Quiescence { poll: polls, spoke });
         if !spoke {
             break 'run;
         }
@@ -165,12 +246,22 @@ pub fn run(
     net.metrics.steps = steps;
     net.metrics.rounds = rounds;
     net.metrics.informed_nodes = net.informed.iter().filter(|&&x| x).count() as u64;
+    if net.rec.on {
+        // Final progress record at quiescence: the frontier is empty.
+        net.rec.emit(TraceEvent::Rollup(Rollup {
+            round: rounds,
+            informed: net.metrics.informed_nodes,
+            messages: net.metrics.messages,
+            frontier: 0,
+        }));
+    }
     let outputs = behaviors.iter().map(|b| b.output()).collect();
     Ok(RunOutcome {
         metrics: net.metrics,
         informed: net.informed,
         crashed: net.crashed,
-        trace,
+        trace: Vec::new(),
+        trace_stats: net.rec.stats,
         outputs,
     })
 }

@@ -3,6 +3,7 @@ use crate::faults::FaultPlan;
 use crate::protocol::{FloodOnce, Message, NodeBehavior, NodeView, Outgoing, Protocol, Silent};
 use crate::scheduler::SchedulerKind;
 use crate::testkit::no_advice;
+use crate::trace::{DropFault, NullSink, Phase, TraceEvent, TraceSpec, TraceStats, VecSink};
 use oraclesize_bits::BitString;
 use oraclesize_graph::{families, Port};
 
@@ -41,7 +42,7 @@ fn silent_run_quiesces_with_single_informed() {
 fn async_schedulers_all_complete_flooding() {
     let g = families::complete_rotational(8);
     for kind in SchedulerKind::sweep(7) {
-        let cfg = SimConfig::asynchronous(kind);
+        let cfg = SimConfig::broadcast().with_scheduler(kind);
         let out = run(&g, 3, &no_advice(8), &FloodOnce, &cfg).unwrap();
         assert!(out.all_informed(), "{}", kind.name());
         assert_eq!(out.metrics.steps, out.metrics.messages);
@@ -51,10 +52,9 @@ fn async_schedulers_all_complete_flooding() {
 #[test]
 fn random_scheduler_is_deterministic_per_seed() {
     let g = families::complete_rotational(9);
-    let cfg = SimConfig {
-        capture_trace: true,
-        ..SimConfig::asynchronous(SchedulerKind::Random { seed: 5 })
-    };
+    let cfg = SimConfig::broadcast()
+        .with_scheduler(SchedulerKind::Random { seed: 5 })
+        .capture_trace(TraceSpec::Full);
     let a = run(&g, 0, &no_advice(9), &FloodOnce, &cfg).unwrap();
     let b = run(&g, 0, &no_advice(9), &FloodOnce, &cfg).unwrap();
     assert_eq!(a.trace, b.trace);
@@ -127,10 +127,7 @@ fn message_size_limit_enforced() {
         }
     }
     let g = families::path(2);
-    let cfg = SimConfig {
-        max_message_bits: Some(64),
-        ..Default::default()
-    };
+    let cfg = SimConfig::broadcast().with_max_message_bits(64);
     let err = run(&g, 0, &no_advice(2), &BigTalker, &cfg).unwrap_err();
     assert_eq!(
         err,
@@ -168,10 +165,7 @@ fn step_limit_stops_ping_pong() {
         }
     }
     let g = families::path(2);
-    let cfg = SimConfig {
-        max_steps: 50,
-        ..Default::default()
-    };
+    let cfg = SimConfig::broadcast().with_max_steps(50);
     let err = run(&g, 0, &no_advice(2), &PingPong, &cfg).unwrap_err();
     assert_eq!(err, SimError::StepLimit { limit: 50 });
 }
@@ -245,34 +239,196 @@ fn anonymous_mode_hides_ids() {
         }
     }
     let g = families::path(3);
-    let cfg = SimConfig {
-        anonymous: true,
-        ..Default::default()
-    };
+    let cfg = SimConfig::broadcast().with_anonymous(true);
     run(&g, 0, &no_advice(3), &IdProbe, &cfg).unwrap();
 }
 
 #[test]
 fn trace_capture_matches_metrics() {
     let g = families::cycle(4);
-    let cfg = SimConfig {
-        capture_trace: true,
-        ..Default::default()
-    };
+    let cfg = SimConfig::broadcast().capture_trace(TraceSpec::Full);
     let out = run(&g, 0, &no_advice(4), &FloodOnce, &cfg).unwrap();
-    assert_eq!(out.trace.len() as u64, out.metrics.steps);
+    assert_eq!(out.deliveries().count() as u64, out.metrics.steps);
     assert_eq!(out.metrics.steps, out.metrics.messages);
     // Every traced delivery of an informed message has the flag.
-    assert!(out.trace.iter().any(|e| e.carries_source));
+    assert!(out.deliveries().any(|d| d.carries_source));
+    // Fault-free: every enqueue has a matching delivery, nothing dropped.
+    assert_eq!(out.trace_stats.enqueued, out.trace_stats.delivered);
+    assert_eq!(out.trace_stats.dropped, 0);
+    assert_eq!(out.trace_stats, TraceStats::tally(&out.trace));
+}
+
+#[test]
+fn trace_taxonomy_covers_the_run() {
+    let g = families::cycle(4);
+    let cfg = SimConfig::broadcast().capture_trace(TraceSpec::Full);
+    let out = run(&g, 0, &no_advice(4), &FloodOnce, &cfg).unwrap();
+    // The spontaneous phase opens the trace.
+    assert_eq!(
+        out.trace.first(),
+        Some(&TraceEvent::PhaseStart {
+            phase: Phase::Spontaneous
+        })
+    );
+    // Every non-source node wakes exactly once.
+    assert_eq!(out.trace_stats.wakes, 3);
+    // One rollup per finished round plus the final one at quiescence,
+    // each with a monotone informed count ending at n.
+    let rollups: Vec<_> = out.trace.iter().filter_map(|e| e.as_rollup()).collect();
+    assert_eq!(rollups.len() as u64, out.metrics.rounds + 1);
+    assert!(rollups.windows(2).all(|w| w[0].informed <= w[1].informed));
+    let last = rollups.last().unwrap();
+    assert_eq!(last.informed, 4);
+    assert_eq!(last.frontier, 0);
+    assert_eq!(last.messages, out.metrics.messages);
+    // Message ids are causal: a delivery never precedes its enqueue.
+    for d in out.deliveries() {
+        let enq = out
+            .trace
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Enqueue { msg, .. } if *msg == d.msg));
+        let del = out
+            .trace
+            .iter()
+            .position(|e| e.as_delivery().is_some_and(|x| x.msg == d.msg));
+        assert!(enq.unwrap() < del.unwrap());
+    }
+}
+
+#[test]
+fn ring_spec_keeps_the_tail() {
+    let g = families::complete_rotational(8);
+    let full = run(
+        &g,
+        0,
+        &no_advice(8),
+        &FloodOnce,
+        &SimConfig::broadcast().capture_trace(TraceSpec::Full),
+    )
+    .unwrap();
+    let ring = run(
+        &g,
+        0,
+        &no_advice(8),
+        &FloodOnce,
+        &SimConfig::broadcast().capture_trace(TraceSpec::Ring { capacity: 5 }),
+    )
+    .unwrap();
+    assert_eq!(ring.trace.len(), 5);
+    let tail = &full.trace[full.trace.len() - 5..];
+    assert_eq!(ring.trace, tail);
+    // Stats still cover the whole run, not just the retained tail.
+    assert_eq!(ring.trace_stats, full.trace_stats);
+}
+
+#[test]
+fn untraced_runs_allocate_nothing_on_the_trace_path() {
+    // TraceSpec::Off drives a NullSink: the outcome's trace vec must be
+    // the never-allocated `Vec::new()` and the stats all-zero — the
+    // allocation-free discipline mirroring `payload_copies == 0`.
+    let g = families::complete_rotational(16);
+    let out = run(&g, 0, &no_advice(16), &FloodOnce, &SimConfig::default()).unwrap();
+    assert_eq!(out.trace.capacity(), 0);
+    assert_eq!(out.trace_stats, TraceStats::default());
+    assert_eq!(out.metrics.faults.payload_copies, 0);
+}
+
+#[test]
+fn external_sink_sees_the_same_events_as_full_capture() {
+    let g = families::cycle(6);
+    let cfg = SimConfig::broadcast();
+    let mut sink = VecSink::new();
+    let streamed = run_with_sink(&g, 0, &no_advice(6), &FloodOnce, &cfg, &mut sink).unwrap();
+    assert!(streamed.trace.is_empty());
+    let collected = run(
+        &g,
+        0,
+        &no_advice(6),
+        &FloodOnce,
+        &cfg.clone().capture_trace(TraceSpec::Full),
+    )
+    .unwrap();
+    assert_eq!(collected.trace, sink.into_events());
+}
+
+#[test]
+fn streamed_sink_survives_an_aborted_run() {
+    // On a SimError the caller still holds the sink — the post-mortem
+    // contract for ring buffers.
+    let g = families::path(3);
+    let cfg = SimConfig::wakeup();
+    let mut sink = VecSink::new();
+    let err = run_with_sink(&g, 0, &no_advice(2), &FloodOnce, &cfg, &mut sink).unwrap_err();
+    assert!(matches!(err, SimError::AdviceCount { .. }));
+    // A second sink observing a run that fails mid-flight keeps the
+    // events emitted before the abort.
+    let g = families::complete_rotational(6);
+    let chatty = SimConfig::broadcast().with_max_steps(3);
+    let mut sink = VecSink::new();
+    let err = run_with_sink(&g, 0, &no_advice(6), &FloodOnce, &chatty, &mut sink).unwrap_err();
+    assert!(matches!(err, SimError::StepLimit { .. }));
+    assert!(!sink.events().is_empty());
+}
+
+#[test]
+fn crashed_receiver_shows_as_drop_event() {
+    let g = families::path(4);
+    let cfg = SimConfig::broadcast()
+        .with_faults(FaultPlan {
+            crashes: [(1, 0)].into(),
+            ..Default::default()
+        })
+        .capture_trace(TraceSpec::Full);
+    let out = run(&g, 0, &no_advice(4), &FloodOnce, &cfg).unwrap();
+    let drops: Vec<_> = out
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Drop { .. }))
+        .collect();
+    assert_eq!(drops.len(), 1);
+    assert!(matches!(
+        drops[0],
+        TraceEvent::Drop {
+            to: 1,
+            fault: DropFault::ToCrashed,
+            ..
+        }
+    ));
+    // Dropped-to-crashed deliveries count as steps but not deliveries.
+    assert_eq!(
+        out.deliveries().count() as u64 + out.trace_stats.dropped,
+        out.metrics.steps
+    );
+}
+
+#[test]
+fn null_sink_run_matches_traced_run_metrics() {
+    // Tracing must be observation only: metrics identical with and
+    // without it, under faults and async scheduling alike.
+    let g = families::complete_rotational(10);
+    let base = SimConfig::broadcast()
+        .with_scheduler(SchedulerKind::Random { seed: 9 })
+        .with_faults(FaultPlan::message_faults(13, 0.2, 0.2, 0.3));
+    let mut null = NullSink;
+    let untraced = run_with_sink(&g, 0, &no_advice(10), &FloodOnce, &base, &mut null).unwrap();
+    let traced = run(
+        &g,
+        0,
+        &no_advice(10),
+        &FloodOnce,
+        &base.clone().capture_trace(TraceSpec::Full),
+    )
+    .unwrap();
+    assert_eq!(untraced.metrics, traced.metrics);
+    assert_eq!(untraced.informed, traced.informed);
 }
 
 #[test]
 fn total_drop_quiesces_degraded() {
     let g = families::path(5);
-    let cfg = SimConfig {
-        faults: FaultPlan::message_faults(3, 1.0, 0.0, 0.0),
-        ..SimConfig::asynchronous(SchedulerKind::Fifo)
-    };
+    let cfg = SimConfig::broadcast()
+        .with_scheduler(SchedulerKind::Fifo)
+        .with_faults(FaultPlan::message_faults(3, 1.0, 0.0, 0.0));
     let out = run(&g, 0, &no_advice(5), &FloodOnce, &cfg).unwrap();
     assert!(!out.all_informed());
     assert_eq!(out.classify(), Completion::Degraded { uninformed: 4 });
@@ -285,10 +441,9 @@ fn total_drop_quiesces_degraded() {
 #[test]
 fn duplication_adds_deliveries_not_messages() {
     let g = families::path(4);
-    let cfg = SimConfig {
-        faults: FaultPlan::message_faults(7, 0.0, 1.0, 0.0),
-        ..SimConfig::asynchronous(SchedulerKind::Fifo)
-    };
+    let cfg = SimConfig::broadcast()
+        .with_scheduler(SchedulerKind::Fifo)
+        .with_faults(FaultPlan::message_faults(7, 0.0, 1.0, 0.0));
     let out = run(&g, 0, &no_advice(4), &FloodOnce, &cfg).unwrap();
     assert!(out.all_informed());
     assert_eq!(out.classify(), Completion::Completed);
@@ -311,10 +466,9 @@ fn fault_free_delivery_never_copies_payloads() {
     assert!(out.metrics.messages > 0);
     assert_eq!(out.metrics.faults.payload_copies, 0);
 
-    let dropping = SimConfig {
-        faults: FaultPlan::message_faults(5, 0.3, 0.0, 0.5),
-        ..SimConfig::asynchronous(SchedulerKind::Fifo)
-    };
+    let dropping = SimConfig::broadcast()
+        .with_scheduler(SchedulerKind::Fifo)
+        .with_faults(FaultPlan::message_faults(5, 0.3, 0.0, 0.5));
     let out = run(&g, 0, &no_advice(16), &FloodOnce, &dropping).unwrap();
     assert_eq!(
         out.metrics.faults.payload_copies, 0,
@@ -359,10 +513,7 @@ fn bit_flips_corrupt_delivered_payloads() {
     }
     let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
     let g = families::path(2);
-    let cfg = SimConfig {
-        faults: FaultPlan::message_faults(11, 0.0, 0.0, 1.0),
-        ..Default::default()
-    };
+    let cfg = SimConfig::broadcast().with_faults(FaultPlan::message_faults(11, 0.0, 0.0, 1.0));
     let protocol = TaggedProtocol {
         seen: std::rc::Rc::clone(&seen),
     };
@@ -384,13 +535,10 @@ fn crash_stop_silences_a_relay() {
     // it, deliveries to it are counted, and classify() excuses the
     // crashed node itself but not the nodes stranded behind it.
     let g = families::path(4);
-    let cfg = SimConfig {
-        faults: FaultPlan {
-            crashes: [(1, 0)].into(),
-            ..Default::default()
-        },
+    let cfg = SimConfig::broadcast().with_faults(FaultPlan {
+        crashes: [(1, 0)].into(),
         ..Default::default()
-    };
+    });
     let out = run(&g, 0, &no_advice(4), &FloodOnce, &cfg).unwrap();
     assert!(out.crashed[1]);
     assert_eq!(out.metrics.faults.to_crashed, 1);
@@ -404,13 +552,10 @@ fn crash_budget_counts_sends() {
     // two leaves wake up, the remaining two spontaneous sends are
     // suppressed.
     let g = families::star(5);
-    let cfg = SimConfig {
-        faults: FaultPlan {
-            crashes: [(0, 2)].into(),
-            ..Default::default()
-        },
+    let cfg = SimConfig::broadcast().with_faults(FaultPlan {
+        crashes: [(0, 2)].into(),
         ..Default::default()
-    };
+    });
     let out = run(&g, 0, &no_advice(5), &FloodOnce, &cfg).unwrap();
     assert!(out.crashed[0]);
     assert_eq!(out.metrics.messages, 2);
@@ -423,11 +568,10 @@ fn crash_budget_counts_sends() {
 fn faulty_runs_are_reproducible_per_seed() {
     let g = families::complete_rotational(10);
     let plan = FaultPlan::message_faults(77, 0.3, 0.2, 0.0);
-    let cfg = SimConfig {
-        capture_trace: true,
-        faults: plan,
-        ..SimConfig::asynchronous(SchedulerKind::Random { seed: 4 })
-    };
+    let cfg = SimConfig::broadcast()
+        .with_scheduler(SchedulerKind::Random { seed: 4 })
+        .with_faults(plan)
+        .capture_trace(TraceSpec::Full);
     let a = run(&g, 0, &no_advice(10), &FloodOnce, &cfg).unwrap();
     let b = run(&g, 0, &no_advice(10), &FloodOnce, &cfg).unwrap();
     assert_eq!(a.trace, b.trace);
@@ -439,13 +583,10 @@ fn faulty_runs_are_reproducible_per_seed() {
 fn inert_plan_with_nonzero_seed_changes_nothing() {
     let g = families::complete_rotational(8);
     let baseline = run(&g, 2, &no_advice(8), &FloodOnce, &SimConfig::default()).unwrap();
-    let cfg = SimConfig {
-        faults: FaultPlan {
-            seed: 999,
-            ..Default::default()
-        },
+    let cfg = SimConfig::broadcast().with_faults(FaultPlan {
+        seed: 999,
         ..Default::default()
-    };
+    });
     let with_inert = run(&g, 2, &no_advice(8), &FloodOnce, &cfg).unwrap();
     assert_eq!(baseline.metrics, with_inert.metrics);
     assert_eq!(baseline.informed, with_inert.informed);
@@ -474,10 +615,7 @@ fn quiescence_polls_are_bounded() {
         }
     }
     let g = families::path(2);
-    let cfg = SimConfig {
-        max_quiescence_polls: 3,
-        ..Default::default()
-    };
+    let cfg = SimConfig::broadcast().with_quiescence_polls(3);
     let out = run(&g, 0, &no_advice(2), &Nagger, &cfg).unwrap();
     // Both nodes nag once per poll.
     assert_eq!(out.metrics.messages, 6);

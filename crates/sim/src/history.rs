@@ -150,10 +150,7 @@ mod tests {
     fn history_flooding_matches_reactive_flooding() {
         let g = families::complete_rotational(10);
         let advice = crate::testkit::no_advice(10);
-        let cfg = SimConfig {
-            capture_trace: true,
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast().capture_trace(crate::trace::TraceSpec::Full);
         let reactive = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         let historical = run(&g, 0, &advice, &flooding_scheme(), &cfg).unwrap();
         assert_eq!(reactive.metrics, historical.metrics);

@@ -10,11 +10,18 @@
 //! * [`protocol`] — the [`Protocol`]/[`NodeBehavior`] traits mirroring the
 //!   scheme signature `A(f(v), s(v), id(v), deg(v))`, and the [`NodeView`]
 //!   a node is allowed to see,
+//! * [`oracle`] — the [`Oracle`] trait assigning per-node advice, and the
+//!   paper's oracle-size accounting,
+//! * [`instance`] — frozen `Arc`-shared problem instances and the
+//!   workspace's one run facade, [`run`],
 //! * [`engine`] — the executor, with **synchronous** (round-based) and
 //!   **asynchronous** (adversarially scheduled) delivery, mechanical
 //!   enforcement of the *wakeup rule* (non-source nodes stay silent until
 //!   informed), informedness tracking (the source message piggybacks on any
 //!   message sent by an informed node), and bit-exact accounting,
+//! * [`trace`] — the streaming observability layer: the event taxonomy,
+//!   [`TraceSink`](trace::TraceSink)s, per-round rollups, and trace
+//!   diffing,
 //! * [`scheduler`] — delivery orders: FIFO, LIFO, seeded-random, and the
 //!   starving adversary that delays source-carrying messages,
 //! * [`faults`] — seeded fault injection: message drop/duplication/bit
@@ -26,14 +33,14 @@
 //! # Examples
 //!
 //! ```
+//! use std::sync::Arc;
+//! use oraclesize_sim::prelude::*;
 //! use oraclesize_graph::families;
-//! use oraclesize_sim::engine::{SimConfig, run};
-//! use oraclesize_sim::protocol::FloodOnce;
 //! use oraclesize_bits::BitString;
 //!
-//! let g = families::cycle(5);
-//! let advice = vec![BitString::new(); 5];
-//! let outcome = run(&g, 0, &advice, &FloodOnce, &SimConfig::default()).unwrap();
+//! let g = Arc::new(families::cycle(5));
+//! let instance = Instance::with_advice(g, 0, vec![BitString::new(); 5]);
+//! let outcome = run(&instance, &FloodOnce, &SimConfig::default()).unwrap();
 //! assert!(outcome.all_informed());
 //! ```
 
@@ -42,14 +49,38 @@
 pub mod engine;
 pub mod faults;
 pub mod history;
+pub mod instance;
 pub mod metrics;
+pub mod oracle;
 pub mod protocol;
 pub mod scheduler;
 pub mod testkit;
+pub mod trace;
 
-pub use engine::{run, Completion, RunOutcome, SimConfig, SimError, TaskMode};
+pub use engine::{Completion, RunOutcome, SimConfig, SimError, TaskMode};
 pub use faults::{AdviceAdversary, FaultCounts, FaultPlan};
 pub use history::{History, HistoryProtocol};
+pub use instance::{run, run_streamed, Instance};
 pub use metrics::RunMetrics;
+pub use oracle::{advice_size, Oracle};
 pub use protocol::{Message, NodeBehavior, NodeView, Outgoing, Protocol};
 pub use scheduler::SchedulerKind;
+pub use trace::{TraceEvent, TraceSink, TraceSpec, TraceStats};
+
+/// The most common imports for running schemes on instances.
+///
+/// ```
+/// use oraclesize_sim::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::engine::{Completion, RunOutcome, SimConfig, SimError, TaskMode};
+    pub use crate::faults::FaultPlan;
+    pub use crate::instance::{run, run_streamed, Instance};
+    pub use crate::metrics::RunMetrics;
+    pub use crate::oracle::{advice_size, Oracle};
+    pub use crate::protocol::{FloodOnce, Message, NodeBehavior, NodeView, Outgoing, Protocol};
+    pub use crate::scheduler::SchedulerKind;
+    pub use crate::trace::{
+        NullSink, RingSink, TraceEvent, TraceSink, TraceSpec, TraceStats, VecSink,
+    };
+}

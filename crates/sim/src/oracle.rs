@@ -1,0 +1,55 @@
+//! The oracle abstraction and size accounting.
+//!
+//! The trait lives here — next to the engine that consumes advice — so a
+//! problem [`Instance`](crate::Instance) can be built without reaching
+//! into the scheme crates. Concrete oracles (the paper's constructions)
+//! live in `oraclesize_core`.
+
+use oraclesize_bits::BitString;
+use oraclesize_graph::{NodeId, PortGraph};
+
+/// An oracle `O`: looks at the entire labeled network (and the source) and
+/// assigns an advice string to every node.
+///
+/// The paper's oracles depend only on the network, but the source is part
+/// of the labeled instance (the status bit marks it), so we pass it
+/// explicitly: the constructive oracles root their spanning trees there.
+///
+/// The returned vector is indexed by node id and must have exactly
+/// `g.num_nodes()` entries.
+pub trait Oracle {
+    /// Computes the advice assignment `f = O(G)`.
+    fn advise(&self, g: &PortGraph, source: NodeId) -> Vec<BitString>;
+
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// The paper's oracle size: the sum of the lengths of all assigned strings,
+/// in bits.
+pub fn advice_size(advice: &[BitString]) -> u64 {
+    advice.iter().map(|s| s.len() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advice_size_sums_bits() {
+        let advice = vec![
+            BitString::parse("101").unwrap(),
+            BitString::new(),
+            BitString::parse("1").unwrap(),
+        ];
+        assert_eq!(advice_size(&advice), 4);
+    }
+
+    #[test]
+    fn empty_assignment_has_size_zero() {
+        assert_eq!(advice_size(&[]), 0);
+        assert_eq!(advice_size(&vec![BitString::new(); 3]), 0);
+    }
+}

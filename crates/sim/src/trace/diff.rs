@@ -1,0 +1,233 @@
+//! First-divergence comparison of two rendered trace files.
+//!
+//! Traces of a seeded run are byte-identical across thread counts, so the
+//! interesting question about two trace files is never "how do they
+//! differ?" but "**where do they first diverge**, and what was happening
+//! there?". This module answers that for line-oriented trace renderings
+//! (one event per line — the JSONL format written by
+//! `oraclesize_runtime::trace`, but any line format works).
+
+/// Result of comparing two trace files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDiff {
+    /// Byte-identical (same lines, same count).
+    Identical {
+        /// Number of lines compared.
+        lines: usize,
+    },
+    /// The files differ; details of the first divergence.
+    Diverged(Divergence),
+}
+
+/// The first point where two trace files disagree, with enough context to
+/// orient a post-mortem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number of the first difference.
+    pub line: usize,
+    /// The left file's line (`None` if the left file ended first).
+    pub left: Option<String>,
+    /// The right file's line (`None` if the right file ended first).
+    pub right: Option<String>,
+    /// Up to three shared lines immediately preceding the divergence.
+    pub context: Vec<String>,
+    /// Grid cell in scope at the divergence, if the lines carry one.
+    pub cell: Option<u64>,
+    /// Last round seen (from `rollup`/`phase` records) before diverging.
+    pub round: Option<u64>,
+    /// Nodes named on the diverging lines (`from`/`to`/`node` fields).
+    pub nodes: Vec<u64>,
+}
+
+impl TraceDiff {
+    /// `true` for [`TraceDiff::Identical`].
+    pub fn is_identical(&self) -> bool {
+        matches!(self, TraceDiff::Identical { .. })
+    }
+
+    /// Human-readable report, one screen, stable formatting.
+    pub fn render(&self) -> String {
+        match self {
+            TraceDiff::Identical { lines } => {
+                format!("traces identical ({lines} lines)")
+            }
+            TraceDiff::Diverged(d) => {
+                let mut out = String::new();
+                out.push_str(&format!("traces diverge at line {}", d.line));
+                if let Some(cell) = d.cell {
+                    out.push_str(&format!(" (cell {cell}"));
+                    match d.round {
+                        Some(r) => out.push_str(&format!(", round {r})")),
+                        None => out.push(')'),
+                    }
+                } else if let Some(r) = d.round {
+                    out.push_str(&format!(" (round {r})"));
+                }
+                if !d.nodes.is_empty() {
+                    let names: Vec<String> = d.nodes.iter().map(|n| n.to_string()).collect();
+                    out.push_str(&format!(", nodes [{}]", names.join(", ")));
+                }
+                out.push('\n');
+                for c in &d.context {
+                    out.push_str(&format!("    {c}\n"));
+                }
+                match &d.left {
+                    Some(l) => out.push_str(&format!("  - {l}\n")),
+                    None => out.push_str("  - <end of file>\n"),
+                }
+                match &d.right {
+                    Some(r) => out.push_str(&format!("  + {r}\n")),
+                    None => out.push_str("  + <end of file>\n"),
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Extracts the integer value of `"key": N` (or `"key":N`) from a rendered
+/// line, if present.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Compares two trace files line by line and reports the first divergence
+/// with cell/round/node context, or [`TraceDiff::Identical`].
+pub fn diff_lines(left: &str, right: &str) -> TraceDiff {
+    let mut lines_seen = 0usize;
+    let mut context: Vec<String> = Vec::new();
+    let mut cell: Option<u64> = None;
+    let mut round: Option<u64> = None;
+    let mut l_iter = left.lines();
+    let mut r_iter = right.lines();
+    loop {
+        let (l, r) = (l_iter.next(), r_iter.next());
+        match (l, r) {
+            (None, None) => return TraceDiff::Identical { lines: lines_seen },
+            (l, r) if l == r => {
+                lines_seen += 1;
+                // Shared line: update the running context.
+                if let Some(line) = l {
+                    if let Some(c) = field_u64(line, "cell") {
+                        cell = Some(c);
+                    }
+                    if let Some(rd) = field_u64(line, "round") {
+                        round = Some(rd);
+                    }
+                    if context.len() == 3 {
+                        context.remove(0);
+                    }
+                    context.push(line.to_string());
+                }
+            }
+            (l, r) => {
+                let mut nodes: Vec<u64> = Vec::new();
+                for line in [l, r].into_iter().flatten() {
+                    for key in ["from", "to", "node"] {
+                        if let Some(n) = field_u64(line, key) {
+                            if !nodes.contains(&n) {
+                                nodes.push(n);
+                            }
+                        }
+                    }
+                    // The diverging lines themselves are the freshest
+                    // cell/round context.
+                    if cell.is_none() {
+                        cell = field_u64(line, "cell");
+                    }
+                    if round.is_none() {
+                        round = field_u64(line, "round");
+                    }
+                }
+                return TraceDiff::Diverged(Divergence {
+                    line: lines_seen + 1,
+                    left: l.map(str::to_string),
+                    right: r.map(str::to_string),
+                    context,
+                    cell,
+                    round,
+                    nodes,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_files() {
+        let a = "{\"kind\": \"enqueue\"}\n{\"kind\": \"deliver\"}\n";
+        assert_eq!(diff_lines(a, a), TraceDiff::Identical { lines: 2 });
+        assert!(diff_lines(a, a).is_identical());
+    }
+
+    #[test]
+    fn first_divergence_with_context() {
+        let a =
+            "{\"cell\": 0, \"round\": 1}\nsame\n{\"kind\": \"deliver\", \"from\": 2, \"to\": 3}\n";
+        let b =
+            "{\"cell\": 0, \"round\": 1}\nsame\n{\"kind\": \"deliver\", \"from\": 2, \"to\": 4}\n";
+        match diff_lines(a, b) {
+            TraceDiff::Diverged(d) => {
+                assert_eq!(d.line, 3);
+                assert_eq!(d.cell, Some(0));
+                assert_eq!(d.round, Some(1));
+                assert_eq!(d.context.len(), 2);
+                assert!(d.nodes.contains(&2));
+                assert!(d.nodes.contains(&3));
+                assert!(d.nodes.contains(&4));
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_divergence() {
+        let a = "x\ny\n";
+        let b = "x\n";
+        match diff_lines(a, b) {
+            TraceDiff::Diverged(d) => {
+                assert_eq!(d.line, 2);
+                assert_eq!(d.left.as_deref(), Some("y"));
+                assert_eq!(d.right, None);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let a = "{\"cell\": 2, \"round\": 5}\n{\"from\": 1, \"to\": 2}\n";
+        let b = "{\"cell\": 2, \"round\": 5}\n{\"from\": 1, \"to\": 7}\n";
+        let report = diff_lines(a, b).render();
+        assert!(report.contains("line 2"));
+        assert!(report.contains("cell 2"));
+        assert!(report.contains("round 5"));
+        assert!(report.contains("  - "));
+        assert!(report.contains("  + "));
+        assert_eq!(
+            diff_lines(a, a).render(),
+            "traces identical (2 lines)".to_string()
+        );
+    }
+
+    #[test]
+    fn field_extraction_handles_spacing() {
+        assert_eq!(field_u64("{\"round\": 12}", "round"), Some(12));
+        assert_eq!(field_u64("{\"round\":12}", "round"), Some(12));
+        assert_eq!(field_u64("{\"round\": \"x\"}", "round"), None);
+        assert_eq!(field_u64("{}", "round"), None);
+    }
+}

@@ -4,6 +4,7 @@ use oraclesize_bits::BitString;
 use oraclesize_graph::families::{self, Family};
 use oraclesize_sim::engine::{run, SimConfig};
 use oraclesize_sim::protocol::{FloodOnce, Message, NodeBehavior, NodeView, Outgoing, Protocol};
+use oraclesize_sim::trace::TraceSpec;
 use oraclesize_sim::{FaultPlan, SchedulerKind};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -44,12 +45,10 @@ proptest! {
         let g = fam.build(n, &mut rng);
         let nodes = g.num_nodes();
         let source = seed as usize % nodes;
-        let cfg = SimConfig {
-            synchronous,
-            scheduler: sched,
-            capture_trace: true,
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast()
+            .with_scheduler(sched)
+            .with_synchronous(synchronous)
+            .capture_trace(TraceSpec::Full);
         let advice = oraclesize_sim::testkit::no_advice(nodes);
         let out = run(&g, source, &advice, &FloodOnce, &cfg).unwrap();
         prop_assert!(out.all_informed());
@@ -57,7 +56,7 @@ proptest! {
         let expected: usize = g.degree(source)
             + (0..nodes).filter(|&v| v != source).map(|v| g.degree(v) - 1).sum::<usize>();
         prop_assert_eq!(out.metrics.messages as usize, expected);
-        prop_assert_eq!(out.trace.len() as u64, out.metrics.steps);
+        prop_assert_eq!(out.deliveries().count() as u64, out.metrics.steps);
     }
 
     #[test]
@@ -68,22 +67,19 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = families::random_connected(n, 0.3, &mut rng);
-        let cfg = SimConfig {
-            synchronous: false,
-            scheduler: sched,
-            capture_trace: true,
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast()
+            .with_scheduler(sched)
+            .capture_trace(TraceSpec::Full);
         let advice = oraclesize_sim::testkit::no_advice(n);
         let out = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         // Replay the trace: a node can only send a source-carrying message
         // after the source or after receiving one.
         let mut informed = vec![false; n];
         informed[0] = true;
-        for e in &out.trace {
-            if e.carries_source {
-                prop_assert!(informed[e.from], "uninformed {} sent M", e.from);
-                informed[e.to] = true;
+        for d in out.deliveries() {
+            if d.carries_source {
+                prop_assert!(informed[d.from], "uninformed {} sent M", d.from);
+                informed[d.to] = true;
             }
         }
         prop_assert!(informed.iter().all(|&x| x));
@@ -97,12 +93,9 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(rng_seed);
         let g = families::random_connected(n, 0.25, &mut rng);
-        let cfg = SimConfig {
-            synchronous: false,
-            scheduler: SchedulerKind::Random { seed },
-            capture_trace: true,
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast()
+            .with_scheduler(SchedulerKind::Random { seed })
+            .capture_trace(TraceSpec::Full);
         let advice = oraclesize_sim::testkit::no_advice(n);
         let a = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         let b = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
@@ -124,12 +117,10 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = fam.build(n, &mut rng);
         let nodes = g.num_nodes();
-        let cfg = SimConfig {
-            synchronous,
-            scheduler: sched,
-            faults: plan,
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast()
+            .with_scheduler(sched)
+            .with_synchronous(synchronous)
+            .with_faults(plan);
         let advice = oraclesize_sim::testkit::no_advice(nodes);
         let out = run(&g, seed as usize % nodes, &advice, &FloodOnce, &cfg).unwrap();
         let m = &out.metrics;
@@ -149,13 +140,10 @@ proptest! {
         let g = families::random_connected(n, 0.3, &mut rng);
         let mut plan = plan;
         plan.crashes.insert(seed as usize % n, seed % 3);
-        let cfg = SimConfig {
-            synchronous: false,
-            scheduler: sched,
-            capture_trace: true,
-            faults: plan,
-            ..Default::default()
-        };
+        let cfg = SimConfig::broadcast()
+            .with_scheduler(sched)
+            .with_faults(plan)
+            .capture_trace(TraceSpec::Full);
         let advice = oraclesize_sim::testkit::no_advice(n);
         let a = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();
         let b = run(&g, 0, &advice, &FloodOnce, &cfg).unwrap();

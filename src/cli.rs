@@ -6,12 +6,18 @@
 //! oraclesize run --family random-sparse --n 128 --task election --scheduler lifo
 //! oraclesize run --family grid --n 100 --task spanner --stretch 3
 //! oraclesize sweep --task broadcast --n 128 --runs 64 --threads 4 --drop 0.1
+//! oraclesize trace --task broadcast --n 32 --out run.jsonl
+//! oraclesize trace-diff left.jsonl right.jsonl
 //! oraclesize list
 //! ```
 //!
 //! `sweep` builds one `Arc`-shared instance, declares one cell per seeded
 //! run, and dispatches the grid to the `oraclesize-runtime` pool —
 //! `--threads N` changes wall-clock time only, never the report.
+//!
+//! `trace` streams one run's event trace as deterministic JSONL (to
+//! `--out` or stdout); `trace-diff` compares two such artifacts and
+//! reports the first divergence with node/round context.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -30,9 +36,10 @@ use oraclesize_core::spanner::{collect_port_sets, verify_spanner, SpannerOracle}
 use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
 use oraclesize_core::{execute, OracleRun};
 use oraclesize_graph::families::Family;
-use oraclesize_runtime::{drain, run_batch, Aggregate, Instance, Pool, RunRequest};
+use oraclesize_runtime::{drain, run_batch, Aggregate, JsonlSink, Pool, RunRequest};
 use oraclesize_sim::protocol::{FloodOnce, Protocol};
-use oraclesize_sim::{FaultPlan, SchedulerKind, SimConfig, TaskMode};
+use oraclesize_sim::trace::diff_lines;
+use oraclesize_sim::{run_streamed, FaultPlan, Instance, SchedulerKind, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -105,6 +112,10 @@ pub enum Command {
     Run(RunArgs),
     /// `sweep …`
     Sweep(SweepArgs),
+    /// `trace …`
+    Trace(TraceArgs),
+    /// `trace-diff <left> <right>`
+    TraceDiff(TraceDiffArgs),
     /// `list`
     List,
     /// `help` (also the zero-argument default)
@@ -155,6 +166,37 @@ pub struct SweepArgs {
     pub drop: f64,
     /// RNG seed (graph generation and per-cell derivation).
     pub seed: u64,
+}
+
+/// Arguments of the `trace` subcommand: one fully-traced run, streamed to
+/// JSONL through the engine's sink API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// Graph family.
+    pub family: Family,
+    /// Approximate size.
+    pub n: usize,
+    /// Task to trace (`broadcast`, `wakeup`, or `flood`).
+    pub task: Task,
+    /// Source / root node.
+    pub source: usize,
+    /// Asynchronous scheduler; `None` = synchronous.
+    pub scheduler: Option<SchedulerKind>,
+    /// Per-message drop probability (`0.0` = fault-free).
+    pub drop: f64,
+    /// RNG seed (graph generation, scheduling, faults).
+    pub seed: u64,
+    /// Write the JSONL here instead of returning it on stdout.
+    pub out: Option<String>,
+}
+
+/// Arguments of the `trace-diff` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiffArgs {
+    /// Left JSONL artifact.
+    pub left: String,
+    /// Right JSONL artifact.
+    pub right: String,
 }
 
 fn parse_family(s: &str) -> Option<Family> {
@@ -327,6 +369,94 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 seed,
             }))
         }
+        Some("trace") => {
+            let mut family = Family::RandomSparse;
+            let mut n = 32usize;
+            let mut task = None;
+            let mut source = 0usize;
+            let mut scheduler = None;
+            let mut drop = 0.0f64;
+            let mut seed = 2006u64;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--family" => {
+                        let v = value("--family")?;
+                        family = parse_family(v).ok_or_else(|| format!("unknown family {v:?}"))?;
+                    }
+                    "--n" => {
+                        n = value("--n")?
+                            .parse()
+                            .map_err(|_| "--n needs an integer".to_string())?;
+                    }
+                    "--task" => {
+                        let v = value("--task")?;
+                        task = Some(Task::parse(v).ok_or_else(|| format!("unknown task {v:?}"))?);
+                    }
+                    "--source" => {
+                        source = value("--source")?
+                            .parse()
+                            .map_err(|_| "--source needs an integer".to_string())?;
+                    }
+                    "--scheduler" => {
+                        let v = value("--scheduler")?;
+                        scheduler = Some(match v.as_str() {
+                            "fifo" => SchedulerKind::Fifo,
+                            "lifo" => SchedulerKind::Lifo,
+                            "random" => SchedulerKind::Random { seed },
+                            "starve" => SchedulerKind::Starve,
+                            other => return Err(format!("unknown scheduler {other:?}")),
+                        });
+                    }
+                    "--drop" => {
+                        drop = value("--drop")?
+                            .parse()
+                            .map_err(|_| "--drop needs a probability".to_string())?;
+                        if !(0.0..=1.0).contains(&drop) {
+                            return Err("--drop must be within [0, 1]".into());
+                        }
+                    }
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| "--seed needs an integer".to_string())?;
+                    }
+                    "--out" => out = Some(value("--out")?.clone()),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let task = task.ok_or("trace requires --task".to_string())?;
+            if !matches!(task, Task::Broadcast | Task::Wakeup | Task::Flood) {
+                return Err("trace supports --task broadcast, wakeup, or flood".into());
+            }
+            Ok(Command::Trace(TraceArgs {
+                family,
+                n,
+                task,
+                source,
+                scheduler,
+                drop,
+                seed,
+                out,
+            }))
+        }
+        Some("trace-diff") => {
+            let left = it
+                .next()
+                .ok_or("trace-diff needs two JSONL files".to_string())?
+                .clone();
+            let right = it
+                .next()
+                .ok_or("trace-diff needs two JSONL files".to_string())?
+                .clone();
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument {extra:?}"));
+            }
+            Ok(Command::TraceDiff(TraceDiffArgs { left, right }))
+        }
         Some(other) => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -341,6 +471,10 @@ pub fn usage() -> String {
          \x20 oraclesize sweep --task broadcast|wakeup|flood [--runs <k>]\n\
          \x20                [--threads <t>] [--drop <p>] [--family <family>]\n\
          \x20                [--n <size>] [--scheduler <s>] [--seed <u64>]\n\
+         \x20 oraclesize trace --task broadcast|wakeup|flood [--family <family>]\n\
+         \x20                [--n <size>] [--source <node>] [--scheduler <s>]\n\
+         \x20                [--drop <p>] [--seed <u64>] [--out <file.jsonl>]\n\
+         \x20 oraclesize trace-diff <left.jsonl> <right.jsonl>\n\
          \x20 oraclesize list\n\n\
          TASKS:    {}\nFAMILIES: {}\n",
         Task::NAMES.join(" "),
@@ -365,6 +499,8 @@ pub fn run_command(cmd: &Command) -> Result<String, String> {
         }
         Command::Run(args) => run_task(args),
         Command::Sweep(args) => run_sweep(args),
+        Command::Trace(args) => run_trace(args),
+        Command::TraceDiff(args) => run_trace_diff(args),
     }
 }
 
@@ -381,14 +517,21 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
             g.num_nodes()
         ));
     }
-    let mut config = match args.scheduler {
-        Some(kind) => SimConfig::asynchronous(kind),
-        None => SimConfig::default(),
+    let base = if matches!(args.task, Task::Wakeup) {
+        SimConfig::wakeup()
+    } else {
+        SimConfig::broadcast()
     };
-    config.anonymous = args.anonymous;
-    if matches!(args.task, Task::Wakeup) {
-        config.mode = TaskMode::Wakeup;
+    let config = match args.scheduler {
+        // `--seed` wins regardless of where it sat relative to
+        // `--scheduler random` in the argument list.
+        Some(SchedulerKind::Random { .. }) => {
+            base.with_scheduler(SchedulerKind::Random { seed: args.seed })
+        }
+        Some(kind) => base.with_scheduler(kind),
+        None => base,
     }
+    .with_anonymous(args.anonymous);
     if args.anonymous
         && matches!(
             args.task,
@@ -398,7 +541,7 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
         return Err("this task needs node identities; drop --anonymous".into());
     }
 
-    let exec = |oracle: &dyn oraclesize_core::Oracle,
+    let exec = |oracle: &dyn oraclesize_sim::Oracle,
                 protocol: &dyn oraclesize_sim::Protocol|
      -> Result<OracleRun, String> {
         execute(&g, args.source, oracle, protocol, &config).map_err(|e| e.to_string())
@@ -552,21 +695,24 @@ fn run_sweep(args: &SweepArgs) -> Result<String, String> {
     let requests: Vec<RunRequest> = (0..args.runs)
         .map(|k| {
             let cell_seed = args.seed.wrapping_add(k as u64 + 1);
+            let base = if args.task == Task::Wakeup {
+                SimConfig::wakeup()
+            } else {
+                SimConfig::broadcast()
+            };
             let mut config = match args.scheduler {
                 Some(SchedulerKind::Random { .. }) => {
                     // Re-seed per cell so the cells sample different
                     // delivery orders while staying reproducible.
-                    SimConfig::asynchronous(SchedulerKind::Random { seed: cell_seed })
+                    base.with_scheduler(SchedulerKind::Random { seed: cell_seed })
                 }
-                Some(kind) => SimConfig::asynchronous(kind),
-                None => SimConfig::default(),
+                Some(kind) => base.with_scheduler(kind),
+                None => base,
             };
-            if args.task == Task::Wakeup {
-                config.mode = TaskMode::Wakeup;
-            }
             if args.drop > 0.0 {
-                config.faults = FaultPlan::message_faults(cell_seed, args.drop, 0.0, 0.0);
-                config.max_quiescence_polls = 16;
+                config = config
+                    .with_faults(FaultPlan::message_faults(cell_seed, args.drop, 0.0, 0.0))
+                    .with_quiescence_polls(16);
             }
             RunRequest::new(Arc::clone(&instance), Arc::clone(&protocol), config)
         })
@@ -624,6 +770,104 @@ fn run_sweep(args: &SweepArgs) -> Result<String, String> {
     if args.drop > 0.0 {
         let _ = writeln!(out, "dropped:      {}", agg.totals.faults.dropped);
     }
+    Ok(out)
+}
+
+/// Builds the task's instance once, then streams a single fully-traced run
+/// through a JSONL sink — events are rendered as they are emitted, never
+/// accumulated, and the bytes are identical on every machine for the same
+/// arguments.
+fn run_trace(args: &TraceArgs) -> Result<String, String> {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let g = args.family.build(args.n, &mut rng).into_shared();
+    if args.source >= g.num_nodes() {
+        return Err(format!(
+            "--source {} out of range (graph has {} nodes)",
+            args.source,
+            g.num_nodes()
+        ));
+    }
+    let (instance, protocol): (Arc<Instance>, Arc<dyn Protocol + Send + Sync>) = match args.task {
+        Task::Broadcast => (
+            Instance::build(Arc::clone(&g), args.source, &LightTreeOracle),
+            Arc::new(SchemeB),
+        ),
+        Task::Wakeup => (
+            Instance::build(Arc::clone(&g), args.source, &SpanningTreeOracle::default()),
+            Arc::new(TreeWakeup),
+        ),
+        Task::Flood => (
+            Instance::build(Arc::clone(&g), args.source, &EmptyOracle),
+            Arc::new(FloodOnce),
+        ),
+        _ => return Err("trace supports --task broadcast, wakeup, or flood".into()),
+    };
+    let base = if args.task == Task::Wakeup {
+        SimConfig::wakeup()
+    } else {
+        SimConfig::broadcast()
+    };
+    // `--seed` is authoritative even when it appears after `--scheduler
+    // random` on the command line.
+    let mut config = match args.scheduler {
+        Some(SchedulerKind::Random { .. }) => {
+            base.with_scheduler(SchedulerKind::Random { seed: args.seed })
+        }
+        Some(kind) => base.with_scheduler(kind),
+        None => base,
+    };
+    if args.drop > 0.0 {
+        config = config
+            .with_faults(FaultPlan::message_faults(args.seed, args.drop, 0.0, 0.0))
+            .with_quiescence_polls(16);
+    }
+
+    let mut sink = JsonlSink::new(0);
+    let outcome = run_streamed(&instance, protocol.as_ref(), &config, &mut sink)
+        .map_err(|e| e.to_string())?;
+    let events = sink.len();
+    let jsonl = sink.into_string();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "wrote:        {path} ({events} events)");
+            let _ = writeln!(
+                out,
+                "graph:        {} (n = {}, m = {})",
+                args.family.name(),
+                g.num_nodes(),
+                g.num_edges()
+            );
+            let _ = writeln!(out, "messages:     {}", outcome.metrics.messages);
+            let _ = writeln!(out, "rounds:       {}", outcome.metrics.rounds);
+            let _ = writeln!(
+                out,
+                "result:       {}",
+                if outcome.all_informed() {
+                    "all informed"
+                } else {
+                    "INCOMPLETE"
+                }
+            );
+            Ok(out)
+        }
+        None => Ok(jsonl),
+    }
+}
+
+/// Compares two JSONL trace artifacts line by line and reports either
+/// byte-identity or the first divergence with its node/round context.
+/// Divergence is a *finding*, not a usage error, so it renders as normal
+/// output.
+fn run_trace_diff(args: &TraceDiffArgs) -> Result<String, String> {
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+    };
+    let left = read(&args.left)?;
+    let right = read(&args.right)?;
+    let mut out = diff_lines(&left, &right).render();
+    out.push('\n');
     Ok(out)
 }
 
@@ -848,5 +1092,118 @@ mod tests {
         }
         assert!(u.contains("sweep"), "usage missing sweep subcommand");
         assert!(u.contains("--threads"), "usage missing --threads");
+        assert!(u.contains("trace-diff"), "usage missing trace-diff");
+        assert!(u.contains("--out"), "usage missing --out");
+    }
+
+    #[test]
+    fn parse_trace_flags() {
+        let cmd = parse_args(&args(&[
+            "trace",
+            "--task",
+            "flood",
+            "--family",
+            "torus",
+            "--n",
+            "16",
+            "--scheduler",
+            "lifo",
+            "--drop",
+            "0.1",
+            "--seed",
+            "5",
+            "--out",
+            "t.jsonl",
+        ]))
+        .unwrap();
+        let Command::Trace(a) = cmd else {
+            panic!("not trace")
+        };
+        assert_eq!(a.task, Task::Flood);
+        assert_eq!(a.family, Family::Torus);
+        assert_eq!(a.n, 16);
+        assert_eq!(a.scheduler, Some(SchedulerKind::Lifo));
+        assert_eq!(a.drop, 0.1);
+        assert_eq!(a.seed, 5);
+        assert_eq!(a.out.as_deref(), Some("t.jsonl"));
+    }
+
+    #[test]
+    fn trace_rejects_unsupported_input() {
+        assert!(parse_args(&args(&["trace"])).is_err()); // no task
+        assert!(parse_args(&args(&["trace", "--task", "gossip"])).is_err());
+        assert!(parse_args(&args(&["trace", "--task", "flood", "--drop", "2.0"])).is_err());
+        assert!(parse_args(&args(&["trace-diff", "only-one.jsonl"])).is_err());
+        assert!(parse_args(&args(&["trace-diff", "a", "b", "c"])).is_err());
+    }
+
+    #[test]
+    fn trace_streams_parseable_deterministic_jsonl() {
+        let argv = [
+            "trace",
+            "--task",
+            "broadcast",
+            "--family",
+            "hypercube",
+            "--n",
+            "16",
+        ];
+        let run = || {
+            let cmd = parse_args(&args(&argv)).unwrap();
+            run_command(&cmd).unwrap()
+        };
+        let jsonl = run();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(oraclesize_runtime::json::parses(line), "{line}");
+        }
+        assert!(jsonl.contains("\"kind\": \"deliver\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\": \"rollup\""), "{jsonl}");
+        // Same arguments, same bytes: the artifact is reproducible.
+        assert_eq!(jsonl, run());
+    }
+
+    #[test]
+    fn trace_out_writes_artifact_and_diff_reads_it() {
+        let dir = std::env::temp_dir().join("oraclesize-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let left = dir.join("left.jsonl");
+        let right = dir.join("right.jsonl");
+        let write = |path: &std::path::Path, seed: &str| {
+            let cmd = parse_args(&args(&[
+                "trace",
+                "--task",
+                "wakeup",
+                "--n",
+                "12",
+                "--seed",
+                seed,
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            run_command(&cmd).unwrap()
+        };
+        let summary = write(&left, "3");
+        assert!(summary.contains("wrote:"), "{summary}");
+        assert!(summary.contains("all informed"), "{summary}");
+        write(&right, "3");
+
+        let diff = |l: &std::path::Path, r: &std::path::Path| {
+            let cmd = parse_args(&args(&[
+                "trace-diff",
+                l.to_str().unwrap(),
+                r.to_str().unwrap(),
+            ]))
+            .unwrap();
+            run_command(&cmd).unwrap()
+        };
+        assert!(diff(&left, &right).contains("traces identical"));
+
+        // A different seed gives a different schedule; the diff names the
+        // first diverging line rather than erroring out.
+        write(&right, "4");
+        assert!(diff(&left, &right).contains("traces diverge at line"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

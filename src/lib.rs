@@ -57,10 +57,13 @@ pub mod prelude {
     pub use oraclesize_core::neighborhood::NeighborhoodOracle;
     pub use oraclesize_core::oracle::EmptyOracle;
     pub use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
-    pub use oraclesize_core::{advice_size, execute, Oracle, OracleRun};
+    pub use oraclesize_core::{execute, OracleRun};
     pub use oraclesize_graph::families;
     pub use oraclesize_graph::{PortGraph, PortGraphBuilder, RootedTree};
-    pub use oraclesize_runtime::{run_batch, Instance, Pool, RunRequest};
+    pub use oraclesize_runtime::{run_batch, JsonlSink, Pool, RunRequest};
     pub use oraclesize_sim::protocol::FloodOnce;
-    pub use oraclesize_sim::{run, RunMetrics, SchedulerKind, SimConfig, TaskMode};
+    pub use oraclesize_sim::{
+        advice_size, run, run_streamed, Instance, Oracle, RunMetrics, SchedulerKind, SimConfig,
+        TaskMode, TraceSpec,
+    };
 }

@@ -130,7 +130,7 @@ fn tasks_work_async_and_with_every_scheduler() {
     let g = families::random_connected(40, 0.2, &mut rng);
     let n = g.num_nodes();
     for kind in SchedulerKind::sweep(21) {
-        let cfg = SimConfig::asynchronous(kind);
+        let cfg = SimConfig::broadcast().with_scheduler(kind);
         let gossip = execute(&g, 0, &GossipOracle::default(), &TreeGossip, &cfg).unwrap();
         assert_eq!(
             gossip.outcome.metrics.messages,

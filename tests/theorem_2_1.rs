@@ -72,12 +72,10 @@ fn robust_under_every_scheduler_and_anonymity() {
     let mut rng = StdRng::seed_from_u64(2);
     let g = families::random_connected(60, 0.15, &mut rng);
     for kind in SchedulerKind::sweep(99) {
-        let cfg = SimConfig {
-            mode: TaskMode::Wakeup,
-            anonymous: true,
-            max_message_bits: Some(0),
-            ..SimConfig::asynchronous(kind)
-        };
+        let cfg = SimConfig::wakeup()
+            .with_scheduler(kind)
+            .with_anonymous(true)
+            .with_max_message_bits(0);
         let run = execute(&g, 5, &SpanningTreeOracle::default(), &TreeWakeup, &cfg).unwrap();
         assert!(run.outcome.all_informed(), "{}", kind.name());
         assert_eq!(run.outcome.metrics.messages, 59);

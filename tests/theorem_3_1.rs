@@ -102,11 +102,10 @@ fn scheme_b_robust_under_async_and_anonymity() {
     let mut rng = StdRng::seed_from_u64(34);
     let g = families::random_connected(80, 0.1, &mut rng);
     for kind in SchedulerKind::sweep(5) {
-        let cfg = SimConfig {
-            anonymous: true,
-            max_message_bits: Some(0),
-            ..SimConfig::asynchronous(kind)
-        };
+        let cfg = SimConfig::broadcast()
+            .with_scheduler(kind)
+            .with_anonymous(true)
+            .with_max_message_bits(0);
         let run = execute(&g, 3, &LightTreeOracle, &SchemeB, &cfg).unwrap();
         assert!(run.outcome.all_informed(), "{}", kind.name());
         assert!(run.outcome.metrics.messages <= scheme_b_message_bound(80));
