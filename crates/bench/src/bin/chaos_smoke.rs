@@ -1,0 +1,144 @@
+//! CI chaos drill: prove the crash/resume contract on a real experiment.
+//!
+//! The drill runs the T10 grid four ways and insists every path produces
+//! the same `BENCH_T10.json` bytes as a clean serial run:
+//!
+//! 1. **kill + torn write + resume** — chaos kills the sweep mid-flight,
+//!    the journal loses half of its final record (a torn write), and a
+//!    `--resume` run must still converge to the clean artifact,
+//! 2. **injected panic** — a cell panics on its first attempt and must
+//!    recover as `Degraded` under a retry budget,
+//! 3. **injected stall** — a cell stalls past the watchdog on its first
+//!    attempt and must recover the same way.
+//!
+//! Usage: `chaos_smoke [scratch-dir]` (defaults to a temp directory).
+//! Exits nonzero on the first divergence.
+
+use std::path::{Path, PathBuf};
+
+use oraclesize_bench::experiments::run_experiment;
+use oraclesize_bench::grid::ExpOptions;
+use oraclesize_runtime::chaos::tear_tail;
+use oraclesize_runtime::ChaosPlan;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chaos-smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn artifact(dir: &Path) -> Vec<u8> {
+    let path = dir.join("BENCH_T10.json");
+    std::fs::read(&path).unwrap_or_else(|e| fail(&format!("read {}: {e}", path.display())))
+}
+
+fn opts(scratch: &Path, tag: &str) -> ExpOptions {
+    ExpOptions {
+        threads: 2,
+        json_dir: Some(scratch.join(tag)),
+        ..Default::default()
+    }
+}
+
+fn check(tag: &str, opts: &ExpOptions, clean: &[u8], want_in_report: &str) {
+    let report = run_experiment("t10", opts)
+        .unwrap_or_else(|e| fail(&format!("{tag}: t10 unexpectedly failed: {e}")));
+    if !report.contains(want_in_report) {
+        fail(&format!(
+            "{tag}: report lacks {want_in_report:?}:\n{report}"
+        ));
+    }
+    let dir = opts
+        .json_dir
+        .as_deref()
+        .unwrap_or_else(|| fail("no json_dir"));
+    if artifact(dir) != clean {
+        fail(&format!(
+            "{tag}: BENCH_T10.json diverged from the clean serial run"
+        ));
+    }
+    println!("chaos-smoke: {tag}: artifact matches the clean run");
+}
+
+fn main() {
+    let scratch: PathBuf = std::env::args().nth(1).map_or_else(
+        || std::env::temp_dir().join(format!("oraclesize-chaos-smoke-{}", std::process::id())),
+        PathBuf::from,
+    );
+    std::fs::create_dir_all(&scratch)
+        .unwrap_or_else(|e| fail(&format!("create {}: {e}", scratch.display())));
+
+    // The injected panics are caught and classified by the supervisor;
+    // keep their default-hook backtraces out of the CI log. Anything
+    // else still reports normally.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("chaos: injected panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    // Baseline: clean serial run, no supervision extras.
+    let clean_opts = ExpOptions {
+        json_dir: Some(scratch.join("clean")),
+        ..Default::default()
+    };
+    run_experiment("t10", &clean_opts).unwrap_or_else(|e| fail(&format!("clean run failed: {e}")));
+    let clean = artifact(&scratch.join("clean"));
+    println!(
+        "chaos-smoke: clean baseline captured ({} bytes)",
+        clean.len()
+    );
+
+    // Drill 1: kill the sweep before cell 8, tear the journal tail, resume.
+    let journal_dir = scratch.join("journal");
+    let killed = ExpOptions {
+        journal_dir: Some(journal_dir.clone()),
+        chaos: ChaosPlan::new().die_before(8),
+        ..opts(&scratch, "killed")
+    };
+    match run_experiment("t10", &killed) {
+        Err(e) if e.contains("interrupted") => {
+            println!("chaos-smoke: kill drill interrupted the sweep as expected")
+        }
+        Err(e) => fail(&format!("kill drill failed for the wrong reason: {e}")),
+        Ok(_) => fail("kill drill: sweep ignored the injected crash"),
+    }
+    let left = tear_tail(&journal_dir.join("t10.journal"), 7)
+        .unwrap_or_else(|e| fail(&format!("tear journal: {e}")));
+    println!("chaos-smoke: tore 7 bytes off the journal tail ({left} bytes remain)");
+    let resumed = ExpOptions {
+        journal_dir: Some(journal_dir),
+        resume: true,
+        ..opts(&scratch, "resumed")
+    };
+    check("kill/tear/resume", &resumed, &clean, "resumed");
+
+    // Drill 2: a cell panics once; one retry must absorb it.
+    let panicky = ExpOptions {
+        max_retries: 1,
+        chaos: ChaosPlan::new().panic_at(3, 1),
+        ..opts(&scratch, "panic")
+    };
+    check("panic/retry", &panicky, &clean, "degraded (1 retries)");
+
+    // Drill 3: a cell stalls past the watchdog once; a retry recovers it.
+    let stalled = ExpOptions {
+        max_retries: 1,
+        cell_timeout: Some(1 << 20),
+        chaos: ChaosPlan::new().stall_at(5, 1),
+        ..opts(&scratch, "stall")
+    };
+    check(
+        "stall/watchdog/retry",
+        &stalled,
+        &clean,
+        "degraded (1 retries)",
+    );
+
+    std::fs::remove_dir_all(&scratch).ok();
+    println!("chaos-smoke: PASS — every failure path converged to the clean artifact");
+}

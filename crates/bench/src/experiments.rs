@@ -43,35 +43,40 @@ pub const ALL_IDS: [&str; 23] = [
 
 /// Dispatches an experiment by id.
 ///
+/// # Errors
+///
+/// Propagates artifact-emission failures (unwritable `--json-dir`) and
+/// interrupted sweeps from the grid experiments.
+///
 /// # Panics
 ///
 /// Panics on an unknown id (callers validate against [`ALL_IDS`]).
-pub fn run_experiment(id: &str, opts: &ExpOptions) -> String {
+pub fn run_experiment(id: &str, opts: &ExpOptions) -> Result<String, String> {
     let large = opts.large;
     match id {
-        "t1" => t1_wakeup_oracle_size(large),
-        "t2" => t2_wakeup_messages(large),
-        "t3" => t3_tree_contributions(large),
-        "t4" => t4_broadcast_bounds(large),
-        "t5" => t5_adversary_games(),
-        "t6" => t6_starved_wakeup(large),
-        "t7" => t7_wakeup_counting(large),
-        "t8" => t8_broadcast_gadgets(large),
-        "t9" => t9_threshold_remark(),
+        "t1" => Ok(t1_wakeup_oracle_size(large)),
+        "t2" => Ok(t2_wakeup_messages(large)),
+        "t3" => Ok(t3_tree_contributions(large)),
+        "t4" => Ok(t4_broadcast_bounds(large)),
+        "t5" => Ok(t5_adversary_games()),
+        "t6" => Ok(t6_starved_wakeup(large)),
+        "t7" => Ok(t7_wakeup_counting(large)),
+        "t8" => Ok(t8_broadcast_gadgets(large)),
+        "t9" => Ok(t9_threshold_remark()),
         "t10" => t10_robustness_matrix(opts),
-        "t11" => t11_encoding_ablation(),
-        "t12" => t12_gossip(),
-        "t13" => t13_neighborhood_pricing(),
-        "t14" => t14_exploration(),
-        "t15" => t15_construction(),
-        "t16" => t16_time_knowledge(),
-        "t17" => t17_port_sensitivity(),
-        "t18" => t18_leader_election(),
-        "t19" => t19_spanner_tradeoff(),
+        "t11" => Ok(t11_encoding_ablation()),
+        "t12" => Ok(t12_gossip()),
+        "t13" => Ok(t13_neighborhood_pricing()),
+        "t14" => Ok(t14_exploration()),
+        "t15" => Ok(t15_construction()),
+        "t16" => Ok(t16_time_knowledge()),
+        "t17" => Ok(t17_port_sensitivity()),
+        "t18" => Ok(t18_leader_election()),
+        "t19" => Ok(t19_spanner_tradeoff()),
         "t20" => t20_fault_robustness(opts),
-        "f1" => f1_size_series(large),
-        "f2" => f2_message_series(large),
-        "f3" => f3_budget_curve(large),
+        "f1" => Ok(f1_size_series(large)),
+        "f2" => Ok(f2_message_series(large)),
+        "f3" => Ok(f3_budget_curve(large)),
         other => panic!("unknown experiment id {other:?}"),
     }
 }
@@ -542,7 +547,7 @@ pub fn t9_threshold_remark() -> String {
 /// T10 — §1.3 robustness matrix as a declarative grid: 16 cells of
 /// `(scheduler × anonymity × scheme)` over two `Arc`-shared instances,
 /// dispatched to the runtime pool in one batch.
-pub fn t10_robustness_matrix(opts: &ExpOptions) -> String {
+pub fn t10_robustness_matrix(opts: &ExpOptions) -> Result<String, String> {
     let mut report =
         Report::new("T10 — upper bounds hold async, anonymous, bounded messages (§1.3)");
     let mut rng = rng_for(10);
@@ -578,8 +583,15 @@ pub fn t10_robustness_matrix(opts: &ExpOptions) -> String {
             meta.push(("scheme-b", kind, anonymous));
         }
     }
-    let reports = grid.dispatch(opts);
-    emit_json(opts, "t10", grid.to_json(&reports));
+    let sweep = grid.dispatch_supervised(opts, "t10");
+    if sweep.interrupted {
+        return Err(format!(
+            "t10 interrupted mid-sweep; resume from the journal to finish ({})",
+            sweep.summary()
+        ));
+    }
+    let reports = sweep.reports();
+    emit_json(opts, "t10", grid.to_json(&reports))?;
 
     let mut table = Table::new([
         "scheme",
@@ -614,7 +626,11 @@ pub fn t10_robustness_matrix(opts: &ExpOptions) -> String {
         "**DEVIATION**: a configuration failed."
     });
     report.block(&table.to_markdown());
-    report.render()
+    for warning in &sweep.warnings {
+        report.para(&format!("_warning: {warning}_"));
+    }
+    report.para(&format!("_{}_", sweep.summary()));
+    Ok(report.render())
 }
 
 /// T11 — encoding ablation: the advice codecs compared.
@@ -1246,7 +1262,7 @@ pub fn t19_spanner_tradeoff() -> String {
 
 /// T20 — fault injection as three declarative grids (advice corruption,
 /// message drops, crash-stops), each dispatched to the runtime pool.
-pub fn t20_fault_robustness(opts: &ExpOptions) -> String {
+pub fn t20_fault_robustness(opts: &ExpOptions) -> Result<String, String> {
     use oraclesize_core::robust::{RetryBroadcast, RobustTreeWakeup, RobustWakeupOracle};
     use oraclesize_sim::{AdviceAdversary, FaultPlan};
 
@@ -1294,7 +1310,14 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> String {
             }
         }
     }
-    let corruption_reports = corruption.dispatch(opts);
+    let corruption_sweep = corruption.dispatch_supervised(opts, "t20-corruption");
+    if corruption_sweep.interrupted {
+        return Err(format!(
+            "t20 corruption sweep interrupted; resume from the journal to finish ({})",
+            corruption_sweep.summary()
+        ));
+    }
+    let corruption_reports = corruption_sweep.reports();
 
     let mut table = Table::new([
         "corruption",
@@ -1377,7 +1400,14 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> String {
             }
         }
     }
-    let drop_reports = drop_grid.dispatch(opts);
+    let drop_sweep = drop_grid.dispatch_supervised(opts, "t20-drops");
+    if drop_sweep.interrupted {
+        return Err(format!(
+            "t20 drop sweep interrupted; resume from the journal to finish ({})",
+            drop_sweep.summary()
+        ));
+    }
+    let drop_reports = drop_sweep.reports();
 
     let mut drops = Table::new([
         "drop rate",
@@ -1442,7 +1472,14 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> String {
             RunRequest::new(Arc::clone(&robust_inst), Arc::clone(&robust_proto), cfg),
         );
     }
-    let crash_reports = crash_grid.dispatch(opts);
+    let crash_sweep = crash_grid.dispatch_supervised(opts, "t20-crashes");
+    if crash_sweep.interrupted {
+        return Err(format!(
+            "t20 crash sweep interrupted; resume from the journal to finish ({})",
+            crash_sweep.summary()
+        ));
+    }
+    let crash_reports = crash_sweep.reports();
 
     let mut crashes = Table::new(["crashes", "completed", "informed survivors", "messages"]);
     let mut survivors_informed = true;
@@ -1484,8 +1521,19 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> String {
             .field("corruption", corruption.to_json(&corruption_reports))
             .field("drops", drop_grid.to_json(&drop_reports))
             .field("crashes", crash_grid.to_json(&crash_reports)),
-    );
-    report.render()
+    )?;
+    for sweep in [&corruption_sweep, &drop_sweep, &crash_sweep] {
+        for warning in &sweep.warnings {
+            report.para(&format!("_warning: {warning}_"));
+        }
+    }
+    report.para(&format!(
+        "_corruption {}; drops {}; crashes {}_",
+        corruption_sweep.summary(),
+        drop_sweep.summary(),
+        crash_sweep.summary()
+    ));
+    Ok(report.render())
 }
 
 /// F1 — CSV series: oracle sizes vs n, with fits (the separation figure).
@@ -1604,7 +1652,7 @@ mod tests {
         // The full suite runs in release via the `experiments` binary and
         // is recorded in EXPERIMENTS.md; here we smoke-test the fast ones.
         for id in ["t5", "t9", "t12", "t20", "f3"] {
-            let out = run_experiment(id, &ExpOptions::default());
+            let out = run_experiment(id, &ExpOptions::default()).expect("experiment runs");
             assert!(out.starts_with("## "), "{id}: missing heading");
             assert!(out.len() > 200, "{id}: suspiciously short report");
             assert!(!out.contains("DEVIATION"), "{id}: reported a deviation");
@@ -1630,8 +1678,18 @@ mod tests {
     }
 
     #[test]
+    fn interrupted_grid_experiments_refuse_to_publish() {
+        let opts = ExpOptions {
+            chaos: oraclesize_runtime::ChaosPlan::new().die_before(3),
+            ..Default::default()
+        };
+        let err = run_experiment("t10", &opts).unwrap_err();
+        assert!(err.contains("interrupted"), "{err}");
+    }
+
+    #[test]
     #[should_panic(expected = "unknown experiment")]
     fn unknown_id_panics() {
-        run_experiment("t99", &ExpOptions::default());
+        let _ = run_experiment("t99", &ExpOptions::default());
     }
 }

@@ -7,11 +7,12 @@
 //! tables, and the emitted `BENCH_T*.json` artifacts are byte-identical at
 //! any thread count (the runtime's determinism contract).
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 use oraclesize_runtime::trace::stats_json;
 use oraclesize_runtime::{
-    drain, run_batch, Aggregate, Json, MetricsSink, Pool, RunReport, RunRequest,
+    drain, run_supervised_batch, Aggregate, ChaosPlan, Json, MetricsSink, Pool, RunReport,
+    RunRequest, SuperviseConfig, SweepOptions, SweepRun,
 };
 use oraclesize_sim::TraceStats;
 
@@ -24,6 +25,20 @@ pub struct ExpOptions {
     pub threads: usize,
     /// Where to write `BENCH_<ID>.json` artifacts; `None` disables them.
     pub json_dir: Option<PathBuf>,
+    /// Where checkpoint journals live (`<dir>/<tag>.journal`, one per
+    /// grid); `None` disables checkpointing.
+    pub journal_dir: Option<PathBuf>,
+    /// Resume from existing journals instead of starting fresh.
+    pub resume: bool,
+    /// Retry budget for failed cells (see
+    /// [`SuperviseConfig::max_retries`]).
+    pub max_retries: u32,
+    /// Per-cell watchdog step budget (see
+    /// [`SuperviseConfig::cell_timeout`]).
+    pub cell_timeout: Option<u64>,
+    /// Failure injection for chaos drills; inert outside tests and the
+    /// chaos-smoke harness.
+    pub chaos: ChaosPlan,
 }
 
 impl ExpOptions {
@@ -38,6 +53,25 @@ impl ExpOptions {
     /// The pool these options describe.
     pub fn pool(&self) -> Pool {
         Pool::new(self.threads.max(1))
+    }
+
+    /// The supervised-sweep options these options describe, with the
+    /// journal (when a `journal_dir` is set) at `<dir>/<tag>.journal`.
+    pub fn sweep_options(&self, tag: &str) -> SweepOptions {
+        SweepOptions {
+            supervise: SuperviseConfig {
+                max_retries: self.max_retries,
+                cell_timeout: self.cell_timeout,
+                ..SuperviseConfig::default()
+            },
+            journal: self
+                .journal_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("{tag}.journal"))),
+            resume: self.resume,
+            seeds: None,
+            chaos: self.chaos.clone(),
+        }
     }
 }
 
@@ -74,8 +108,22 @@ impl CellGrid {
 
     /// Dispatches every cell across the options' pool, returning reports
     /// in cell order.
+    ///
+    /// Execution goes through the supervised path (panic isolation,
+    /// retries, watchdog) without a journal; for checkpointed dispatch
+    /// use [`CellGrid::dispatch_supervised`]. Reports are identical
+    /// either way for deterministic cells.
     pub fn dispatch(&self, opts: &ExpOptions) -> Vec<RunReport> {
-        run_batch(&opts.pool(), &self.requests)
+        let mut sweep_opts = opts.sweep_options("");
+        sweep_opts.journal = None;
+        run_supervised_batch(&opts.pool(), &self.requests, &sweep_opts).reports()
+    }
+
+    /// Dispatches with the full failure model: cells already checkpointed
+    /// in `<journal_dir>/<tag>.journal` are skipped on resume, and every
+    /// newly completed cell is checkpointed as it finishes.
+    pub fn dispatch_supervised(&self, opts: &ExpOptions, tag: &str) -> SweepRun {
+        run_supervised_batch(&opts.pool(), &self.requests, &opts.sweep_options(tag))
     }
 
     /// Renders this grid's reports as a deterministic JSON fragment:
@@ -132,16 +180,24 @@ impl CellGrid {
 /// timing, and anything else that could differ between identical runs.
 ///
 /// Returns the path written, if any.
-pub fn emit_json(opts: &ExpOptions, id: &str, body: Json) -> Option<PathBuf> {
-    let dir: &Path = opts.json_dir.as_deref()?;
-    std::fs::create_dir_all(dir).expect("create json_dir");
+///
+/// # Errors
+///
+/// Returns a rendered message when the directory or file cannot be
+/// written — artifact emission must never panic a finished sweep away.
+pub fn emit_json(opts: &ExpOptions, id: &str, body: Json) -> Result<Option<PathBuf>, String> {
+    let Some(dir) = opts.json_dir.as_deref() else {
+        return Ok(None);
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let json = Json::obj()
         .field("experiment", id.to_lowercase())
         .field("seed", crate::harness::MASTER_SEED)
         .field("body", body);
     let path = dir.join(format!("BENCH_{}.json", id.to_uppercase()));
-    std::fs::write(&path, format!("{}\n", json.render())).expect("write BENCH json");
-    Some(path)
+    std::fs::write(&path, format!("{}\n", json.render()))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(Some(path))
 }
 
 #[cfg(test)]
@@ -205,7 +261,7 @@ mod tests {
     fn emit_json_respects_unset_dir() {
         let grid = tiny_grid();
         let json = grid.to_json(&grid.dispatch(&ExpOptions::default()));
-        assert_eq!(emit_json(&ExpOptions::default(), "t0", json), None);
+        assert_eq!(emit_json(&ExpOptions::default(), "t0", json), Ok(None));
     }
 
     #[test]
@@ -217,10 +273,47 @@ mod tests {
         };
         let grid = tiny_grid();
         let json = grid.to_json(&grid.dispatch(&opts));
-        let path = emit_json(&opts, "t0", json).expect("path");
+        let path = emit_json(&opts, "t0", json).expect("emit").expect("path");
         assert_eq!(path.file_name().unwrap(), "BENCH_T0.json");
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(oraclesize_runtime::json::parses(&body));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn emit_json_reports_unwritable_dirs_as_errors() {
+        let opts = ExpOptions {
+            json_dir: Some(PathBuf::from("/proc/definitely/not/writable")),
+            ..Default::default()
+        };
+        let err = emit_json(&opts, "t0", Json::obj()).unwrap_err();
+        assert!(err.contains("/proc/definitely/not/writable"), "{err}");
+    }
+
+    #[test]
+    fn supervised_dispatch_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("oraclesize-grid-sup-{}", std::process::id()));
+        let grid = tiny_grid();
+        let baseline = grid.dispatch(&ExpOptions::default());
+        let killed = grid.dispatch_supervised(
+            &ExpOptions {
+                journal_dir: Some(dir.clone()),
+                chaos: ChaosPlan::new().die_before(2),
+                ..Default::default()
+            },
+            "t0",
+        );
+        assert!(killed.interrupted);
+        let resumed = grid.dispatch_supervised(
+            &ExpOptions {
+                journal_dir: Some(dir.clone()),
+                resume: true,
+                ..Default::default()
+            },
+            "t0",
+        );
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.reports(), baseline);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

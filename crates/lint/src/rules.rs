@@ -41,6 +41,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no unwrap()/expect()/panic! in sim/runtime library hot paths",
     },
     RuleInfo {
+        id: "P002",
+        summary: "no unwrap()/expect() on I/O results in library code (propagate or justify)",
+    },
+    RuleInfo {
         id: "H001",
         summary: "cross-file matches on #[non_exhaustive] enums carry a `_` arm",
     },
@@ -127,6 +131,9 @@ pub fn check_file(file: &SourceFile, info: &WorkspaceInfo, only: Option<&str>) -
     }
     if want("P001") {
         p001(file, &mut out);
+    }
+    if want("P002") {
+        p002(file, &mut out);
     }
     if want("H001") {
         h001(file, info, &mut out);
@@ -417,6 +424,75 @@ fn p001(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                     "`{}` can panic in an engine hot path — return an error, restructure, \
                      or allow with a justification (`lint:allow(P001): why`)",
                     t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Identifiers that mark a statement as touching the filesystem: the
+/// `std::fs`/`File` entry points plus the `Read`/`Write` methods whose
+/// results callers are tempted to swallow.
+const IO_MARKERS: &[&str] = &[
+    "File",
+    "create_dir_all",
+    "flush",
+    "fs",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "remove_dir_all",
+    "remove_file",
+    "sync_all",
+    "write_all",
+];
+
+/// P002: `unwrap()`/`expect()` on an I/O result in library code. A torn
+/// disk, a read-only checkout, or a missing directory must degrade into
+/// an error the sweep can report — not a panic that kills it. Scope is
+/// every library file outside P001's (which already bans *all* panics in
+/// sim/runtime); binaries and `main.rs` own their process and may exit
+/// however they like.
+fn p002(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.path.starts_with("crates/sim/src")
+        || file.path.starts_with("crates/runtime/src")
+        || file.path.contains("/bin/")
+        || file.path.ends_with("main.rs")
+    {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for i in 1..toks.len() {
+        if !shipping(file, i) {
+            continue;
+        }
+        let t = &toks[i];
+        let call =
+            |name: &str| t.is_ident(name) && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if !(call("unwrap") || call("expect")) || !toks[i - 1].is_punct(".") {
+            continue;
+        }
+        // Walk back through the statement: an I/O marker before the
+        // nearest statement boundary means this unwrap swallows an
+        // `io::Result`.
+        let marker = toks[..i - 1]
+            .iter()
+            .rev()
+            .take(60)
+            .take_while(|b| {
+                !(b.kind == TokKind::Punct && matches!(b.text.as_str(), ";" | "{" | "}" | "=>"))
+            })
+            .find(|b| b.kind == TokKind::Ident && IO_MARKERS.contains(&b.text.as_str()));
+        if let Some(op) = marker {
+            out.push(diag(
+                file,
+                "P002",
+                i,
+                format!(
+                    "`{}` on an I/O result (`{}` in the same statement) — propagate the \
+                     error or allow with a justification (`lint:allow(P002): why`)",
+                    t.text, op.text
                 ),
             ));
         }

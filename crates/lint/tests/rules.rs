@@ -193,6 +193,81 @@ fn p001_allow_without_reason_does_not_suppress() {
     );
 }
 
+// ---------------------------------------------------------------- P002
+
+#[test]
+fn p002_fires_on_unwrap_and_expect_of_io_results() {
+    let src = "fn f() -> String {\n\
+               \x20   std::fs::create_dir_all(\"out\").unwrap();\n\
+               \x20   std::fs::read_to_string(\"out/x\").expect(\"readable\")\n\
+               }\n";
+    let diags = lint_one("crates/bench/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["P002", "P002"]);
+    assert_eq!(diags.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 3]);
+}
+
+#[test]
+fn p002_fires_on_write_and_flush_methods() {
+    let src = "use std::io::Write;\n\
+               fn f(w: &mut std::fs::File) {\n\
+               \x20   w.write_all(b\"x\").unwrap();\n\
+               \x20   w.flush().unwrap();\n\
+               }\n";
+    let diags = lint_one("crates/analysis/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["P002", "P002"]);
+}
+
+#[test]
+fn p002_clean_on_non_io_unwrap_and_propagated_io() {
+    // A plain Option unwrap is not P002's business…
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_one("crates/bench/src/fixture.rs", src).is_empty());
+    // …and neither is I/O whose error is propagated.
+    let propagated = "fn f() -> std::io::Result<String> {\n\
+                      \x20   std::fs::read_to_string(\"x\")\n\
+                      }\n";
+    assert!(lint_one("crates/bench/src/fixture.rs", propagated).is_empty());
+    // A statement boundary resets the marker: the unwrap is on a
+    // different statement than the I/O call.
+    let separated = "fn f() -> u32 {\n\
+                     \x20   let _ = std::fs::remove_file(\"x\");\n\
+                     \x20   Some(1).unwrap()\n\
+                     }\n";
+    assert!(lint_one("crates/bench/src/fixture.rs", separated).is_empty());
+}
+
+#[test]
+fn p002_exempts_binaries_tests_and_p001_scope() {
+    let src = "fn f() { std::fs::remove_file(\"x\").unwrap(); }\n";
+    // Binaries and main.rs own their exit path.
+    assert!(lint_one("crates/bench/src/bin/fixture.rs", src).is_empty());
+    assert!(lint_one("crates/lint/src/main.rs", src).is_empty());
+    // sim/runtime are P001's turf — the same line reports once, as P001.
+    assert_eq!(
+        rules_of(&lint_one("crates/sim/src/fixture.rs", src)),
+        vec!["P001"]
+    );
+    // Tests may unwrap freely.
+    let in_test =
+        "#[cfg(test)]\nmod tests {\n fn f() { std::fs::remove_file(\"x\").unwrap(); }\n}\n";
+    assert!(lint_one("crates/bench/src/fixture.rs", in_test).is_empty());
+}
+
+#[test]
+fn p002_allow_requires_reason() {
+    let bare = "fn f() {\n\
+                \x20   std::fs::remove_file(\"x\").unwrap() // lint:allow(P002)\n\
+                }\n";
+    assert_eq!(
+        rules_of(&lint_one("crates/bench/src/fixture.rs", bare)),
+        vec!["P002"]
+    );
+    let justified = "fn f() {\n\
+                     \x20   std::fs::remove_file(\"x\").unwrap() // lint:allow(P002): scratch dir, test-only helper\n\
+                     }\n";
+    assert!(lint_one("crates/bench/src/fixture.rs", justified).is_empty());
+}
+
 // ---------------------------------------------------------------- H001
 
 const ENUM_DEF: &str = "#[non_exhaustive]\npub enum Verdict { Yes, No }\n\

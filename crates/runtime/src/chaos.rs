@@ -1,0 +1,169 @@
+//! The chaos harness: deterministic failure injection for the supervised
+//! sweep path.
+//!
+//! Recovery code that is only ever exercised by real outages is recovery
+//! code that does not work. This module injects the three failures the
+//! supervision layer claims to survive — a worker panic at a chosen cell,
+//! a stall that trips the watchdog, and a torn journal write — so
+//! proptests and the CI `chaos-smoke` job can drill the paths on every
+//! run.
+//!
+//! **Test/bin-only API.** Nothing here belongs in production call sites:
+//! the only consumers are tests, the `chaos_smoke` binary, and the
+//! supervision layer's injection hook. Plans are inert by default, and an
+//! inert plan costs two `BTreeMap` lookups per attempt.
+//!
+//! Everything is keyed on `(cell, attempt)` — no randomness, no clocks —
+//! so an injected failure schedule is exactly reproducible, which is what
+//! lets the kill/resume proptests assert byte-identical artifacts.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// What the harness does to one `(cell, attempt)` execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Run the cell normally.
+    None,
+    /// Panic inside the worker (exercises `catch_unwind` isolation).
+    Panic,
+    /// Wedge the worker past the watchdog (exercises the timeout path).
+    Stall,
+}
+
+/// A deterministic failure schedule for one sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// cell → number of leading attempts that panic.
+    panic_cells: BTreeMap<usize, u32>,
+    /// cell → number of leading attempts that stall.
+    stall_cells: BTreeMap<usize, u32>,
+    /// Cells `>= die_at` never run: the "process killed mid-sweep"
+    /// simulation the resume tests are built on.
+    die_at: Option<usize>,
+}
+
+impl ChaosPlan {
+    /// An inert plan (injects nothing).
+    pub fn new() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// The first `attempts` attempts of `cell` panic; later attempts run
+    /// clean — pair with a retry budget to exercise
+    /// `Degraded { retries }` recovery.
+    #[must_use]
+    pub fn panic_at(mut self, cell: usize, attempts: u32) -> ChaosPlan {
+        self.panic_cells.insert(cell, attempts);
+        self
+    }
+
+    /// The first `attempts` attempts of `cell` stall until the watchdog
+    /// fires.
+    #[must_use]
+    pub fn stall_at(mut self, cell: usize, attempts: u32) -> ChaosPlan {
+        self.stall_cells.insert(cell, attempts);
+        self
+    }
+
+    /// Kill the sweep before `cell` runs: cells `>= cell` are marked
+    /// `Aborted` without executing and the sweep reports itself
+    /// interrupted. Resume with an inert plan to finish the job.
+    #[must_use]
+    pub fn die_before(mut self, cell: usize) -> ChaosPlan {
+        self.die_at = Some(cell);
+        self
+    }
+
+    /// `true` iff this plan never interferes.
+    pub fn is_inert(&self) -> bool {
+        self.panic_cells.is_empty() && self.stall_cells.is_empty() && self.die_at.is_none()
+    }
+
+    /// What happens to attempt `attempt` of `cell`.
+    pub fn injection(&self, cell: usize, attempt: u32) -> Injection {
+        if self.panic_cells.get(&cell).is_some_and(|&n| attempt < n) {
+            Injection::Panic
+        } else if self.stall_cells.get(&cell).is_some_and(|&n| attempt < n) {
+            Injection::Stall
+        } else {
+            Injection::None
+        }
+    }
+
+    /// `true` when the simulated kill point precedes `cell`.
+    pub fn dies_before(&self, cell: usize) -> bool {
+        self.die_at.is_some_and(|at| cell >= at)
+    }
+}
+
+/// The deliberate panic behind [`Injection::Panic`]. Lives here (not in
+/// the supervisor) so the one sanctioned panic site sits inside the chaos
+/// harness itself.
+pub(crate) fn trigger_panic(cell: usize, attempt: u32) -> ! {
+    // lint:allow(P001): the chaos harness exists to inject this panic;
+    // it only fires under a non-inert plan, inside catch_unwind.
+    panic!("chaos: injected panic at cell {cell}, attempt {attempt}")
+}
+
+/// Simulates a torn final write by cutting `bytes` bytes off the end of
+/// the file at `path`. Returns the file's new length.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (missing file, unwritable path).
+pub fn tear_tail(path: &Path, bytes: u64) -> std::io::Result<u64> {
+    let mut content = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut content)?;
+    let keep = content
+        .len()
+        .saturating_sub(usize::try_from(bytes).unwrap_or(usize::MAX));
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&content[..keep])?;
+    f.sync_all()?;
+    Ok(keep as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_injects_nothing() {
+        let plan = ChaosPlan::new();
+        assert!(plan.is_inert());
+        assert_eq!(plan.injection(0, 0), Injection::None);
+        assert!(!plan.dies_before(usize::MAX));
+    }
+
+    #[test]
+    fn injections_expire_after_their_attempt_budget() {
+        let plan = ChaosPlan::new().panic_at(3, 2).stall_at(5, 1);
+        assert_eq!(plan.injection(3, 0), Injection::Panic);
+        assert_eq!(plan.injection(3, 1), Injection::Panic);
+        assert_eq!(plan.injection(3, 2), Injection::None);
+        assert_eq!(plan.injection(5, 0), Injection::Stall);
+        assert_eq!(plan.injection(5, 1), Injection::None);
+        assert_eq!(plan.injection(4, 0), Injection::None);
+    }
+
+    #[test]
+    fn die_before_is_a_suffix() {
+        let plan = ChaosPlan::new().die_before(7);
+        assert!(!plan.dies_before(6));
+        assert!(plan.dies_before(7));
+        assert!(plan.dies_before(8));
+    }
+
+    #[test]
+    fn tear_tail_shortens_the_file() {
+        let dir = std::env::temp_dir().join(format!("oraclesize-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tear.bin");
+        std::fs::write(&path, b"0123456789").unwrap();
+        assert_eq!(tear_tail(&path, 4).unwrap(), 6);
+        assert_eq!(std::fs::read(&path).unwrap(), b"012345");
+        assert_eq!(tear_tail(&path, 100).unwrap(), 0);
+    }
+}

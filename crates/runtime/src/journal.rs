@@ -1,0 +1,526 @@
+//! The checkpoint journal: crash-safe partial progress for sweeps.
+//!
+//! A sweep that dies at cell 9,500 of 10,000 should not lose everything.
+//! The journal is an append-only file of completed-cell records; on
+//! restart the batch dispatcher loads it, skips every journaled cell, and
+//! the merge step produces an artifact **byte-identical** to an
+//! uninterrupted run — the crate's determinism contract extended across
+//! crash/resume boundaries.
+//!
+//! # File format
+//!
+//! A header line, then one length-prefixed record per completed cell:
+//!
+//! ```text
+//! oraclesize-journal v1 cells=<N>\n
+//! <decimal byte length of the JSON line>\n
+//! {"cell": 3, "seed": 17, "digest": 12345, "report": {...}}\n
+//! ```
+//!
+//! The length prefix makes torn final records detectable without any
+//! delimiter scanning: if the file ends mid-record, the trailing bytes are
+//! shorter than the announced length and the loader drops the record with
+//! a warning — the cell simply re-runs. Each record also carries an
+//! FNV-1a 64 digest of its rendered `report` object, so bit rot inside a
+//! record is caught the same way.
+//!
+//! Only *untraced* reports are journaled: a record stores metrics and
+//! fault counts, not event streams, so any cell that captured a trace (or
+//! a ring post-mortem) is re-run on resume rather than replayed lossily.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use oraclesize_sim::faults::FaultCounts;
+use oraclesize_sim::RunMetrics;
+
+use crate::batch::{CellOutcome, RunReport};
+use crate::json::{self, Json};
+
+/// Magic prefix of the header line; the suffix pins the cell count so a
+/// journal from a differently-shaped sweep is never silently replayed.
+const HEADER_PREFIX: &str = "oraclesize-journal v1 cells=";
+
+/// FNV-1a 64-bit hash — the record integrity digest. Not cryptographic;
+/// it guards against truncation and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// One replayable completed-cell record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The cell index within the sweep.
+    pub cell: usize,
+    /// The seed the cell ran under; a resume with a different seed
+    /// discards the record instead of replaying a stale result.
+    pub seed: u64,
+    /// The reconstructed report (untraced by construction).
+    pub report: RunReport,
+}
+
+/// Everything a journal load produces: the replayable records plus the
+/// human-readable warnings explaining anything that was dropped.
+#[derive(Debug, Default)]
+pub struct LoadedJournal {
+    /// Valid records, in file order.
+    pub records: Vec<JournalRecord>,
+    /// One line per anomaly (torn tail, digest mismatch, shape mismatch).
+    pub warnings: Vec<String>,
+}
+
+/// `true` iff `report` can round-trip through a journal record: no
+/// captured trace, no ring post-mortem, default trace tallies. Everything
+/// else re-runs on resume.
+pub fn journalable(report: &RunReport) -> bool {
+    report.post_mortem.is_empty()
+        && match &report.result {
+            Ok(outcome) => outcome.trace.is_empty() && outcome.trace_stats == Default::default(),
+            Err(_) => true,
+        }
+}
+
+fn metrics_json(m: &RunMetrics) -> Json {
+    Json::obj()
+        .field("messages", m.messages)
+        .field("informed_messages", m.informed_messages)
+        .field("payload_bits", m.payload_bits)
+        .field("max_message_bits", m.max_message_bits)
+        .field("rounds", m.rounds)
+        .field("steps", m.steps)
+        .field("informed_nodes", m.informed_nodes)
+        .field("dropped", m.faults.dropped)
+        .field("duplicated", m.faults.duplicated)
+        .field("payload_flips", m.faults.payload_flips)
+        .field("suppressed_sends", m.faults.suppressed_sends)
+        .field("to_crashed", m.faults.to_crashed)
+        .field("advice_mutations", m.faults.advice_mutations)
+        .field("payload_copies", m.faults.payload_copies)
+}
+
+fn metrics_from_json(j: &Json) -> Option<RunMetrics> {
+    let get = |key: &str| j.get(key)?.as_u64();
+    Some(RunMetrics {
+        messages: get("messages")?,
+        informed_messages: get("informed_messages")?,
+        payload_bits: get("payload_bits")?,
+        max_message_bits: get("max_message_bits")?,
+        rounds: get("rounds")?,
+        steps: get("steps")?,
+        informed_nodes: get("informed_nodes")?,
+        faults: FaultCounts {
+            dropped: get("dropped")?,
+            duplicated: get("duplicated")?,
+            payload_flips: get("payload_flips")?,
+            suppressed_sends: get("suppressed_sends")?,
+            to_crashed: get("to_crashed")?,
+            advice_mutations: get("advice_mutations")?,
+            payload_copies: get("payload_copies")?,
+        },
+    })
+}
+
+fn report_json(report: &RunReport) -> Json {
+    match &report.result {
+        Ok(o) => Json::obj().field(
+            "ok",
+            Json::obj()
+                .field("oracle_bits", o.oracle_bits)
+                .field("completed", o.completed)
+                .field("uninformed", o.uninformed)
+                .field("crashed_nodes", o.crashed_nodes)
+                .field("metrics", metrics_json(&o.metrics)),
+        ),
+        Err(e) => Json::obj().field("err", e.as_str()),
+    }
+}
+
+fn report_from_json(cell: usize, j: &Json) -> Option<RunReport> {
+    let result = if let Some(ok) = j.get("ok") {
+        Ok(CellOutcome {
+            oracle_bits: ok.get("oracle_bits")?.as_u64()?,
+            completed: ok.get("completed")?.as_bool()?,
+            uninformed: usize::try_from(ok.get("uninformed")?.as_u64()?).ok()?,
+            crashed_nodes: usize::try_from(ok.get("crashed_nodes")?.as_u64()?).ok()?,
+            metrics: metrics_from_json(ok.get("metrics")?)?,
+            trace: Vec::new(),
+            trace_stats: Default::default(),
+        })
+    } else {
+        Err(j.get("err")?.as_str()?.to_string())
+    };
+    Some(RunReport {
+        cell,
+        result,
+        post_mortem: Vec::new(),
+    })
+}
+
+/// Renders one record line (without its length prefix).
+fn record_line(cell: usize, seed: u64, report: &RunReport) -> String {
+    let body = report_json(report);
+    let digest = fnv1a64(body.render().as_bytes());
+    Json::obj()
+        .field("cell", cell)
+        .field("seed", seed)
+        .field("digest", digest)
+        .field("report", body)
+        .render()
+}
+
+fn decode_record(line: &str) -> Option<JournalRecord> {
+    let j = json::parse(line)?;
+    let cell = usize::try_from(j.get("cell")?.as_u64()?).ok()?;
+    let seed = j.get("seed")?.as_u64()?;
+    let digest = j.get("digest")?.as_u64()?;
+    let body = j.get("report")?;
+    if fnv1a64(body.render().as_bytes()) != digest {
+        return None;
+    }
+    let report = report_from_json(cell, body)?;
+    Some(JournalRecord { cell, seed, report })
+}
+
+/// An open journal accepting appends. Create with [`Journal::create`]
+/// (fresh file) or via [`Journal::resume`] (replay then continue).
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Starts a fresh journal for a sweep of `cells` cells, truncating
+    /// any existing file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (unwritable path, full disk).
+    pub fn create(path: &Path, cells: usize) -> std::io::Result<Journal> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(format!("{HEADER_PREFIX}{cells}\n").as_bytes())?;
+        file.sync_all()?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Loads the journal at `path` and reopens it for appending.
+    ///
+    /// The file is rewritten with exactly the records that survived
+    /// validation, so a torn final record (or any corrupt suffix) is
+    /// physically discarded before new appends land — appending after torn
+    /// bytes would corrupt every later record's framing.
+    ///
+    /// A missing file, or one whose header announces a different cell
+    /// count, yields an empty journal (with a warning in the latter case):
+    /// resuming against the wrong sweep must re-run everything rather than
+    /// replay records from a different grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the rewrite; a merely *corrupt*
+    /// journal is not an error.
+    pub fn resume(path: &Path, cells: usize) -> std::io::Result<(Journal, LoadedJournal)> {
+        let loaded = load(path, cells)?;
+        let mut journal = Journal::create(path, cells)?;
+        for rec in &loaded.records {
+            journal.append(rec.cell, rec.seed, &rec.report)?;
+        }
+        Ok((journal, loaded))
+    }
+
+    /// Appends one completed-cell record and flushes it to disk.
+    ///
+    /// Traced reports (see [`journalable`]) are skipped silently — the
+    /// cell will re-run on resume, which is the lossless option.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the caller decides whether a failed
+    /// checkpoint degrades the sweep or merely warns.
+    pub fn append(&mut self, cell: usize, seed: u64, report: &RunReport) -> std::io::Result<()> {
+        if !journalable(report) {
+            return Ok(());
+        }
+        let line = record_line(cell, seed, report);
+        let framed = format!("{}\n{line}\n", line.len());
+        self.file.write_all(framed.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// The path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads and validates the journal at `path` without opening it for
+/// appends. Missing file → empty journal; corrupt records → dropped with
+/// warnings; everything after the first framing error is discarded (the
+/// length prefixes downstream can no longer be trusted).
+///
+/// # Errors
+///
+/// Propagates filesystem read errors other than "not found".
+pub fn load(path: &Path, cells: usize) -> std::io::Result<LoadedJournal> {
+    let mut text = String::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(LoadedJournal::default());
+        }
+        Err(e) => return Err(e),
+    }
+    let mut out = LoadedJournal::default();
+    let display = path.display();
+    let Some((header, mut rest)) = text.split_once('\n') else {
+        out.warnings
+            .push(format!("journal {display}: missing header; starting fresh"));
+        return Ok(out);
+    };
+    match header.strip_prefix(HEADER_PREFIX).map(str::parse::<usize>) {
+        Some(Ok(n)) if n == cells => {}
+        _ => {
+            out.warnings.push(format!(
+                "journal {display}: header {header:?} does not match a {cells}-cell sweep; \
+                 ignoring journal"
+            ));
+            return Ok(out);
+        }
+    }
+    loop {
+        if rest.is_empty() {
+            break;
+        }
+        let Some((len_line, tail)) = rest.split_once('\n') else {
+            out.warnings.push(format!(
+                "journal {display}: torn length prefix {:?} at end of file; dropping it",
+                truncate_for_warning(rest)
+            ));
+            break;
+        };
+        let Ok(len) = len_line.trim().parse::<usize>() else {
+            out.warnings.push(format!(
+                "journal {display}: bad length prefix {:?}; dropping it and the rest of the file",
+                truncate_for_warning(len_line)
+            ));
+            break;
+        };
+        if tail.len() < len + 1 {
+            out.warnings.push(format!(
+                "journal {display}: torn final record ({} of {} bytes); dropping it",
+                tail.len(),
+                len
+            ));
+            break;
+        }
+        let (line, after) = tail.split_at(len);
+        let Some(after) = after.strip_prefix('\n') else {
+            out.warnings.push(format!(
+                "journal {display}: record framing broken after {} bytes; \
+                 dropping the rest of the file",
+                len
+            ));
+            break;
+        };
+        rest = after;
+        match decode_record(line) {
+            Some(rec) if rec.cell < cells => out.records.push(rec),
+            Some(rec) => out.warnings.push(format!(
+                "journal {display}: record for cell {} outside a {cells}-cell sweep; dropping it",
+                rec.cell
+            )),
+            None => out.warnings.push(format!(
+                "journal {display}: corrupt record {:?}; dropping it",
+                truncate_for_warning(line)
+            )),
+        }
+    }
+    Ok(out)
+}
+
+fn truncate_for_warning(s: &str) -> String {
+    const LIMIT: usize = 48;
+    if s.len() <= LIMIT {
+        s.to_string()
+    } else {
+        let cut = (0..=LIMIT).rev().find(|&i| s.is_char_boundary(i));
+        format!("{}…", &s[..cut.unwrap_or(0)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(cell: usize) -> RunReport {
+        RunReport {
+            cell,
+            result: Ok(CellOutcome {
+                oracle_bits: 7,
+                metrics: RunMetrics {
+                    messages: 12,
+                    informed_messages: 9,
+                    payload_bits: 36,
+                    max_message_bits: 3,
+                    rounds: 2,
+                    steps: 12,
+                    informed_nodes: 5,
+                    faults: FaultCounts {
+                        dropped: 1,
+                        ..Default::default()
+                    },
+                },
+                completed: true,
+                uninformed: 0,
+                crashed_nodes: 0,
+                trace: Vec::new(),
+                trace_stats: Default::default(),
+            }),
+            post_mortem: Vec::new(),
+        }
+    }
+
+    fn err_report(cell: usize) -> RunReport {
+        RunReport {
+            cell,
+            result: Err("step limit 5 exhausted".to_string()),
+            post_mortem: Vec::new(),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("oraclesize-journal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sweep.journal")
+    }
+
+    #[test]
+    fn roundtrips_ok_and_err_reports() {
+        let path = temp_path("roundtrip");
+        let mut j = Journal::create(&path, 4).unwrap();
+        j.append(0, 100, &sample_report(0)).unwrap();
+        j.append(2, 102, &err_report(2)).unwrap();
+        let loaded = load(&path, 4).unwrap();
+        assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records[0].seed, 100);
+        assert_eq!(loaded.records[0].report, sample_report(0));
+        assert_eq!(loaded.records[1].report, err_report(2));
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let loaded = load(Path::new("/nonexistent/never/sweep.journal"), 3).unwrap();
+        assert!(loaded.records.is_empty());
+        assert!(loaded.warnings.is_empty());
+    }
+
+    #[test]
+    fn cell_count_mismatch_ignores_journal() {
+        let path = temp_path("cellcount");
+        let mut j = Journal::create(&path, 4).unwrap();
+        j.append(0, 1, &sample_report(0)).unwrap();
+        let loaded = load(&path, 5).unwrap();
+        assert!(loaded.records.is_empty());
+        assert_eq!(loaded.warnings.len(), 1);
+        assert!(
+            loaded.warnings[0].contains("does not match"),
+            "{}",
+            loaded.warnings[0]
+        );
+    }
+
+    #[test]
+    fn torn_final_record_is_dropped_with_warning() {
+        let path = temp_path("torn");
+        let mut j = Journal::create(&path, 4).unwrap();
+        j.append(0, 1, &sample_report(0)).unwrap();
+        j.append(1, 2, &sample_report(1)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Tear 10 bytes off the final record, mid-JSON.
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+        let loaded = load(&path, 4).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.records[0].cell, 0);
+        assert_eq!(loaded.warnings.len(), 1);
+        assert!(
+            loaded.warnings[0].contains("torn"),
+            "{}",
+            loaded.warnings[0]
+        );
+    }
+
+    #[test]
+    fn digest_mismatch_drops_record() {
+        let path = temp_path("digest");
+        let mut j = Journal::create(&path, 4).unwrap();
+        j.append(0, 1, &sample_report(0)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a metric inside the record without touching the digest.
+        // The framing length must stay the same: swap "messages": 12 to 13.
+        let tampered = text.replace("\"messages\": 12", "\"messages\": 13");
+        assert_ne!(tampered, text, "tamper target must exist");
+        std::fs::write(&path, tampered).unwrap();
+        let loaded = load(&path, 4).unwrap();
+        assert!(loaded.records.is_empty());
+        assert_eq!(loaded.warnings.len(), 1);
+        assert!(
+            loaded.warnings[0].contains("corrupt"),
+            "{}",
+            loaded.warnings[0]
+        );
+    }
+
+    #[test]
+    fn resume_rewrites_out_torn_tail() {
+        let path = temp_path("rewrite");
+        let mut j = Journal::create(&path, 4).unwrap();
+        j.append(0, 1, &sample_report(0)).unwrap();
+        j.append(1, 2, &sample_report(1)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let (mut journal, loaded) = Journal::resume(&path, 4).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.warnings.len(), 1);
+        // The rewritten file is clean: a second load sees one record and
+        // no warnings, and appends continue from valid framing.
+        journal.append(3, 4, &err_report(3)).unwrap();
+        let again = load(&path, 4).unwrap();
+        assert!(again.warnings.is_empty(), "{:?}", again.warnings);
+        assert_eq!(again.records.len(), 2);
+    }
+
+    #[test]
+    fn traced_reports_are_not_journaled() {
+        let mut traced = sample_report(0);
+        if let Ok(o) = &mut traced.result {
+            o.trace_stats.events = 5;
+        }
+        assert!(!journalable(&traced));
+        let path = temp_path("traced");
+        let mut j = Journal::create(&path, 2).unwrap();
+        j.append(0, 1, &traced).unwrap();
+        assert!(load(&path, 2).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -133,6 +133,158 @@ impl From<Vec<Json>> for Json {
     }
 }
 
+impl Json {
+    /// Looks a key up in an object (first occurrence; this writer never
+    /// emits duplicates). `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Json::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses the exact subset [`Json::render`] emits back into a [`Json`]
+/// value — the read half of the checkpoint journal. Returns `None` on
+/// anything outside the subset (floats, negative numbers, trailing
+/// garbage), which loaders treat as a torn or corrupt record, never a
+/// panic.
+pub fn parse(s: &str) -> Option<Json> {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn string(b: &[u8], i: usize) -> Option<(String, usize)> {
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        let mut i = i + 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => {
+                    let esc = *b.get(i + 1)?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(b.get(i + 2..i + 6)?).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            i += 4;
+                        }
+                        _ => return None,
+                    }
+                    i += 2;
+                }
+                b'"' => return Some((out, i + 1)),
+                _ => {
+                    // Multi-byte characters were written verbatim; copy the
+                    // whole scalar back out.
+                    let tail = std::str::from_utf8(&b[i..]).ok()?;
+                    let c = tail.chars().next()?;
+                    out.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        None
+    }
+    fn value(b: &[u8], i: usize) -> Option<(Json, usize)> {
+        let i = skip_ws(b, i);
+        match b.get(i)? {
+            b'{' => {
+                let mut fields = Vec::new();
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Some((Json::Object(fields), i + 1));
+                }
+                loop {
+                    let (key, next) = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, next);
+                    if b.get(i) != Some(&b':') {
+                        return None;
+                    }
+                    let (val, next) = value(b, i + 1)?;
+                    fields.push((key, val));
+                    i = skip_ws(b, next);
+                    match b.get(i)? {
+                        b',' => i = skip_ws(b, i + 1),
+                        b'}' => return Some((Json::Object(fields), i + 1)),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                let mut items = Vec::new();
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Some((Json::Array(items), i + 1));
+                }
+                loop {
+                    let (item, next) = value(b, i)?;
+                    items.push(item);
+                    i = skip_ws(b, next);
+                    match b.get(i)? {
+                        b',' => i = skip_ws(b, i + 1),
+                        b']' => return Some((Json::Array(items), i + 1)),
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => string(b, i).map(|(s, next)| (Json::Str(s), next)),
+            b't' => b[i..]
+                .starts_with(b"true")
+                .then(|| (Json::Bool(true), i + 4)),
+            b'f' => b[i..]
+                .starts_with(b"false")
+                .then(|| (Json::Bool(false), i + 5)),
+            b'n' => b[i..].starts_with(b"null").then(|| (Json::Null, i + 4)),
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: u64 = std::str::from_utf8(&b[i..j]).ok()?.parse().ok()?;
+                Some((Json::U64(n), j))
+            }
+            _ => None,
+        }
+    }
+    let b = s.as_bytes();
+    let (v, end) = value(b, 0)?;
+    (skip_ws(b, end) == b.len()).then_some(v)
+}
+
 /// A tolerant structural check used by tests and the CI smoke job: `true`
 /// iff `s` parses as a JSON value covering the subset this writer emits.
 pub fn parses(s: &str) -> bool {

@@ -20,7 +20,15 @@
 //!   objects, integers only) used for the `BENCH_T*.json` artifacts,
 //! * [`trace`] — deterministic JSONL rendering of engine traces
 //!   ([`trace::JsonlSink`], [`trace::event_json`]) for the `trace`
-//!   subcommand and the CI trace-smoke job.
+//!   subcommand and the CI trace-smoke job,
+//! * [`journal`] — the append-only checkpoint file that makes sweeps
+//!   resumable: completed cells are recorded as they finish and skipped
+//!   after a crash,
+//! * [`supervise`] — panic isolation, bounded retries with simulated
+//!   backoff, a per-cell watchdog, and the journal-backed
+//!   [`run_supervised_batch`] dispatch,
+//! * [`chaos`] — deterministic failure injection (worker panics, stalls,
+//!   torn journal writes) for tests and the CI chaos-smoke job only.
 //!
 //! # Determinism contract
 //!
@@ -29,6 +37,12 @@
 //! engine run is seeded and self-contained, (b) reports are written into
 //! per-cell slots, not appended, and (c) sinks consume reports in cell
 //! order. The property tests in `tests/determinism.rs` pin this down.
+//!
+//! The contract extends across crash/resume boundaries: a supervised
+//! sweep killed at any cell and resumed any number of times yields the
+//! same reports — and therefore byte-identical merged artifacts — as an
+//! uninterrupted run (`tests/resume.rs`, plus the bench crate's
+//! artifact-level proptests).
 //!
 //! # Examples
 //!
@@ -53,13 +67,22 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod chaos;
+pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod sink;
+pub mod supervise;
 pub mod trace;
 
 pub use batch::{run_batch, run_cell_report, CellOutcome, RunReport, RunRequest};
+pub use chaos::ChaosPlan;
+pub use journal::Journal;
 pub use json::Json;
 pub use pool::Pool;
 pub use sink::{drain, Aggregate, MetricsSink, ReportCollector};
+pub use supervise::{
+    run_cell_supervised, run_supervised_batch, CellStatus, SuperviseConfig, SupervisedReport,
+    SweepOptions, SweepRun,
+};
 pub use trace::JsonlSink;

@@ -1,0 +1,395 @@
+//! The supervision layer: panic isolation, bounded retries, a per-cell
+//! watchdog, and journal-backed resume for batch sweeps.
+//!
+//! [`run_batch`](crate::batch::run_batch) assumes every cell runs to a
+//! report; a panicking protocol or a runaway cell takes the whole sweep
+//! down with it. [`run_supervised_batch`] wraps the same pool dispatch in
+//! a failure model:
+//!
+//! * **panic isolation** — each attempt runs under `catch_unwind`; a
+//!   panic becomes an `Err("panic: …")` report for that attempt instead
+//!   of unwinding through the pool,
+//! * **bounded retries** — a failed attempt (panic or engine abort) is
+//!   re-run up to [`SuperviseConfig::max_retries`] times with
+//!   deterministic exponential backoff accounted in *simulated* ticks —
+//!   never the wall clock, so supervised runs stay replayable,
+//! * **watchdog** — [`SuperviseConfig::cell_timeout`] caps each attempt's
+//!   step budget; a cell that exceeds it aborts with the engine's
+//!   `StepLimit` error instead of hanging the sweep,
+//! * **resume** — with a [journal](crate::journal) configured, completed
+//!   cells are checkpointed as they finish and skipped on the next run.
+//!
+//! Every cell ends in a [`CellStatus`]: `Completed` (clean first
+//! attempt), `Resumed` (replayed from the journal), `Degraded { retries }`
+//! (recovered after failures), or `Aborted` (retry budget exhausted).
+//! The *reports* a supervised sweep produces are bit-identical to an
+//! unsupervised `run_batch` whenever the cells themselves are
+//! deterministic — retries re-run the same pure function — so merged
+//! artifacts stay byte-identical across crash/resume boundaries and
+//! supervision levels alike.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::batch::{run_cell_report, RunReport, RunRequest};
+use crate::chaos::{ChaosPlan, Injection};
+use crate::journal::Journal;
+use crate::pool::Pool;
+
+/// How one cell of a supervised sweep concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Ran cleanly on the first attempt.
+    Completed,
+    /// Skipped: replayed from the checkpoint journal.
+    Resumed,
+    /// Recovered after one or more failed attempts.
+    Degraded {
+        /// Failed attempts before the one that succeeded.
+        retries: u32,
+    },
+    /// Every attempt failed (or the sweep was interrupted before the
+    /// cell ran); the report carries the last error.
+    Aborted,
+}
+
+/// Retry, backoff, and watchdog policy for supervised execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperviseConfig {
+    /// Failed attempts re-run at most this many times (0 = fail fast).
+    pub max_retries: u32,
+    /// Per-attempt step budget: each attempt's `max_steps` is clamped to
+    /// this, so a runaway cell aborts with the engine's `StepLimit`
+    /// instead of hanging the sweep. `None` leaves the request's own
+    /// budget in force.
+    pub cell_timeout: Option<u64>,
+    /// Backoff unit: retry `k` charges `backoff_base << (k−1)` simulated
+    /// ticks, accounted in [`SupervisedReport::backoff_ticks`]. No wall
+    /// clock is read — an in-process retry needs no real delay, and the
+    /// networked runtime this layer anticipates will convert ticks to
+    /// sleeps at its edge.
+    pub backoff_base: u64,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            max_retries: 0,
+            cell_timeout: None,
+            backoff_base: 16,
+        }
+    }
+}
+
+/// A cell report plus its supervision verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisedReport {
+    /// The report the sweep's merge step consumes — identical to what an
+    /// unsupervised run would produce for a deterministic cell.
+    pub report: RunReport,
+    /// How the cell concluded.
+    pub status: CellStatus,
+    /// Attempts actually executed (0 for `Resumed` cells).
+    pub attempts: u32,
+    /// Total simulated backoff charged across retries.
+    pub backoff_ticks: u64,
+}
+
+/// Everything a supervised sweep needs beyond the requests themselves.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Retry / watchdog policy.
+    pub supervise: SuperviseConfig,
+    /// Checkpoint journal path; `None` disables checkpointing.
+    pub journal: Option<PathBuf>,
+    /// `true`: load the journal at [`SweepOptions::journal`] and skip the
+    /// cells it already holds. `false`: start fresh (truncating any
+    /// existing file).
+    pub resume: bool,
+    /// Per-cell seeds recorded in (and checked against) journal records;
+    /// defaults to the cell index when absent. A seed mismatch on resume
+    /// re-runs the cell instead of replaying a stale record.
+    pub seeds: Option<Vec<u64>>,
+    /// Failure injection (inert by default; see [`crate::chaos`]).
+    pub chaos: ChaosPlan,
+}
+
+impl SweepOptions {
+    /// The seed recorded for `cell` in journal records.
+    fn seed_of(&self, cell: usize) -> u64 {
+        self.seeds
+            .as_ref()
+            .and_then(|s| s.get(cell).copied())
+            .unwrap_or(cell as u64)
+    }
+}
+
+/// The outcome of one supervised sweep.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// Per-cell verdicts, in cell order.
+    pub cells: Vec<SupervisedReport>,
+    /// Journal anomalies and checkpoint failures, for the report footer.
+    pub warnings: Vec<String>,
+    /// `true` when chaos killed the sweep mid-flight: some cells never
+    /// ran and the merge step must not publish an artifact.
+    pub interrupted: bool,
+}
+
+impl SweepRun {
+    /// The plain reports, in cell order — the input the merge step and
+    /// metric sinks already understand.
+    pub fn reports(&self) -> Vec<RunReport> {
+        self.cells.iter().map(|c| c.report.clone()).collect()
+    }
+
+    /// `true` when any cell ended [`CellStatus::Aborted`].
+    pub fn any_aborted(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|c| matches!(c.status, CellStatus::Aborted))
+    }
+
+    /// `true` when any cell needed retries to complete.
+    pub fn any_degraded(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|c| matches!(c.status, CellStatus::Degraded { .. }))
+    }
+
+    /// One deterministic footer line, e.g.
+    /// `outcomes: 5 completed, 2 resumed, 1 degraded (3 retries), 0 aborted`.
+    pub fn summary(&self) -> String {
+        let mut completed = 0usize;
+        let mut resumed = 0usize;
+        let mut degraded = 0usize;
+        let mut retries = 0u64;
+        let mut aborted = 0usize;
+        for c in &self.cells {
+            match c.status {
+                CellStatus::Completed => completed += 1,
+                CellStatus::Resumed => resumed += 1,
+                CellStatus::Degraded { retries: r } => {
+                    degraded += 1;
+                    retries += u64::from(r);
+                }
+                CellStatus::Aborted => aborted += 1,
+            }
+        }
+        let degraded = if degraded > 0 {
+            format!("{degraded} degraded ({retries} retries)")
+        } else {
+            "0 degraded".to_string()
+        };
+        format!("outcomes: {completed} completed, {resumed} resumed, {degraded}, {aborted} aborted")
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque payload".to_string()
+    }
+}
+
+/// Runs one attempt of one cell with the watchdog applied and panics
+/// contained.
+fn attempt_cell(
+    cell: usize,
+    request: &RunRequest,
+    sup: &SuperviseConfig,
+    chaos: &ChaosPlan,
+    attempt: u32,
+) -> RunReport {
+    match chaos.injection(cell, attempt) {
+        Injection::Stall => {
+            // A wedged worker never reports; the watchdog is what turns
+            // it into an observable failure. Synthesize that observation
+            // deterministically instead of actually wedging a thread.
+            return RunReport {
+                cell,
+                result: Err(format!(
+                    "watchdog: cell stalled past {} simulated steps",
+                    sup.cell_timeout.unwrap_or(0)
+                )),
+                post_mortem: Vec::new(),
+            };
+        }
+        Injection::Panic | Injection::None => {}
+    }
+    let mut config = request.config.clone();
+    if let Some(timeout) = sup.cell_timeout {
+        config.max_steps = config.max_steps.min(timeout);
+    }
+    let request = RunRequest {
+        instance: Arc::clone(&request.instance),
+        protocol: Arc::clone(&request.protocol),
+        config,
+    };
+    let inject_panic = matches!(chaos.injection(cell, attempt), Injection::Panic);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            crate::chaos::trigger_panic(cell, attempt);
+        }
+        run_cell_report(cell, &request)
+    }));
+    match caught {
+        Ok(report) => report,
+        Err(payload) => RunReport {
+            cell,
+            result: Err(format!("panic: {}", panic_text(payload.as_ref()))),
+            post_mortem: Vec::new(),
+        },
+    }
+}
+
+/// Executes one cell under the full supervision policy: watchdog-capped
+/// attempts, panic isolation, bounded retries with deterministic
+/// simulated backoff.
+pub fn run_cell_supervised(
+    cell: usize,
+    request: &RunRequest,
+    sup: &SuperviseConfig,
+    chaos: &ChaosPlan,
+) -> SupervisedReport {
+    let mut backoff_ticks = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        let report = attempt_cell(cell, request, sup, chaos, attempt);
+        attempt += 1;
+        if report.result.is_ok() {
+            let status = if attempt == 1 {
+                CellStatus::Completed
+            } else {
+                CellStatus::Degraded {
+                    retries: attempt - 1,
+                }
+            };
+            return SupervisedReport {
+                report,
+                status,
+                attempts: attempt,
+                backoff_ticks,
+            };
+        }
+        if attempt > sup.max_retries {
+            return SupervisedReport {
+                report,
+                status: CellStatus::Aborted,
+                attempts: attempt,
+                backoff_ticks,
+            };
+        }
+        let shift = (attempt - 1).min(32);
+        backoff_ticks = backoff_ticks.saturating_add(sup.backoff_base.saturating_mul(1 << shift));
+    }
+}
+
+/// Runs every request across the pool under supervision, checkpointing
+/// and resuming through the journal when one is configured.
+///
+/// Cells already present in the journal (matching seed, valid digest)
+/// return [`CellStatus::Resumed`] without executing; everything else runs
+/// through [`run_cell_supervised`] and — when it completes or degrades —
+/// is appended to the journal. Aborted cells are *not* journaled: their
+/// failure may be transient, so a resume re-runs them.
+///
+/// Journal problems never fail the sweep; they surface as warnings and
+/// the sweep simply runs without checkpoints.
+pub fn run_supervised_batch(pool: &Pool, requests: &[RunRequest], opts: &SweepOptions) -> SweepRun {
+    let cells = requests.len();
+    let mut warnings = Vec::new();
+    let mut done: Vec<Option<RunReport>> = (0..cells).map(|_| None).collect();
+    let mut journal = None;
+    if let Some(path) = &opts.journal {
+        let opened = if opts.resume {
+            Journal::resume(path, cells).map(|(j, loaded)| {
+                warnings.extend(loaded.warnings);
+                for rec in loaded.records {
+                    if rec.seed == opts.seed_of(rec.cell) {
+                        done[rec.cell] = Some(rec.report);
+                    } else {
+                        warnings.push(format!(
+                            "journal {}: cell {} was journaled under seed {}, expected {}; \
+                             re-running it",
+                            path.display(),
+                            rec.cell,
+                            rec.seed,
+                            opts.seed_of(rec.cell)
+                        ));
+                    }
+                }
+                j
+            })
+        } else {
+            Journal::create(path, cells)
+        };
+        match opened {
+            Ok(j) => journal = Some(j),
+            Err(e) => warnings.push(format!(
+                "journal {}: {e}; running without checkpoints",
+                path.display()
+            )),
+        }
+    }
+    let journal = Mutex::new(journal);
+    let late_warnings = Mutex::new(Vec::new());
+    let cells_out: Vec<SupervisedReport> = pool.run(cells, |cell| {
+        if let Some(report) = &done[cell] {
+            return SupervisedReport {
+                report: report.clone(),
+                status: CellStatus::Resumed,
+                attempts: 0,
+                backoff_ticks: 0,
+            };
+        }
+        if opts.chaos.dies_before(cell) {
+            return SupervisedReport {
+                report: RunReport {
+                    cell,
+                    result: Err("sweep interrupted before cell ran".to_string()),
+                    post_mortem: Vec::new(),
+                },
+                status: CellStatus::Aborted,
+                attempts: 0,
+                backoff_ticks: 0,
+            };
+        }
+        let sup = run_cell_supervised(cell, &requests[cell], &opts.supervise, &opts.chaos);
+        if matches!(
+            sup.status,
+            CellStatus::Completed | CellStatus::Degraded { .. }
+        ) {
+            let mut guard = journal.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(j) = guard.as_mut() {
+                if let Err(e) = j.append(cell, opts.seed_of(cell), &sup.report) {
+                    late_warnings
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(format!(
+                            "journal {}: checkpoint for cell {cell} failed: {e}",
+                            j.path().display()
+                        ));
+                }
+            }
+        }
+        sup
+    });
+    warnings.extend(
+        late_warnings
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
+    let interrupted = cells_out
+        .iter()
+        .any(|c| c.attempts == 0 && matches!(c.status, CellStatus::Aborted));
+    SweepRun {
+        cells: cells_out,
+        warnings,
+        interrupted,
+    }
+}

@@ -1,9 +1,20 @@
 //! Thin binary wrapper around [`oraclesize::cli`].
+//!
+//! Exit status: `0` healthy, `1` sweep completed but degraded (without
+//! `--allow-degraded`), `2` usage or execution errors.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match oraclesize::cli::parse_args(&args).and_then(|cmd| oraclesize::cli::run_command(&cmd)) {
-        Ok(report) => print!("{report}"),
+    match oraclesize::cli::parse_args(&args)
+        .and_then(|cmd| oraclesize::cli::run_command_status(&cmd))
+    {
+        Ok((report, healthy)) => {
+            print!("{report}");
+            if !healthy {
+                eprintln!("sweep degraded; pass --allow-degraded to tolerate this");
+                std::process::exit(1);
+            }
+        }
         Err(message) => {
             eprintln!("error: {message}\n");
             eprint!("{}", oraclesize::cli::usage());

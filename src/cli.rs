@@ -36,7 +36,10 @@ use oraclesize_core::spanner::{collect_port_sets, verify_spanner, SpannerOracle}
 use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
 use oraclesize_core::{execute, OracleRun};
 use oraclesize_graph::families::Family;
-use oraclesize_runtime::{drain, run_batch, Aggregate, JsonlSink, Pool, RunRequest};
+use oraclesize_runtime::{
+    drain, run_supervised_batch, Aggregate, JsonlSink, Pool, RunRequest, SuperviseConfig,
+    SweepOptions,
+};
 use oraclesize_sim::protocol::{FloodOnce, Protocol};
 use oraclesize_sim::trace::diff_lines;
 use oraclesize_sim::{run_streamed, FaultPlan, Instance, SchedulerKind, SimConfig};
@@ -166,6 +169,18 @@ pub struct SweepArgs {
     pub drop: f64,
     /// RNG seed (graph generation and per-cell derivation).
     pub seed: u64,
+    /// Checkpoint journal path; `None` disables checkpointing.
+    pub journal: Option<String>,
+    /// Resume from the journal (skip checkpointed cells) instead of
+    /// starting fresh.
+    pub resume: bool,
+    /// Failed cells are re-run up to this many times.
+    pub max_retries: u32,
+    /// Per-cell watchdog step budget; `None` leaves the engine default.
+    pub cell_timeout: Option<u64>,
+    /// Exit zero even when cells degraded (needed retries, or finished
+    /// with uninformed nodes under faults).
+    pub allow_degraded: bool,
 }
 
 /// Arguments of the `trace` subcommand: one fully-traced run, streamed to
@@ -291,6 +306,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut scheduler = None;
             let mut drop = 0.0f64;
             let mut seed = 2006u64;
+            let mut journal = None;
+            let mut resume = false;
+            let mut max_retries = 0u32;
+            let mut cell_timeout = None;
+            let mut allow_degraded = false;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<&String, String> {
                     it.next().ok_or_else(|| format!("{name} needs a value"))
@@ -314,6 +334,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|_| "--source needs an integer".to_string())?;
                     }
+                    "--journal" => journal = Some(value("--journal")?.clone()),
+                    "--resume" => resume = true,
+                    "--max-retries" => {
+                        max_retries = value("--max-retries")?
+                            .parse()
+                            .map_err(|_| "--max-retries needs an integer".to_string())?;
+                    }
+                    "--cell-timeout" => {
+                        cell_timeout = Some(
+                            value("--cell-timeout")?
+                                .parse()
+                                .map_err(|_| "--cell-timeout needs a step count".to_string())?,
+                        );
+                    }
+                    "--allow-degraded" => allow_degraded = true,
                     "--runs" => {
                         runs = value("--runs")?
                             .parse()
@@ -357,6 +392,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             if runs == 0 {
                 return Err("--runs must be at least 1".into());
             }
+            if resume && journal.is_none() {
+                return Err("--resume requires --journal".into());
+            }
             Ok(Command::Sweep(SweepArgs {
                 family,
                 n,
@@ -367,6 +405,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 scheduler,
                 drop,
                 seed,
+                journal,
+                resume,
+                max_retries,
+                cell_timeout,
+                allow_degraded,
             }))
         }
         Some("trace") => {
@@ -471,6 +514,8 @@ pub fn usage() -> String {
          \x20 oraclesize sweep --task broadcast|wakeup|flood [--runs <k>]\n\
          \x20                [--threads <t>] [--drop <p>] [--family <family>]\n\
          \x20                [--n <size>] [--scheduler <s>] [--seed <u64>]\n\
+         \x20                [--journal <file>] [--resume] [--max-retries <k>]\n\
+         \x20                [--cell-timeout <steps>] [--allow-degraded]\n\
          \x20 oraclesize trace --task broadcast|wakeup|flood [--family <family>]\n\
          \x20                [--n <size>] [--source <node>] [--scheduler <s>]\n\
          \x20                [--drop <p>] [--seed <u64>] [--out <file.jsonl>]\n\
@@ -489,18 +534,31 @@ pub fn usage() -> String {
 /// Engine errors, verification failures, or invalid combinations (e.g.
 /// `hs-election` off a cycle).
 pub fn run_command(cmd: &Command) -> Result<String, String> {
+    run_command_status(cmd).map(|(report, _)| report)
+}
+
+/// Like [`run_command`], but also reports whether the run is *healthy*:
+/// `false` means the report is valid yet the process should exit nonzero
+/// — a sweep finished with degraded cells (retries were needed, or faults
+/// left nodes uninformed) and `--allow-degraded` was not passed.
+///
+/// # Errors
+///
+/// Same as [`run_command`]; aborted sweep cells are errors, not
+/// degradation.
+pub fn run_command_status(cmd: &Command) -> Result<(String, bool), String> {
     match cmd {
-        Command::Help => Ok(usage()),
+        Command::Help => Ok((usage(), true)),
         Command::List => {
             let mut out = String::new();
             let _ = writeln!(out, "families: {}", Family::ALL.map(|f| f.name()).join(" "));
             let _ = writeln!(out, "tasks:    {}", Task::NAMES.join(" "));
-            Ok(out)
+            Ok((out, true))
         }
-        Command::Run(args) => run_task(args),
+        Command::Run(args) => run_task(args).map(|r| (r, true)),
         Command::Sweep(args) => run_sweep(args),
-        Command::Trace(args) => run_trace(args),
-        Command::TraceDiff(args) => run_trace_diff(args),
+        Command::Trace(args) => run_trace(args).map(|r| (r, true)),
+        Command::TraceDiff(args) => run_trace_diff(args).map(|r| (r, true)),
     }
 }
 
@@ -664,9 +722,10 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
 }
 
 /// Builds one shared instance, declares `runs` seeded cells, dispatches
-/// them across the pool, and folds the reports in cell order — the output
-/// is identical at any `--threads` value.
-fn run_sweep(args: &SweepArgs) -> Result<String, String> {
+/// them across the pool under supervision, and folds the reports in cell
+/// order — the output is identical at any `--threads` value, and (with
+/// `--journal`) across kill/resume boundaries.
+fn run_sweep(args: &SweepArgs) -> Result<(String, bool), String> {
     let mut rng = StdRng::seed_from_u64(args.seed);
     let g = args.family.build(args.n, &mut rng).into_shared();
     if args.source >= g.num_nodes() {
@@ -718,7 +777,25 @@ fn run_sweep(args: &SweepArgs) -> Result<String, String> {
         })
         .collect();
 
-    let reports = run_batch(&Pool::new(args.threads), &requests);
+    let sweep_opts = SweepOptions {
+        supervise: SuperviseConfig {
+            max_retries: args.max_retries,
+            cell_timeout: args.cell_timeout,
+            ..SuperviseConfig::default()
+        },
+        journal: args.journal.as_ref().map(std::path::PathBuf::from),
+        resume: args.resume,
+        // Journal records carry the per-cell seed, so a resume against a
+        // different `--seed` re-runs cells instead of replaying them.
+        seeds: Some(
+            (0..args.runs)
+                .map(|k| args.seed.wrapping_add(k as u64 + 1))
+                .collect(),
+        ),
+        chaos: Default::default(),
+    };
+    let sweep = run_supervised_batch(&Pool::new(args.threads), &requests, &sweep_opts);
+    let reports = sweep.reports();
     let mut agg = Aggregate::new();
     drain(&mut agg, &reports);
     if agg.errors > 0 {
@@ -757,6 +834,11 @@ fn run_sweep(args: &SweepArgs) -> Result<String, String> {
     let _ = writeln!(out, "completed:    {}/{}", agg.completed, cells);
     let _ = writeln!(
         out,
+        "outcomes:     {}",
+        sweep.summary().trim_start_matches("outcomes: ")
+    );
+    let _ = writeln!(
+        out,
         "messages:     total {}, mean {:.1}, max {}",
         agg.totals.messages,
         agg.totals.messages as f64 / cells as f64,
@@ -770,7 +852,11 @@ fn run_sweep(args: &SweepArgs) -> Result<String, String> {
     if args.drop > 0.0 {
         let _ = writeln!(out, "dropped:      {}", agg.totals.faults.dropped);
     }
-    Ok(out)
+    for warning in &sweep.warnings {
+        let _ = writeln!(out, "warning:      {warning}");
+    }
+    let healthy = !sweep.any_degraded() && agg.completed == cells;
+    Ok((out, healthy || args.allow_degraded))
 }
 
 /// Builds the task's instance once, then streams a single fully-traced run
@@ -1020,6 +1106,14 @@ mod tests {
             "0.25",
             "--seed",
             "11",
+            "--journal",
+            "ckpt.journal",
+            "--resume",
+            "--max-retries",
+            "2",
+            "--cell-timeout",
+            "5000",
+            "--allow-degraded",
         ]))
         .unwrap();
         let Command::Sweep(a) = cmd else {
@@ -1031,6 +1125,11 @@ mod tests {
         assert_eq!(a.threads, 3);
         assert_eq!(a.drop, 0.25);
         assert_eq!(a.seed, 11);
+        assert_eq!(a.journal.as_deref(), Some("ckpt.journal"));
+        assert!(a.resume);
+        assert_eq!(a.max_retries, 2);
+        assert_eq!(a.cell_timeout, Some(5000));
+        assert!(a.allow_degraded);
     }
 
     #[test]
@@ -1039,6 +1138,9 @@ mod tests {
         assert!(parse_args(&args(&["sweep", "--task", "gossip"])).is_err());
         assert!(parse_args(&args(&["sweep", "--task", "flood", "--drop", "1.5"])).is_err());
         assert!(parse_args(&args(&["sweep", "--task", "flood", "--runs", "0"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--task", "flood", "--max-retries", "x"])).is_err());
+        // --resume without a journal has nothing to resume from.
+        assert!(parse_args(&args(&["sweep", "--task", "flood", "--resume"])).is_err());
     }
 
     #[test]
@@ -1080,8 +1182,71 @@ mod tests {
             "0.3",
         ]))
         .unwrap();
-        let report = run_command(&cmd).unwrap();
+        let (report, healthy) = run_command_status(&cmd).unwrap();
         assert!(report.contains("dropped:"), "{report}");
+        // The health flag mirrors the completion count: exit zero iff
+        // every cell finished its task despite the drops.
+        assert_eq!(healthy, report.contains("completed:    4/4"), "{report}");
+    }
+
+    #[test]
+    fn degraded_sweeps_fail_unless_allowed() {
+        let base = [
+            "sweep",
+            "--task",
+            "broadcast",
+            "--n",
+            "24",
+            "--runs",
+            "2",
+            "--drop",
+            "0.9",
+        ];
+        let cmd = parse_args(&args(&base)).unwrap();
+        let (report, healthy) = run_command_status(&cmd).unwrap();
+        assert!(
+            !healthy,
+            "90% drop should leave nodes uninformed:\n{report}"
+        );
+        assert!(!report.contains("completed:    2/2"), "{report}");
+
+        let mut argv = base.to_vec();
+        argv.push("--allow-degraded");
+        let cmd = parse_args(&args(&argv)).unwrap();
+        let (_, healthy) = run_command_status(&cmd).unwrap();
+        assert!(healthy, "--allow-degraded must forgive degradation");
+    }
+
+    #[test]
+    fn sweep_journal_resume_replays_cells() {
+        let dir =
+            std::env::temp_dir().join(format!("oraclesize-cli-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("wakeup.journal");
+        let journal = journal.to_str().unwrap();
+        let base = ["sweep", "--task", "wakeup", "--n", "24", "--runs", "6"];
+        let run = |extra: &[&str]| {
+            let mut argv = base.to_vec();
+            argv.extend_from_slice(extra);
+            let cmd = parse_args(&args(&argv)).unwrap();
+            run_command_status(&cmd).unwrap()
+        };
+        let (fresh, healthy) = run(&["--journal", journal]);
+        assert!(healthy);
+        assert!(fresh.contains("6 completed, 0 resumed"), "{fresh}");
+        let (resumed, healthy) = run(&["--journal", journal, "--resume"]);
+        assert!(healthy);
+        assert!(resumed.contains("0 completed, 6 resumed"), "{resumed}");
+        // Only the outcome classification may differ; every measured
+        // number is replayed byte for byte from the checkpoints.
+        let tail = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("outcomes:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&fresh), tail(&resumed));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1094,6 +1259,14 @@ mod tests {
         assert!(u.contains("--threads"), "usage missing --threads");
         assert!(u.contains("trace-diff"), "usage missing trace-diff");
         assert!(u.contains("--out"), "usage missing --out");
+        assert!(u.contains("--journal"), "usage missing --journal");
+        assert!(u.contains("--resume"), "usage missing --resume");
+        assert!(u.contains("--max-retries"), "usage missing --max-retries");
+        assert!(u.contains("--cell-timeout"), "usage missing --cell-timeout");
+        assert!(
+            u.contains("--allow-degraded"),
+            "usage missing --allow-degraded"
+        );
     }
 
     #[test]
