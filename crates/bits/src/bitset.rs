@@ -1,0 +1,142 @@
+//! Fixed-size packed boolean arrays for struct-of-arrays engine state.
+
+/// A fixed-length array of booleans packed 64 to a block.
+///
+/// Where [`BitString`](crate::BitString) is a *growable sequence* whose
+/// length enters the oracle-size accounting, `BitSet` is flat per-node
+/// *state*: the engine's informed/crashed flags for a million nodes fit in
+/// two cache-friendly block arrays instead of two `Vec<bool>`s, and
+/// population counts ([`count_ones`](BitSet::count_ones)) are one `popcnt`
+/// per block rather than a byte-wise scan.
+///
+/// # Examples
+///
+/// ```
+/// use oraclesize_bits::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.set(3, true);
+/// s.set(99, true);
+/// assert!(s.get(3));
+/// assert!(!s.get(4));
+/// assert_eq!(s.count_ones(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A set of `len` bits, all `false`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits (fixed at construction).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set holds no bits at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.blocks[i / 64] |= mask;
+        } else {
+            self.blocks[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of `true` bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Unpacks into one `bool` per bit — the boundary representation for
+    /// APIs that predate the packed layout.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_false() {
+        let s = BitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert!(!s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert!((0..130).all(|i| !s.get(i)));
+    }
+
+    #[test]
+    fn set_and_clear_across_blocks() {
+        let mut s = BitSet::new(130);
+        for i in [0, 63, 64, 65, 129] {
+            s.set(i, true);
+            assert!(s.get(i), "bit {i}");
+        }
+        assert_eq!(s.count_ones(), 5);
+        s.set(64, false);
+        assert!(!s.get(64));
+        assert_eq!(s.count_ones(), 4);
+    }
+
+    #[test]
+    fn to_bools_round_trip() {
+        let mut s = BitSet::new(9);
+        s.set(1, true);
+        s.set(8, true);
+        assert_eq!(
+            s.to_bools(),
+            vec![false, true, false, false, false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn zero_length_set() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.to_bools(), Vec::<bool>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_past_end_panics() {
+        BitSet::new(10).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_past_end_panics() {
+        BitSet::new(10).set(10, true);
+    }
+}

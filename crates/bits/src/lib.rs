@@ -28,12 +28,16 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod bitset;
 pub mod bitstring;
 pub mod codec;
 pub mod lists;
 pub mod numeric;
 pub mod reader;
 
+pub use arena::BitArena;
+pub use bitset::BitSet;
 pub use bitstring::BitString;
 pub use numeric::{bits_to_represent, ceil_log2};
 pub use reader::BitReader;

@@ -158,7 +158,7 @@ impl NodeBehavior for MapWakeupState {
         }
     }
 
-    fn on_receive(&mut self, _port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, _port: Port, message: Message) -> Vec<Outgoing> {
         if message.carries_source && !self.fired {
             self.fired = true;
             self.child_ports

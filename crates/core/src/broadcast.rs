@@ -107,7 +107,7 @@ impl NodeBehavior for SchemeBState {
         self.flush()
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         if message.carries_source {
             // "x receives M via port p": K_x ∪= {p}, S_x ∪= {p}.
             self.known.insert(port);
@@ -168,7 +168,7 @@ impl NodeBehavior for NoReflushState {
         self.inner.flush()
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         if message.carries_source {
             self.inner.known.insert(port);
             self.inner.sent.insert(port);

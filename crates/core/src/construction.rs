@@ -209,7 +209,7 @@ impl NodeBehavior for ZeroMessageState {
         Vec::new()
     }
 
-    fn on_receive(&mut self, _port: Port, _message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, _port: Port, _message: Message) -> Vec<Outgoing> {
         Vec::new()
     }
 
@@ -259,7 +259,7 @@ impl NodeBehavior for DistributedBfsState {
         }
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         if !message.carries_source || self.done || self.is_source {
             return Vec::new();
         }

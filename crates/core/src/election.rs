@@ -155,7 +155,7 @@ impl NodeBehavior for AnnouncedState {
         }
     }
 
-    fn on_receive(&mut self, _port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, _port: Port, message: Message) -> Vec<Outgoing> {
         match decode_elected(&message.payload) {
             Some(label) => self.announce(label),
             None => Vec::new(),
@@ -218,7 +218,7 @@ impl NodeBehavior for FloodMaxState {
         self.shout(None)
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         match decode_elected(&message.payload) {
             Some(label) if label > self.best => {
                 self.best = label;
@@ -324,7 +324,7 @@ impl NodeBehavior for HsState {
         self.start_phase()
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         let Some((kind, id, hops)) = decode_ring(&message.payload) else {
             return Vec::new();
         };

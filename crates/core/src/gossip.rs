@@ -195,7 +195,7 @@ impl NodeBehavior for TreeGossipState {
         self.maybe_advance() // leaves fire immediately
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         let Some(set) = decode_gossip_output(&message.payload) else {
             return Vec::new(); // malformed payload: ignore
         };

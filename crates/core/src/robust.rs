@@ -163,7 +163,7 @@ impl NodeBehavior for RobustWakeupState {
         }
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         if message.carries_source {
             self.fire(Some(port))
         } else {
@@ -244,7 +244,7 @@ impl NodeBehavior for RetryState {
         }
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         if !message.carries_source {
             return Vec::new();
         }

@@ -98,7 +98,7 @@ impl NodeBehavior for TreeWakeupState {
         }
     }
 
-    fn on_receive(&mut self, _port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, _port: Port, message: Message) -> Vec<Outgoing> {
         if message.carries_source {
             self.fire()
         } else {

@@ -28,6 +28,8 @@ use crate::portgraph::{GraphError, NodeId, Port, PortGraph};
 /// ```
 #[derive(Debug, Clone)]
 pub struct PortGraphBuilder {
+    // lint:allow(D005): incremental construction needs per-node growable
+    // port slots with gaps; build() flattens into the CSR PortGraph.
     adj: Vec<Vec<Option<(NodeId, Port)>>>,
     labels: Option<Vec<u64>>,
 }
@@ -158,21 +160,26 @@ impl PortGraphBuilder {
     /// [`add_edge_with_ports`](PortGraphBuilder::add_edge_with_ports) with
     /// gaps), or any invariant violation found by [`PortGraph::validate`].
     pub fn build(self) -> Result<PortGraph, GraphError> {
-        let mut adj = Vec::with_capacity(self.adj.len());
+        let n = self.adj.len();
+        let total: usize = self.adj.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(total);
+        let mut back_ports = Vec::with_capacity(total);
+        offsets.push(0);
         for (v, ports) in self.adj.into_iter().enumerate() {
-            let mut dense = Vec::with_capacity(ports.len());
             for (p, slot) in ports.into_iter().enumerate() {
                 match slot {
-                    Some(pair) => dense.push(pair),
+                    Some((u, q)) => {
+                        targets.push(u);
+                        back_ports.push(q);
+                    }
                     None => return Err(GraphError::OutOfRange { node: v, port: p }),
                 }
             }
-            adj.push(dense);
+            offsets.push(targets.len());
         }
-        match self.labels {
-            Some(labels) => PortGraph::from_adjacency_labeled(adj, labels),
-            None => PortGraph::from_adjacency(adj),
-        }
+        let labels = self.labels.unwrap_or_else(|| (0..n as u64).collect());
+        PortGraph::from_csr(offsets, targets, back_ports, labels)
     }
 }
 

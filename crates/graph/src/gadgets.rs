@@ -33,18 +33,30 @@ use crate::portgraph::{EdgeRef, NodeId, PortGraph};
 /// edge appears twice.
 pub fn subdivide_edges(g: &PortGraph, subdivided: &[EdgeRef]) -> PortGraph {
     let n = g.num_nodes();
-    let mut adj: Vec<Vec<(NodeId, usize)>> = (0..n)
-        .map(|v| (0..g.degree(v)).map(|p| g.neighbor_via(v, p)).collect())
-        .collect();
+    let m = subdivided.len();
+    // Copy the base graph's CSR arrays and append the hidden nodes at the
+    // end — original node spans keep their offsets, so the splice below is
+    // index arithmetic, never a reallocation per node.
+    let mut offsets = Vec::with_capacity(n + m + 1);
+    let mut targets: Vec<NodeId> = Vec::with_capacity(g.num_edges() * 2 + m * 2);
+    let mut back_ports: Vec<usize> = Vec::with_capacity(g.num_edges() * 2 + m * 2);
+    offsets.push(0);
+    for v in 0..n {
+        targets.extend_from_slice(g.neighbors(v));
+        back_ports.extend_from_slice(g.arrival_ports(v));
+        offsets.push(targets.len());
+    }
     let mut labels: Vec<u64> = (0..n).map(|v| g.label(v)).collect();
     let max_label = labels.iter().copied().max().unwrap_or(0);
 
     let mut seen = std::collections::BTreeSet::new();
     for (i, e) in subdivided.iter().enumerate() {
-        assert!(
-            g.edge_between(e.u, e.v) == Some(*e),
-            "edge {e:?} not present in base graph"
-        );
+        // Canonical-orientation port lookup instead of a neighbor scan:
+        // O(1) per edge where `edge_between` is O(deg).
+        let present = e.u < e.v
+            && e.port_u < g.degree(e.u)
+            && g.neighbor_via(e.u, e.port_u) == (e.v, e.port_v);
+        assert!(present, "edge {e:?} not present in base graph");
         assert!(seen.insert((e.u, e.v)), "edge {e:?} subdivided twice");
         let w = n + i;
         // Orient by label as the paper does.
@@ -53,12 +65,19 @@ pub fn subdivide_edges(g: &PortGraph, subdivided: &[EdgeRef]) -> PortGraph {
         } else {
             (e.v, e.port_v, e.u, e.port_u)
         };
-        adj[a][pa] = (w, 0);
-        adj[b][pb] = (w, 1);
-        adj.push(vec![(a, pa), (b, pb)]);
+        targets[offsets[a] + pa] = w;
+        back_ports[offsets[a] + pa] = 0;
+        targets[offsets[b] + pb] = w;
+        back_ports[offsets[b] + pb] = 1;
+        targets.push(a);
+        back_ports.push(pa);
+        targets.push(b);
+        back_ports.push(pb);
+        offsets.push(targets.len());
         labels.push(max_label + 1 + i as u64);
     }
-    PortGraph::from_adjacency_labeled(adj, labels).expect("subdivision preserves invariants")
+    PortGraph::from_csr(offsets, targets, back_ports, labels)
+        .expect("subdivision preserves invariants")
 }
 
 /// Chooses `m` distinct edges of `g` uniformly at random — a random `S` for

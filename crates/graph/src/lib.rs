@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod csr;
 pub mod families;
 pub mod gadgets;
 pub mod portgraph;

@@ -140,6 +140,15 @@ const _: fn() = || {
 /// parallel edges, distinct labels) are checked by [`validate`] and
 /// maintained by [`crate::builder::PortGraphBuilder`].
 ///
+/// # Memory layout
+///
+/// Storage is flat CSR (compressed sparse row): `offsets` has `n + 1`
+/// entries, and node `v`'s ports occupy `offsets[v] .. offsets[v + 1]` of
+/// the parallel `targets` / `back_ports` arrays. Three contiguous
+/// allocations serve any graph size, [`neighbors`](Self::neighbors) is a
+/// slice borrow, and a million-node instance costs no per-node pointer
+/// chase. See DESIGN.md §11.
+///
 /// # Examples
 ///
 /// ```
@@ -158,7 +167,12 @@ const _: fn() = || {
 /// [`validate`]: PortGraph::validate
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortGraph {
-    adj: Vec<Vec<(NodeId, Port)>>,
+    /// `offsets[v] .. offsets[v + 1]` spans node `v`'s ports; `n + 1` long.
+    offsets: Vec<usize>,
+    /// Neighbor reached through each port, in port order.
+    targets: Vec<NodeId>,
+    /// Arrival port at the neighbor, parallel to `targets`.
+    back_ports: Vec<Port>,
     labels: Vec<u64>,
 }
 
@@ -167,16 +181,15 @@ impl PortGraph {
     /// [`crate::builder::PortGraphBuilder`] unless you are constructing a
     /// family with explicit closed-form port maps.
     ///
-    /// Labels default to `0..n`.
+    /// Labels default to `0..n`. The nested input is flattened into the
+    /// CSR layout before validation.
     ///
     /// # Errors
     ///
     /// Returns the first invariant violation found (see [`GraphError`]).
     pub fn from_adjacency(adj: Vec<Vec<(NodeId, Port)>>) -> Result<Self, GraphError> {
         let labels = (0..adj.len() as u64).collect();
-        let g = PortGraph { adj, labels };
-        g.validate()?;
-        Ok(g)
+        Self::from_adjacency_labeled(adj, labels)
     }
 
     /// As [`from_adjacency`](Self::from_adjacency) with explicit labels.
@@ -194,7 +207,69 @@ impl PortGraph {
         labels: Vec<u64>,
     ) -> Result<Self, GraphError> {
         assert_eq!(adj.len(), labels.len(), "one label per node required");
-        let g = PortGraph { adj, labels };
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::with_capacity(total);
+        let mut back_ports = Vec::with_capacity(total);
+        offsets.push(0);
+        for ports in &adj {
+            for &(u, q) in ports {
+                targets.push(u);
+                back_ports.push(q);
+            }
+            offsets.push(targets.len());
+        }
+        Self::from_csr(offsets, targets, back_ports, labels)
+    }
+
+    /// Builds a graph directly from its CSR arrays: `offsets` has `n + 1`
+    /// entries with `offsets[0] == 0`, and entry `offsets[v] + p` of the
+    /// parallel `targets`/`back_ports` arrays holds node `v`'s port `p`.
+    /// The cheapest constructor for large closed-form families — no nested
+    /// intermediate is allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invariant violation found (see [`GraphError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array lengths are inconsistent (`offsets` empty or
+    /// non-monotonic, `targets`/`back_ports` length mismatch, or one label
+    /// per node missing).
+    pub fn from_csr(
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        back_ports: Vec<Port>,
+        labels: Vec<u64>,
+    ) -> Result<Self, GraphError> {
+        assert!(!offsets.is_empty(), "offsets needs a leading 0 entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "offsets must span targets"
+        );
+        assert_eq!(
+            targets.len(),
+            back_ports.len(),
+            "targets and back_ports must be parallel"
+        );
+        assert_eq!(
+            offsets.len() - 1,
+            labels.len(),
+            "one label per node required"
+        );
+        let g = PortGraph {
+            offsets,
+            targets,
+            back_ports,
+            labels,
+        };
         g.validate()?;
         Ok(g)
     }
@@ -209,17 +284,17 @@ impl PortGraph {
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.targets.len() / 2
     }
 
     /// Degree of `v` (also the number of ports at `v`).
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v].len()
+        self.offsets[v + 1] - self.offsets[v]
     }
 
     /// The label of `v` — the identity an algorithm may see in the
@@ -240,12 +315,18 @@ impl PortGraph {
     ///
     /// Panics if `p ≥ deg(v)`.
     pub fn neighbor_via(&self, v: NodeId, p: Port) -> (NodeId, Port) {
-        self.adj[v][p]
+        assert!(
+            p < self.degree(v),
+            "port {p} out of range at node {v} (degree {})",
+            self.degree(v)
+        );
+        let i = self.offsets[v] + p;
+        (self.targets[i], self.back_ports[i])
     }
 
     /// The port at `v` leading to `u`, or `None` if `{u,v}` is not an edge.
     pub fn port_toward(&self, v: NodeId, u: NodeId) -> Option<Port> {
-        self.adj[v].iter().position(|&(w, _)| w == u)
+        self.neighbors(v).iter().position(|&w| w == u)
     }
 
     /// Returns `true` if `{u,v}` is an edge.
@@ -256,7 +337,7 @@ impl PortGraph {
     /// The edge `{u,v}` with its ports, or `None` if absent.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeRef> {
         let pu = self.port_toward(u, v)?;
-        let pv = self.adj[u][pu].1;
+        let pv = self.back_ports[self.offsets[u] + pu];
         let (a, pa, b, pb) = if u < v {
             (u, pu, v, pv)
         } else {
@@ -272,23 +353,32 @@ impl PortGraph {
 
     /// Iterates over all undirected edges in canonical (`u < v`) order.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.adj.iter().enumerate().flat_map(move |(u, ports)| {
-            ports
+        (0..self.num_nodes()).flat_map(move |u| {
+            let start = self.offsets[u];
+            self.neighbors(u)
                 .iter()
                 .enumerate()
-                .filter(move |&(_, &(v, _))| u < v)
-                .map(move |(pu, &(v, pv))| EdgeRef {
+                .filter(move |&(_, &v)| u < v)
+                .map(move |(pu, &v)| EdgeRef {
                     u,
                     port_u: pu,
                     v,
-                    port_v: pv,
+                    port_v: self.back_ports[start + pu],
                 })
         })
     }
 
-    /// Iterates over the neighbors of `v` in port order.
-    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj[v].iter().map(|&(u, _)| u)
+    /// The neighbors of `v` in port order, as a contiguous slice: entry `p`
+    /// is the node reached through port `p`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The arrival ports of `v`'s edges in port order, parallel to
+    /// [`neighbors`](Self::neighbors): following port `p` out of `v`
+    /// arrives at `neighbors(v)[p]`'s port `arrival_ports(v)[p]`.
+    pub fn arrival_ports(&self, v: NodeId) -> &[Port] {
+        &self.back_ports[self.offsets[v]..self.offsets[v + 1]]
     }
 
     /// Returns `true` if the graph is connected (the model assumes it; some
@@ -305,23 +395,31 @@ impl PortGraph {
     /// The first violation found: asymmetric port maps, self-loops,
     /// parallel edges, out-of-range references, or duplicate labels.
     pub fn validate(&self) -> Result<(), GraphError> {
-        let n = self.adj.len();
-        for (v, ports) in self.adj.iter().enumerate() {
-            let mut seen = std::collections::BTreeSet::new();
-            for (p, &(u, q)) in ports.iter().enumerate() {
+        let n = self.num_nodes();
+        // `seen_at[u] == v` marks u as already adjacent to the node v being
+        // scanned — an O(m) parallel-edge check with the same first-violation
+        // order a per-node set would report.
+        let mut seen_at = vec![usize::MAX; n];
+        for v in 0..n {
+            let start = self.offsets[v];
+            for p in 0..self.degree(v) {
+                let u = self.targets[start + p];
+                let q = self.back_ports[start + p];
                 if u >= n {
                     return Err(GraphError::OutOfRange { node: v, port: p });
                 }
                 if u == v {
                     return Err(GraphError::SelfLoop { node: v });
                 }
-                if !seen.insert(u) {
+                if seen_at[u] == v {
                     return Err(GraphError::ParallelEdge { u: v, v: u });
                 }
-                if q >= self.adj[u].len() {
+                seen_at[u] = v;
+                if q >= self.degree(u) {
                     return Err(GraphError::OutOfRange { node: v, port: p });
                 }
-                if self.adj[u][q] != (v, p) {
+                let j = self.offsets[u] + q;
+                if (self.targets[j], self.back_ports[j]) != (v, p) {
                     return Err(GraphError::AsymmetricPortMap { node: v, port: p });
                 }
             }
@@ -349,9 +447,15 @@ impl PortGraph {
     pub fn set_labels(&mut self, labels: Vec<u64>) -> Result<(), GraphError> {
         assert_eq!(labels.len(), self.num_nodes(), "one label per node");
         let old = std::mem::replace(&mut self.labels, labels);
-        if let Err(e) = self.validate() {
-            self.labels = old;
-            return Err(e);
+        // Only the label invariant can change here; re-check just it so a
+        // million-node relabel doesn't re-walk every edge.
+        let mut sorted = self.labels.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                self.labels = old;
+                return Err(GraphError::DuplicateLabel { label: w[0] });
+            }
         }
         Ok(())
     }
@@ -395,6 +499,27 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_slice_matches_port_order() {
+        let g = triangle();
+        for v in 0..3 {
+            let nbrs = g.neighbors(v);
+            let arrivals = g.arrival_ports(v);
+            assert_eq!(nbrs.len(), g.degree(v));
+            assert_eq!(arrivals.len(), g.degree(v));
+            for p in 0..g.degree(v) {
+                assert_eq!(g.neighbor_via(v, p), (nbrs[p], arrivals[p]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neighbor_via_panics_past_degree() {
+        let g = triangle();
+        g.neighbor_via(0, 2);
+    }
+
+    #[test]
     fn edge_between_and_weight() {
         let g = triangle();
         let e = g.edge_between(0, 2).unwrap();
@@ -414,6 +539,22 @@ mod tests {
         for e in &edges {
             assert!(e.u < e.v);
         }
+    }
+
+    #[test]
+    fn from_csr_round_trips_adjacency() {
+        let nested = triangle();
+        let mut offsets = vec![0];
+        let mut targets = Vec::new();
+        let mut back_ports = Vec::new();
+        for v in 0..nested.num_nodes() {
+            targets.extend_from_slice(nested.neighbors(v));
+            back_ports.extend_from_slice(nested.arrival_ports(v));
+            offsets.push(targets.len());
+        }
+        let labels = (0..nested.num_nodes() as u64).collect();
+        let rebuilt = PortGraph::from_csr(offsets, targets, back_ports, labels).unwrap();
+        assert_eq!(rebuilt, nested);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rand::Rng;
 
 use oraclesize_bits::bits_to_represent;
 
+use crate::csr::CsrRows;
 use crate::portgraph::{EdgeRef, NodeId, Port, PortGraph};
 use crate::traverse::UnionFind;
 
@@ -34,8 +35,9 @@ pub struct RootedTree {
     root: NodeId,
     /// `parent[v] = Some((parent, port_at_parent, port_at_child))`.
     parent: Vec<Option<(NodeId, Port, Port)>>,
-    /// `children[v] = [(child, port_at_v)]`, sorted by port.
-    children: Vec<Vec<(NodeId, Port)>>,
+    /// Row `v` holds `[(child, port_at_v)]`, sorted by port — flat CSR
+    /// rows, the same layout the host graph uses.
+    children: CsrRows<(NodeId, Port)>,
 }
 
 impl RootedTree {
@@ -52,22 +54,28 @@ impl RootedTree {
         assert_eq!(parents.len(), n, "one parent entry per node");
         assert!(parents[root].is_none(), "root must have no parent");
         let mut parent = vec![None; n];
-        let mut children: Vec<Vec<(NodeId, Port)>> = vec![Vec::new(); n];
+        let mut child_pairs: Vec<(NodeId, (NodeId, Port))> =
+            Vec::with_capacity(n.saturating_sub(1));
         for v in 0..n {
             match parents[v] {
                 None => assert_eq!(v, root, "non-root node {v} lacks a parent"),
                 Some(p) => {
-                    let port_at_parent = g
-                        .port_toward(p, v)
+                    // Look the edge up from the child side: Σ deg(child)
+                    // is 2m over the whole tree, where scanning from the
+                    // parent would cost Σ deg(parent) — quadratic on stars
+                    // and cliques.
+                    let port_at_child = g
+                        .port_toward(v, p)
                         .unwrap_or_else(|| panic!("tree edge {{{p},{v}}} missing from graph"));
-                    let port_at_child = g.neighbor_via(p, port_at_parent).1;
+                    let port_at_parent = g.arrival_ports(v)[port_at_child];
                     parent[v] = Some((p, port_at_parent, port_at_child));
-                    children[p].push((v, port_at_parent));
+                    child_pairs.push((p, (v, port_at_parent)));
                 }
             }
         }
-        for ch in &mut children {
-            ch.sort_by_key(|&(_, port)| port);
+        let mut children = CsrRows::from_pairs(n, &child_pairs);
+        for v in 0..n {
+            children.row_mut(v).sort_by_key(|&(_, port)| port);
         }
         let t = RootedTree {
             root,
@@ -99,12 +107,12 @@ impl RootedTree {
 
     /// `v`'s children as `(child, port_at_v)`, in port order.
     pub fn children(&self, v: NodeId) -> &[(NodeId, Port)] {
-        &self.children[v]
+        self.children.row(v)
     }
 
     /// `true` if `v` has no children.
     pub fn is_leaf(&self, v: NodeId) -> bool {
-        self.children[v].is_empty()
+        self.children.row(v).is_empty()
     }
 
     /// Iterates the tree edges as [`EdgeRef`]s of the host graph.
@@ -159,7 +167,13 @@ impl RootedTree {
                 if g.neighbor_via(p, pp) != (v, pc) {
                     return Err(format!("ports of tree edge {{{p},{v}}} inconsistent"));
                 }
-                if !self.children[p].contains(&(v, pp)) {
+                // Child rows are sorted by (unique) port; binary search so
+                // validation stays O(m log Δ) on million-node trees.
+                let row = self.children.row(p);
+                let found = row
+                    .binary_search_by_key(&pp, |&(_, port)| port)
+                    .is_ok_and(|i| row[i] == (v, pp));
+                if !found {
                     return Err(format!("child list of {p} misses {v}"));
                 }
             }
@@ -355,17 +369,18 @@ pub fn light_tree(g: &PortGraph, root: NodeId) -> RootedTree {
 /// Roots an (unrooted) spanning-tree edge set at `root`.
 fn tree_from_edge_set(g: &PortGraph, root: NodeId, edges: &[EdgeRef]) -> RootedTree {
     let n = g.num_nodes();
-    let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len() * 2);
     for e in edges {
-        tree_adj[e.u].push(e.v);
-        tree_adj[e.v].push(e.u);
+        pairs.push((e.u, e.v));
+        pairs.push((e.v, e.u));
     }
+    let tree_adj = CsrRows::from_pairs(n, &pairs);
     let mut parents = vec![None; n];
     let mut visited = vec![false; n];
     visited[root] = true;
     let mut queue = std::collections::VecDeque::from([root]);
     while let Some(v) = queue.pop_front() {
-        for &u in &tree_adj[v] {
+        for &u in tree_adj.row(v) {
             if !visited[u] {
                 visited[u] = true;
                 parents[u] = Some(v);

@@ -26,7 +26,7 @@ pub fn bfs_distances(g: &PortGraph, root: NodeId) -> Vec<Option<usize>> {
     let mut queue = VecDeque::from([root]);
     while let Some(v) = queue.pop_front() {
         let dv = dist[v].expect("queued nodes have distances");
-        for u in g.neighbors(v) {
+        for &u in g.neighbors(v) {
             if dist[u].is_none() {
                 dist[u] = Some(dv + 1);
                 queue.push_back(u);
@@ -57,7 +57,7 @@ pub fn components(g: &PortGraph) -> Vec<usize> {
         comp[start] = next;
         let mut queue = VecDeque::from([start]);
         while let Some(v) = queue.pop_front() {
-            for u in g.neighbors(v) {
+            for &u in g.neighbors(v) {
                 if comp[u] == usize::MAX {
                     comp[u] = next;
                     queue.push_back(u);
@@ -87,13 +87,20 @@ impl UnionFind {
         }
     }
 
-    /// Representative of `x`'s set, with path compression.
+    /// Representative of `x`'s set, with path compression. Iterative so a
+    /// million-node degenerate chain cannot overflow the stack.
     pub fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
         }
-        self.parent[x]
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
     }
 
     /// Merges the sets of `a` and `b`; returns `true` if they were distinct.

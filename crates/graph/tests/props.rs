@@ -3,13 +3,72 @@
 use oraclesize_graph::families::{self, Family};
 use oraclesize_graph::gadgets;
 use oraclesize_graph::spanning::{self, TreeAlgorithm};
-use oraclesize_graph::PortGraphBuilder;
+use oraclesize_graph::{GraphError, PortGraph, PortGraphBuilder};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 fn arb_family() -> impl Strategy<Value = Family> {
     proptest::sample::select(Family::ALL.to_vec())
+}
+
+/// A random *valid* nested port map `adj[v][p] = (u, q)` — the reference
+/// semantics the flat-CSR [`PortGraph`] must be observationally equivalent
+/// to. Ports are insertion order over a shuffled edge list, so port
+/// assignments are arbitrary rather than sorted.
+fn arb_nested_adjacency(n: usize, density: f64, seed: u64) -> Vec<Vec<(usize, usize)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+        .collect();
+    pairs.shuffle(&mut rng);
+    for (u, v) in pairs {
+        if rng.gen_bool(density) {
+            let pu = adj[u].len();
+            let pv = adj[v].len();
+            adj[u].push((v, pv));
+            adj[v].push((u, pu));
+        }
+    }
+    adj
+}
+
+/// Nested-semantics reference validator, scanning in the same
+/// node-major/port-minor order the CSR `validate` documents: the CSR
+/// implementation must report the *same first violation*.
+fn reference_validate(adj: &[Vec<(usize, usize)>], labels: &[u64]) -> Result<(), GraphError> {
+    let n = adj.len();
+    for (v, ports) in adj.iter().enumerate() {
+        let mut seen: Vec<usize> = Vec::new();
+        for (p, &(u, q)) in ports.iter().enumerate() {
+            if u >= n {
+                return Err(GraphError::OutOfRange { node: v, port: p });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: v });
+            }
+            if seen.contains(&u) {
+                return Err(GraphError::ParallelEdge { u: v, v: u });
+            }
+            seen.push(u);
+            if q >= adj[u].len() {
+                return Err(GraphError::OutOfRange { node: v, port: p });
+            }
+            if adj[u][q] != (v, p) {
+                return Err(GraphError::AsymmetricPortMap { node: v, port: p });
+            }
+        }
+    }
+    let mut sorted = labels.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(GraphError::DuplicateLabel { label: w[0] });
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -141,7 +200,7 @@ proptest! {
         let mut queue = std::collections::VecDeque::from([protect[0]]);
         let mut reached = 1;
         while let Some(v) = queue.pop_front() {
-            for u in g.neighbors(v) {
+            for &u in g.neighbors(v) {
                 if !crashed[u] && !seen[u] {
                     seen[u] = true;
                     reached += 1;
@@ -150,6 +209,116 @@ proptest! {
             }
         }
         prop_assert_eq!(reached, nodes - set.len());
+    }
+
+    #[test]
+    fn csr_graph_observes_like_nested_adjacency(
+        n in 1usize..40,
+        density in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let adj = arb_nested_adjacency(n, density, seed);
+        let g = PortGraph::from_adjacency(adj.clone()).expect("valid by construction");
+
+        prop_assert_eq!(g.num_nodes(), adj.len());
+        prop_assert_eq!(
+            g.num_edges(),
+            adj.iter().map(Vec::len).sum::<usize>() / 2
+        );
+        for (v, ports) in adj.iter().enumerate() {
+            // Default labels are node ids, as the nested constructor did.
+            prop_assert_eq!(g.label(v), v as u64);
+            prop_assert_eq!(g.degree(v), ports.len());
+            // Port iteration order is exactly the nested order…
+            let neighbors: Vec<usize> = ports.iter().map(|&(u, _)| u).collect();
+            let arrivals: Vec<usize> = ports.iter().map(|&(_, q)| q).collect();
+            prop_assert_eq!(g.neighbors(v), &neighbors[..]);
+            prop_assert_eq!(g.arrival_ports(v), &arrivals[..]);
+            // …and so is single-port lookup.
+            for (p, &(u, q)) in ports.iter().enumerate() {
+                prop_assert_eq!(g.neighbor_via(v, p), (u, q));
+            }
+            for u in 0..n {
+                prop_assert_eq!(
+                    g.port_toward(v, u),
+                    ports.iter().position(|&(w, _)| w == u)
+                );
+                prop_assert_eq!(g.has_edge(v, u), ports.iter().any(|&(w, _)| w == u));
+            }
+        }
+        // Canonical edge iteration: u-major, port-minor, u < v — identical
+        // to enumerating the nested structure the same way.
+        let reference: Vec<(usize, usize, usize, usize)> = adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ports)| {
+                ports
+                    .iter()
+                    .enumerate()
+                    .filter(move |&(_, &(v, _))| u < v)
+                    .map(move |(pu, &(v, pv))| (u, pu, v, pv))
+            })
+            .collect();
+        let csr: Vec<(usize, usize, usize, usize)> = g
+            .edges()
+            .map(|e| (e.u, e.port_u, e.v, e.port_v))
+            .collect();
+        prop_assert_eq!(csr, reference);
+    }
+
+    #[test]
+    fn csr_labeled_constructor_matches_nested_labels(
+        n in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let adj = arb_nested_adjacency(n, 0.4, seed);
+        let labels: Vec<u64> = (0..n as u64).map(|v| v * 7 + 3).collect();
+        let g = PortGraph::from_adjacency_labeled(adj, labels.clone()).expect("valid");
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert_eq!(g.label(v), l);
+            prop_assert_eq!(g.node_by_label(l), Some(v));
+        }
+        prop_assert_eq!(g.node_by_label(1), None);
+    }
+
+    #[test]
+    fn csr_reports_the_same_first_violation_as_nested_semantics(
+        n in 2usize..24,
+        seed in any::<u64>(),
+        kind in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let mut adj = arb_nested_adjacency(n, 0.5, seed);
+        let mut labels: Vec<u64> = (0..n as u64).collect();
+        prop_assume!(adj.iter().any(|p| !p.is_empty()));
+        let v = {
+            let mut v = rng.gen_range(0..n);
+            while adj[v].is_empty() {
+                v = (v + 1) % n;
+            }
+            v
+        };
+        let p = rng.gen_range(0..adj[v].len());
+        // One corruption of a random kind; whatever *first* violation the
+        // scan order implies (possibly at the stale partner entry), the CSR
+        // and nested-reference validators must agree on it exactly.
+        match kind {
+            0 => adj[v][p].0 = v,                          // self-loop
+            1 => adj[v][p].0 = n + rng.gen_range(0..4usize), // target out of range
+            2 => adj[v][p].1 += 17,                        // back-port out of range
+            3 => {
+                // Redirect to another neighbor slot: breaks symmetry, and
+                // creates a parallel edge whenever deg(v) ≥ 2.
+                let (u, _) = adj[v][(p + 1) % adj[v].len()];
+                prop_assume!(u != adj[v][p].0);
+                adj[v][p].0 = u;
+            }
+            _ => labels[v] = labels[(v + 1) % n],          // duplicate label
+        }
+        let reference = reference_validate(&adj, &labels);
+        prop_assert!(reference.is_err());
+        let csr = PortGraph::from_adjacency_labeled(adj, labels).map(|_| ());
+        prop_assert_eq!(csr, reference);
     }
 
     #[test]

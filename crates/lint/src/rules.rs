@@ -37,6 +37,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no ambient entropy (thread_rng/OsRng/from_entropy) — randomness flows from seeds",
     },
     RuleInfo {
+        id: "D005",
+        summary:
+            "no Vec<Vec<…>> adjacency-shaped struct fields in graph/sim library code (use flat CSR)",
+    },
+    RuleInfo {
         id: "P001",
         summary: "no unwrap()/expect()/panic! in sim/runtime library hot paths",
     },
@@ -128,6 +133,9 @@ pub fn check_file(file: &SourceFile, info: &WorkspaceInfo, only: Option<&str>) -
     }
     if want("D004") {
         d004(file, &mut out);
+    }
+    if want("D005") {
+        d005(file, &mut out);
     }
     if want("P001") {
         p001(file, &mut out);
@@ -398,6 +406,71 @@ fn d004(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 ),
             ));
         }
+    }
+}
+
+/// D005: `Vec<Vec<…>>` struct fields in graph/sim library code. The
+/// engine's memory-layout invariant (DESIGN.md §11) keeps per-node data
+/// flat — CSR arrays or arenas — so an adjacency-shaped nested-Vec field
+/// reintroduces one heap allocation per node and pointer-chasing scans.
+/// Scope is *field declarations* in brace-struct bodies: locals,
+/// parameters, and return types may still stage nested data before
+/// flattening. An allow must carry a reason.
+fn d005(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !(file.path.starts_with("crates/graph/src") || file.path.starts_with("crates/sim/src")) {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        // Walk to the struct's field block; a `;` first means a tuple or
+        // unit struct — no brace block to scan.
+        let mut depth = 0isize;
+        let mut open = None;
+        for (j, t) in toks.iter().enumerate().skip(i + 1) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let close = matching(toks, open, "{", "}");
+        for j in open..close {
+            if !shipping(file, j) {
+                continue;
+            }
+            if toks[j].is_ident("Vec")
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("<"))
+                && toks.get(j + 2).is_some_and(|t| t.is_ident("Vec"))
+                && toks.get(j + 3).is_some_and(|t| t.is_punct("<"))
+            {
+                out.push(diag(
+                    file,
+                    "D005",
+                    j,
+                    "`Vec<Vec<…>>` field is an adjacency-shaped layout — store it flat \
+                     (CSR offsets/targets or CsrRows) or allow with a justification \
+                     (`lint:allow(D005): why`)"
+                        .to_string(),
+                ));
+            }
+        }
+        i = close + 1;
     }
 }
 

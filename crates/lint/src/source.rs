@@ -54,13 +54,13 @@ impl SourceFile {
     }
 
     /// `true` when a `lint:allow` directive suppresses `rule` at `line`.
-    /// P001/P002 allows suppress only when they carry a `: reason` — a
-    /// panic path kept on purpose must say why.
+    /// D005/P001/P002 allows suppress only when they carry a `: reason` —
+    /// a nested layout or panic path kept on purpose must say why.
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
         self.resolved_allows.iter().any(|(a, covered)| {
             *covered == line
                 && a.rules.iter().any(|r| r == rule)
-                && (!matches!(rule, "P001" | "P002") || a.reason.is_some())
+                && (!matches!(rule, "D005" | "P001" | "P002") || a.reason.is_some())
         })
     }
 }

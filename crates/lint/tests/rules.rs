@@ -142,6 +142,60 @@ fn d004_clean_on_seeded_rng() {
     assert!(lint_one("crates/explore/src/fixture.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------- D005
+
+#[test]
+fn d005_fires_on_nested_vec_struct_field() {
+    let src = "pub struct Adjacency {\n\
+               \x20   pub adj: Vec<Vec<(usize, usize)>>,\n\
+               \x20   labels: Vec<u64>,\n\
+               }\n";
+    let diags = lint_one("crates/graph/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["D005"]);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn d005_clean_on_flat_fields_locals_and_params() {
+    // CSR-shaped fields are the point of the rule…
+    let flat = "pub struct Csr {\n\
+                \x20   offsets: Vec<usize>,\n\
+                \x20   targets: Vec<usize>,\n\
+                }\n";
+    assert!(lint_one("crates/graph/src/fixture.rs", flat).is_empty());
+    // …and staging nested data in locals, params, or return types is
+    // fine: only the stored layout is constrained.
+    let staged = "fn flatten(adj: Vec<Vec<usize>>) -> Vec<usize> {\n\
+                  \x20   let nested: Vec<Vec<usize>> = vec![adj.concat()];\n\
+                  \x20   nested.concat()\n\
+                  }\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", staged).is_empty());
+}
+
+#[test]
+fn d005_scoped_to_graph_and_sim_and_exempts_tests() {
+    let src = "struct T { rows: Vec<Vec<String>> }\n";
+    assert!(lint_one("crates/analysis/src/fixture.rs", src).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n struct T { rows: Vec<Vec<u8>> }\n}\n";
+    assert!(lint_one("crates/graph/src/fixture.rs", in_test).is_empty());
+}
+
+#[test]
+fn d005_allow_requires_reason() {
+    let bare = "struct B {\n\
+                \x20   adj: Vec<Vec<u8>>, // lint:allow(D005)\n\
+                }\n";
+    assert_eq!(
+        rules_of(&lint_one("crates/graph/src/fixture.rs", bare)),
+        vec!["D005"]
+    );
+    let justified = "struct B {\n\
+                     \x20   // lint:allow(D005): builder staging area, flattened by build()\n\
+                     \x20   adj: Vec<Vec<u8>>,\n\
+                     }\n";
+    assert!(lint_one("crates/graph/src/fixture.rs", justified).is_empty());
+}
+
 // ---------------------------------------------------------------- P001
 
 #[test]

@@ -117,7 +117,7 @@ impl NodeBehavior for FallbackState {
         Vec::new()
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         if message.carries_source {
             self.fire(Some(port))
         } else {
@@ -136,7 +136,7 @@ impl NodeBehavior for FallbackSource {
         self.inner.fire(None)
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         self.inner.on_receive(port, message)
     }
 }

@@ -237,7 +237,7 @@ mod tests {
                     fn on_receive(
                         &mut self,
                         _p: oraclesize_graph::Port,
-                        _m: &oraclesize_sim::protocol::Message,
+                        _m: oraclesize_sim::protocol::Message,
                     ) -> Vec<oraclesize_sim::protocol::Outgoing> {
                         Vec::new()
                     }

@@ -101,6 +101,7 @@ fn metrics_json(m: &RunMetrics) -> Json {
         .field("to_crashed", m.faults.to_crashed)
         .field("advice_mutations", m.faults.advice_mutations)
         .field("payload_copies", m.faults.payload_copies)
+        .field("queue_allocs", m.faults.queue_allocs)
 }
 
 fn metrics_from_json(j: &Json) -> Option<RunMetrics> {
@@ -121,6 +122,7 @@ fn metrics_from_json(j: &Json) -> Option<RunMetrics> {
             to_crashed: get("to_crashed")?,
             advice_mutations: get("advice_mutations")?,
             payload_copies: get("payload_copies")?,
+            queue_allocs: get("queue_allocs")?,
         },
     })
 }

@@ -1,9 +1,9 @@
 //! The network state machine: send validation, accounting, fault
-//! injection, and the zero-clone delivery hot path.
+//! injection, and the zero-clone, zero-allocation delivery hot path.
 
 use std::collections::VecDeque;
 
-use oraclesize_bits::BitString;
+use oraclesize_bits::{BitSet, BitString};
 use oraclesize_graph::{NodeId, Port, PortGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,9 +23,93 @@ pub(crate) struct InFlight {
     pub message: Message,
 }
 
+/// Slab arena for in-flight messages.
+///
+/// The delivery queues hold `u32` slot indices, not [`InFlight`] values:
+/// payloads are moved into a slot once at [`insert`](MsgSlab::insert) and
+/// never move again until [`take`](MsgSlab::take) hands them to the
+/// receiver. Freed slots are recycled through a free list, so a run's
+/// steady state performs no per-delivery heap allocation at all.
+///
+/// [`enqueue`](NetState::enqueue) bulk-[`reserve`](MsgSlab::reserve)s one
+/// slot per send up front; that growth is amortised (geometric `Vec`
+/// growth) and deliberately *not* counted. What `queue_allocs` counts is
+/// an insert that outruns the prepared free list and forces a fresh slot —
+/// on a fault-free run that can never happen (one send, one slot), so
+/// engine tests pin `queue_allocs == 0` the same way they pin
+/// `payload_copies == 0`. Only the extra deliveries a duplication fault
+/// manufactures can trip it.
+#[derive(Default)]
+pub(crate) struct MsgSlab {
+    slots: Vec<Option<InFlight>>,
+    free: Vec<u32>,
+    /// Slots created outside [`reserve`](MsgSlab::reserve) — forced,
+    /// per-delivery growth. Reported as
+    /// [`FaultCounts::queue_allocs`](crate::faults::FaultCounts::queue_allocs).
+    pub queue_allocs: u64,
+}
+
+impl MsgSlab {
+    /// Pre-extends the free list so the next `extra` inserts all reuse
+    /// prepared slots. Bulk, amortised growth — not counted.
+    pub fn reserve(&mut self, extra: usize) {
+        let need = extra.saturating_sub(self.free.len());
+        self.slots.reserve(need);
+        self.free.reserve(need);
+        for _ in 0..need {
+            let idx = self.slots.len() as u32;
+            self.slots.push(None);
+            self.free.push(idx);
+        }
+    }
+
+    /// Stores one in-flight message, returning its slot index. Running
+    /// past the prepared free list forces a fresh slot, counted in
+    /// [`queue_allocs`](MsgSlab::queue_allocs).
+    pub fn insert(&mut self, m: InFlight) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some(m);
+                idx
+            }
+            None => {
+                self.queue_allocs += 1;
+                let idx = self.slots.len() as u32;
+                self.slots.push(Some(m));
+                idx
+            }
+        }
+    }
+
+    /// Removes and returns the message in slot `idx`, recycling the slot.
+    /// `None` for a vacant or out-of-range slot.
+    pub fn take(&mut self, idx: u32) -> Option<InFlight> {
+        let m = self.slots.get_mut(idx as usize)?.take();
+        if m.is_some() {
+            self.free.push(idx);
+        }
+        m
+    }
+
+    /// Whether slot `idx` holds a message carrying the source bit —
+    /// the starving scheduler's predicate, answered without touching the
+    /// payload.
+    pub fn carries_source(&self, idx: u32) -> bool {
+        self.slots
+            .get(idx as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|m| m.message.carries_source)
+    }
+}
+
 /// Everything the engine mutates while messages are in flight: node status
-/// (informed, crashed, send budgets), accounting, the fault RNG, and the
-/// trace recorder.
+/// (informed, crashed, send budgets), the in-flight slab, accounting, the
+/// fault RNG, and the trace recorder.
+///
+/// Node status lives in struct-of-arrays form — packed [`BitSet`]s for the
+/// two boolean planes, a flat `Vec<u64>` for send budgets — so a
+/// million-node run costs two 125 kB bitsets, not two megabyte-sized
+/// `Vec<bool>`s (DESIGN.md §11).
 ///
 /// Splitting this off the driver loop lets [`enqueue`](NetState::enqueue)
 /// borrow the whole machine mutably while the driver keeps its own handles
@@ -34,10 +118,12 @@ pub(crate) struct NetState<'a> {
     g: &'a PortGraph,
     config: &'a SimConfig,
     /// Which nodes have the source message.
-    pub informed: Vec<bool>,
+    pub informed: BitSet,
     /// Which nodes have crash-stopped.
-    pub crashed: Vec<bool>,
+    pub crashed: BitSet,
     sends_made: Vec<u64>,
+    /// In-flight payload storage; the delivery queues hold indices into it.
+    pub slab: MsgSlab,
     /// Accounting, updated per accepted send.
     pub metrics: RunMetrics,
     fault_rng: Option<StdRng>,
@@ -65,17 +151,21 @@ impl<'a> NetState<'a> {
         } else {
             Some(StdRng::seed_from_u64(plan.seed))
         };
-        let mut informed = vec![false; n];
-        informed[source] = true;
-        let crashed = (0..n)
-            .map(|v| plan.crashes.get(&v).is_some_and(|&k| k == 0))
-            .collect();
+        let mut informed = BitSet::new(n);
+        informed.set(source, true);
+        let mut crashed = BitSet::new(n);
+        for (&v, &budget) in &plan.crashes {
+            if budget == 0 && v < n {
+                crashed.set(v, true);
+            }
+        }
         NetState {
             g,
             config,
             informed,
             crashed,
             sends_made: vec![0; n],
+            slab: MsgSlab::default(),
             metrics: RunMetrics::default(),
             fault_rng,
             next_msg: 0,
@@ -94,6 +184,11 @@ impl<'a> NetState<'a> {
         Some(mutated)
     }
 
+    /// Removes the in-flight message in slab slot `idx` for delivery.
+    pub fn take_in_flight(&mut self, idx: u32) -> Option<InFlight> {
+        self.slab.take(idx)
+    }
+
     /// Enqueues `sends` from node `v` onto `out`, validating rules,
     /// accounting, and injecting in-flight faults. A crashed node's sends
     /// are suppressed (it is dead, so they are not wakeup violations
@@ -101,27 +196,32 @@ impl<'a> NetState<'a> {
     /// under faults.
     ///
     /// This is the delivery hot path: each accepted payload is *moved*
-    /// into the queue. The only copies are the extra deliveries a
-    /// duplication fault manufactures, counted in
-    /// [`FaultCounts::payload_copies`](crate::faults::FaultCounts::payload_copies).
+    /// into a slab slot and `out` receives only its `u32` index. The only
+    /// copies are the extra deliveries a duplication fault manufactures,
+    /// counted in
+    /// [`FaultCounts::payload_copies`](crate::faults::FaultCounts::payload_copies);
+    /// the only uncovered slot growth is likewise duplication-only,
+    /// counted in
+    /// [`FaultCounts::queue_allocs`](crate::faults::FaultCounts::queue_allocs).
     /// Trace emission is likewise free when off: event construction sits
     /// behind the recorder's cached `on` flag and events are stack-only.
     pub fn enqueue(
         &mut self,
         v: NodeId,
         sends: Vec<Outgoing>,
-        out: &mut VecDeque<InFlight>,
+        out: &mut VecDeque<u32>,
     ) -> Result<(), SimError> {
         if sends.is_empty() {
             return Ok(());
         }
-        if self.crashed[v] {
+        if self.crashed.get(v) {
             self.metrics.faults.suppressed_sends += sends.len() as u64;
             return Ok(());
         }
-        if self.config.mode == TaskMode::Wakeup && !self.informed[v] {
+        if self.config.mode == TaskMode::Wakeup && !self.informed.get(v) {
             return Err(SimError::WakeupViolation { node: v });
         }
+        self.slab.reserve(sends.len());
         for s in sends {
             if s.port >= self.g.degree(v) {
                 return Err(SimError::PortOutOfRange {
@@ -140,14 +240,14 @@ impl<'a> NetState<'a> {
                     });
                 }
             }
-            if self.crashed[v] {
+            if self.crashed.get(v) {
                 // The crash budget ran out earlier in this batch.
                 self.metrics.faults.suppressed_sends += 1;
                 continue;
             }
             let (to, arrival_port) = self.g.neighbor_via(v, s.port);
             let mut message = s.message;
-            message.carries_source = self.informed[v];
+            message.carries_source = self.informed.get(v);
             self.metrics.messages += 1;
             if message.carries_source {
                 self.metrics.informed_messages += 1;
@@ -162,7 +262,7 @@ impl<'a> NetState<'a> {
                 .get(&v)
                 .is_some_and(|&k| self.sends_made[v] >= k)
             {
-                self.crashed[v] = true;
+                self.crashed.set(v, true);
             }
             let msg = self.next_msg;
             self.next_msg += 1;
@@ -209,23 +309,25 @@ impl<'a> NetState<'a> {
                     carries_source: message.carries_source,
                 });
                 let delivered = self.maybe_flip(copy_id, message.clone());
-                out.push_back(InFlight {
+                let slot = self.slab.insert(InFlight {
                     msg: copy_id,
                     from: v,
                     to,
                     arrival_port,
                     message: delivered,
                 });
+                out.push_back(slot);
             }
             if copies > 0 {
                 let delivered = self.maybe_flip(msg, message);
-                out.push_back(InFlight {
+                let slot = self.slab.insert(InFlight {
                     msg,
                     from: v,
                     to,
                     arrival_port,
                     message: delivered,
                 });
+                out.push_back(slot);
             }
         }
         Ok(())
@@ -255,5 +357,94 @@ impl<'a> NetState<'a> {
             }
         }
         message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(msg: MsgId) -> InFlight {
+        InFlight {
+            msg,
+            from: 0,
+            to: 1,
+            arrival_port: 0,
+            message: Message::empty(),
+        }
+    }
+
+    #[test]
+    fn reserved_inserts_are_not_counted() {
+        let mut slab = MsgSlab::default();
+        slab.reserve(3);
+        let a = slab.insert(dummy(0));
+        let b = slab.insert(dummy(1));
+        let c = slab.insert(dummy(2));
+        assert_eq!(slab.queue_allocs, 0);
+        assert_eq!(slab.take(b).map(|m| m.msg), Some(1));
+        assert_eq!(slab.take(a).map(|m| m.msg), Some(0));
+        assert_eq!(slab.take(c).map(|m| m.msg), Some(2));
+    }
+
+    #[test]
+    fn unreserved_insert_forces_growth() {
+        let mut slab = MsgSlab::default();
+        slab.reserve(1);
+        slab.insert(dummy(0));
+        slab.insert(dummy(1)); // outruns the reserve: forced slot
+        assert_eq!(slab.queue_allocs, 1);
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut slab = MsgSlab::default();
+        slab.reserve(1);
+        let a = slab.insert(dummy(0));
+        assert!(slab.take(a).is_some());
+        let b = slab.insert(dummy(1));
+        assert_eq!(a, b, "freed slot must be reused");
+        assert_eq!(slab.queue_allocs, 0);
+    }
+
+    #[test]
+    fn take_vacant_or_out_of_range_is_none() {
+        let mut slab = MsgSlab::default();
+        slab.reserve(2);
+        assert!(slab.take(0).is_none(), "vacant slot");
+        assert!(slab.take(99).is_none(), "out of range");
+        let a = slab.insert(dummy(7));
+        assert!(slab.take(a).is_some());
+        assert!(slab.take(a).is_none(), "double take");
+    }
+
+    #[test]
+    fn carries_source_reads_without_removing() {
+        let mut slab = MsgSlab::default();
+        slab.reserve(2);
+        let mut m = dummy(0);
+        m.message.carries_source = true;
+        let a = slab.insert(m);
+        let b = slab.insert(dummy(1));
+        assert!(slab.carries_source(a));
+        assert!(!slab.carries_source(b));
+        assert!(!slab.carries_source(42), "out of range is uninformed");
+        assert!(slab.take(a).is_some(), "predicate must not remove");
+    }
+
+    #[test]
+    fn reserve_tops_up_only_the_shortfall() {
+        let mut slab = MsgSlab::default();
+        slab.reserve(4);
+        let a = slab.insert(dummy(0));
+        slab.take(a);
+        // 4 free slots remain; reserving 4 again must create none.
+        let before = slab.slots.len();
+        slab.reserve(4);
+        assert_eq!(slab.slots.len(), before);
+        for i in 0..4 {
+            slab.insert(dummy(i));
+        }
+        assert_eq!(slab.queue_allocs, 0);
     }
 }

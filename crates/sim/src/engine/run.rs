@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use oraclesize_bits::BitString;
+use oraclesize_bits::{BitArena, BitString};
 use oraclesize_graph::{NodeId, PortGraph};
 
 use crate::engine::config::SimConfig;
@@ -95,12 +95,15 @@ pub fn run_with_sink(
 
     let mut net = NetState::new(g, config, source, sink);
     let corrupted = net.corrupt_advice(advice);
-    let advice: &[BitString] = corrupted.as_deref().unwrap_or(advice);
+    // One contiguous buffer for all n advice strings (SoA layout,
+    // DESIGN.md §11) instead of n separately-allocated clones; node views
+    // materialise their own string from their arena span.
+    let advice = BitArena::from_strings(corrupted.as_deref().unwrap_or(advice));
 
     let mut behaviors: Vec<Box<dyn NodeBehavior>> = (0..n)
         .map(|v| {
             protocol.create(NodeView {
-                advice: advice[v].clone(),
+                advice: advice.get(v),
                 is_source: v == source,
                 id: if config.anonymous {
                     None
@@ -112,8 +115,10 @@ pub fn run_with_sink(
         })
         .collect();
 
-    let mut pending: VecDeque<InFlight> = VecDeque::new();
-    let mut next_round: VecDeque<InFlight> = VecDeque::new();
+    // The queues hold slab indices; payloads live in `net.slab` and never
+    // move between enqueue and delivery.
+    let mut pending: VecDeque<u32> = VecDeque::new();
+    let mut next_round: VecDeque<u32> = VecDeque::new();
 
     // Spontaneous phase.
     net.rec.emit(TraceEvent::PhaseStart {
@@ -137,12 +142,14 @@ pub fn run_with_sink(
                     if net.rec.on {
                         net.rec.emit(TraceEvent::Rollup(Rollup {
                             round: rounds,
-                            informed: net.informed.iter().filter(|&&x| x).count() as u64,
+                            informed: net.informed.count_ones() as u64,
                             messages: net.metrics.messages,
                             frontier: next_round.len() as u64,
                         }));
                     }
-                    pending = std::mem::take(&mut next_round);
+                    // Swap (not take): the drained queue keeps its buffer,
+                    // so alternating rounds reuse two allocations forever.
+                    std::mem::swap(&mut pending, &mut next_round);
                     rounds += 1;
                     net.rec.emit(TraceEvent::PhaseStart {
                         phase: Phase::Round(rounds),
@@ -159,7 +166,12 @@ pub fn run_with_sink(
             let next = if config.synchronous {
                 pending.pop_front()
             } else {
-                scheduler.take(&mut pending, |m: &InFlight| m.message.carries_source)
+                scheduler.take(&mut pending, |&i: &u32| net.slab.carries_source(i))
+            };
+            let Some(slot) = next else {
+                // Unreachable given the nonempty check above; an empty pool
+                // is quiescence, not an error.
+                break;
             };
             let Some(InFlight {
                 msg,
@@ -167,17 +179,16 @@ pub fn run_with_sink(
                 to,
                 arrival_port,
                 message,
-            }) = next
+            }) = net.take_in_flight(slot)
             else {
-                // Unreachable given the nonempty check above; an empty pool
-                // is quiescence, not an error.
+                // Unreachable: queued indices always name occupied slots.
                 break;
             };
 
             let step = steps;
             steps += 1;
 
-            if net.crashed[to] {
+            if net.crashed.get(to) {
                 // The wire delivered it, but nobody is listening: the node
                 // neither learns the source message nor reacts.
                 net.metrics.faults.to_crashed += 1;
@@ -198,8 +209,8 @@ pub fn run_with_sink(
                 bits: message.size_bits() as u64,
                 carries_source: message.carries_source,
             }));
-            if message.carries_source && !net.informed[to] {
-                net.informed[to] = true;
+            if message.carries_source && !net.informed.get(to) {
+                net.informed.set(to, true);
                 net.rec.emit(TraceEvent::Wake {
                     node: to,
                     step,
@@ -207,7 +218,7 @@ pub fn run_with_sink(
                 });
             }
 
-            let sends = behaviors[to].on_receive(arrival_port, &message);
+            let sends = behaviors[to].on_receive(arrival_port, message);
             let out = if config.synchronous {
                 &mut next_round
             } else {
@@ -230,7 +241,7 @@ pub fn run_with_sink(
         });
         let mut spoke = false;
         for (v, behavior) in behaviors.iter_mut().enumerate() {
-            if net.crashed[v] {
+            if net.crashed.get(v) {
                 continue;
             }
             let sends = behavior.on_quiescence();
@@ -245,7 +256,8 @@ pub fn run_with_sink(
 
     net.metrics.steps = steps;
     net.metrics.rounds = rounds;
-    net.metrics.informed_nodes = net.informed.iter().filter(|&&x| x).count() as u64;
+    net.metrics.informed_nodes = net.informed.count_ones() as u64;
+    net.metrics.faults.queue_allocs = net.slab.queue_allocs;
     if net.rec.on {
         // Final progress record at quiescence: the frontier is empty.
         net.rec.emit(TraceEvent::Rollup(Rollup {
@@ -258,8 +270,8 @@ pub fn run_with_sink(
     let outputs = behaviors.iter().map(|b| b.output()).collect();
     Ok(RunOutcome {
         metrics: net.metrics,
-        informed: net.informed,
-        crashed: net.crashed,
+        informed: net.informed.to_bools(),
+        crashed: net.crashed.to_bools(),
         trace: Vec::new(),
         trace_stats: net.rec.stats,
         outputs,

@@ -75,7 +75,7 @@ fn wakeup_mode_rejects_spontaneous_transmissions() {
                 .map(|p| Outgoing::new(p, Message::empty()))
                 .collect()
         }
-        fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+        fn on_receive(&mut self, _p: Port, _m: Message) -> Vec<Outgoing> {
             Vec::new()
         }
     }
@@ -115,7 +115,7 @@ fn message_size_limit_enforced() {
                 Vec::new()
             }
         }
-        fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+        fn on_receive(&mut self, _p: Port, _m: Message) -> Vec<Outgoing> {
             Vec::new()
         }
     }
@@ -153,7 +153,7 @@ fn step_limit_stops_ping_pong() {
                 Vec::new()
             }
         }
-        fn on_receive(&mut self, port: Port, _m: &Message) -> Vec<Outgoing> {
+        fn on_receive(&mut self, port: Port, _m: Message) -> Vec<Outgoing> {
             vec![Outgoing::new(port, Message::empty())]
         }
     }
@@ -184,7 +184,7 @@ fn port_out_of_range_detected() {
                 Vec::new()
             }
         }
-        fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+        fn on_receive(&mut self, _p: Port, _m: Message) -> Vec<Outgoing> {
             Vec::new()
         }
     }
@@ -228,7 +228,7 @@ fn anonymous_mode_hides_ids() {
         fn on_start(&mut self) -> Vec<Outgoing> {
             Vec::new()
         }
-        fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+        fn on_receive(&mut self, _p: Port, _m: Message) -> Vec<Outgoing> {
             Vec::new()
         }
     }
@@ -331,6 +331,7 @@ fn untraced_runs_allocate_nothing_on_the_trace_path() {
     assert_eq!(out.trace.capacity(), 0);
     assert_eq!(out.trace_stats, TraceStats::default());
     assert_eq!(out.metrics.faults.payload_copies, 0);
+    assert_eq!(out.metrics.faults.queue_allocs, 0);
 }
 
 #[test]
@@ -452,19 +453,26 @@ fn duplication_adds_deliveries_not_messages() {
         out.metrics.steps,
         out.metrics.messages + out.metrics.faults.duplicated
     );
-    // Each duplicated send manufactures exactly one payload clone.
+    // Each duplicated send manufactures exactly one payload clone, and
+    // only those extra copies may force slab growth past the per-batch
+    // reserve.
     assert_eq!(out.metrics.faults.payload_copies, out.metrics.messages);
+    assert!(
+        out.metrics.faults.queue_allocs > 0,
+        "the first doubled batch must outrun its reserve"
+    );
 }
 
 #[test]
-fn fault_free_delivery_never_copies_payloads() {
-    // The delivery hot path moves payloads out of the send queue; with an
-    // inert plan (and even with an active plan that never duplicates) the
-    // clone counter must stay at zero.
+fn fault_free_delivery_never_copies_payloads_or_grows_queues() {
+    // The delivery hot path moves payloads into recycled slab slots; with
+    // an inert plan (and even with an active plan that never duplicates)
+    // both the clone counter and the forced-slot counter must stay zero.
     let g = families::complete_rotational(16);
     let out = run(&g, 0, &no_advice(16), &FloodOnce, &SimConfig::default()).unwrap();
     assert!(out.metrics.messages > 0);
     assert_eq!(out.metrics.faults.payload_copies, 0);
+    assert_eq!(out.metrics.faults.queue_allocs, 0);
 
     let dropping = SimConfig::broadcast()
         .with_scheduler(SchedulerKind::Fifo)
@@ -473,6 +481,10 @@ fn fault_free_delivery_never_copies_payloads() {
     assert_eq!(
         out.metrics.faults.payload_copies, 0,
         "drops and bit flips must not clone payloads"
+    );
+    assert_eq!(
+        out.metrics.faults.queue_allocs, 0,
+        "drops and bit flips must not force queue growth"
     );
 }
 
@@ -495,7 +507,7 @@ fn bit_flips_corrupt_delivered_payloads() {
                 Vec::new()
             }
         }
-        fn on_receive(&mut self, _p: Port, m: &Message) -> Vec<Outgoing> {
+        fn on_receive(&mut self, _p: Port, m: Message) -> Vec<Outgoing> {
             self.seen.borrow_mut().push(m.payload.clone());
             Vec::new()
         }
@@ -602,7 +614,7 @@ fn quiescence_polls_are_bounded() {
         fn on_start(&mut self) -> Vec<Outgoing> {
             Vec::new()
         }
-        fn on_receive(&mut self, _p: Port, _m: &Message) -> Vec<Outgoing> {
+        fn on_receive(&mut self, _p: Port, _m: Message) -> Vec<Outgoing> {
             Vec::new()
         }
         fn on_quiescence(&mut self) -> Vec<Outgoing> {

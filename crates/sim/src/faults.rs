@@ -234,6 +234,13 @@ pub struct FaultCounts {
     /// or not — in which no duplication fired; tests use it to assert the
     /// engine's zero-copy contract.
     pub payload_copies: u64,
+    /// In-flight slab slots the engine was forced to create outside the
+    /// bulk per-batch reserve. Like `payload_copies` this is bookkeeping
+    /// for a structural contract, not an injected fault: the delivery
+    /// queues hold indices into a recycled slab, so it is `0` on every
+    /// run in which no duplication fired — tests use it to assert the
+    /// zero-allocation discipline of the hot path.
+    pub queue_allocs: u64,
 }
 
 impl FaultCounts {
@@ -375,9 +382,11 @@ mod tests {
             to_crashed: 5,
             advice_mutations: 6,
             payload_copies: 7,
+            queue_allocs: 8,
         };
-        // payload_copies is bookkeeping for the zero-copy contract, not a
-        // fault kind, so it stays out of total().
+        // payload_copies and queue_allocs are bookkeeping for the
+        // zero-copy / zero-allocation contracts, not fault kinds, so they
+        // stay out of total().
         assert_eq!(c.total(), 21);
         assert_eq!(FaultCounts::default().total(), 0);
     }

@@ -95,8 +95,11 @@ impl NodeBehavior for HistoryState {
         (self.scheme)(&self.history)
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
-        self.history.received.push((message.clone(), port));
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
+        // By-value delivery: the payload is *filed*, not cloned — the
+        // history form now rides the same zero-clone path as reactive
+        // schemes.
+        self.history.received.push((message, port));
         (self.scheme)(&self.history)
     }
 }

@@ -80,8 +80,11 @@ pub trait NodeBehavior {
     /// enforces this).
     fn on_start(&mut self) -> Vec<Outgoing>;
 
-    /// Called when a message arrives on `port`.
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing>;
+    /// Called when a message arrives on `port`. The message is passed by
+    /// value: the behavior *owns* each delivery, so a history-accumulating
+    /// scheme files the payload without cloning it — the engine's
+    /// zero-clone contract extends through the receive boundary.
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing>;
 
     /// Called when the network quiesces (no message in flight), up to
     /// [`SimConfig::max_quiescence_polls`](crate::engine::SimConfig::max_quiescence_polls)
@@ -140,7 +143,7 @@ impl NodeBehavior for FloodState {
         }
     }
 
-    fn on_receive(&mut self, port: Port, message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, port: Port, message: Message) -> Vec<Outgoing> {
         if message.carries_source && !self.forwarded {
             self.forwarded = true;
             (0..self.degree)
@@ -179,7 +182,7 @@ impl NodeBehavior for SilentState {
         Vec::new()
     }
 
-    fn on_receive(&mut self, _port: Port, _message: &Message) -> Vec<Outgoing> {
+    fn on_receive(&mut self, _port: Port, _message: Message) -> Vec<Outgoing> {
         Vec::new()
     }
 }
@@ -232,15 +235,15 @@ mod tests {
         assert!(b.on_start().is_empty());
         // Uninformed control message: ignored.
         let control = Message::empty();
-        assert!(b.on_receive(0, &control).is_empty());
+        assert!(b.on_receive(0, control).is_empty());
         // Informed message: forward to the 3 other ports.
         let mut informed = Message::empty();
         informed.carries_source = true;
-        let sends = b.on_receive(1, &informed);
+        let sends = b.on_receive(1, informed.clone());
         assert_eq!(sends.len(), 3);
         assert!(sends.iter().all(|s| s.port != 1));
         // Second informed message: silence.
-        assert!(b.on_receive(2, &informed).is_empty());
+        assert!(b.on_receive(2, informed).is_empty());
     }
 
     #[test]
@@ -253,6 +256,6 @@ mod tests {
         };
         let mut b = Silent.create(view);
         assert!(b.on_start().is_empty());
-        assert!(b.on_receive(0, &Message::empty()).is_empty());
+        assert!(b.on_receive(0, Message::empty()).is_empty());
     }
 }

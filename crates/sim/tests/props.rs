@@ -160,7 +160,7 @@ proptest! {
         struct ProbeState;
         impl NodeBehavior for ProbeState {
             fn on_start(&mut self) -> Vec<Outgoing> { Vec::new() }
-            fn on_receive(&mut self, _p: usize, _m: &Message) -> Vec<Outgoing> { Vec::new() }
+            fn on_receive(&mut self, _p: usize, _m: Message) -> Vec<Outgoing> { Vec::new() }
         }
         impl Protocol for Probe {
             fn create(&self, view: NodeView) -> Box<dyn NodeBehavior> {
