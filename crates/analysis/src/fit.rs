@@ -127,7 +127,7 @@ pub fn fit_model(model: Model, xs: &[f64], ys: &[f64]) -> Fit {
 /// by `R²`.
 pub fn best_model(xs: &[f64], ys: &[f64]) -> Vec<Fit> {
     let mut fits: Vec<Fit> = Model::ALL.iter().map(|&m| fit_model(m, xs, ys)).collect();
-    fits.sort_by(|p, q| q.r_squared.partial_cmp(&p.r_squared).expect("finite R²"));
+    fits.sort_by(|p, q| q.r_squared.total_cmp(&p.r_squared));
     fits
 }
 

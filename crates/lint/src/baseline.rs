@@ -1,0 +1,109 @@
+//! Baseline suppression: adopt the linter on a tree with known findings.
+//!
+//! A baseline file is exactly the linter's own JSON report
+//! (`check --format json`): `{"findings": [{"rule", "path", "line", …},
+//! …], "count": N}`. `check --baseline <file>` drops findings listed in
+//! it and fails only on *new* ones, so a rule can land before the last
+//! fix does. The committed `lint-baseline.json` is empty — the fix pass
+//! of PR 8 cleared it — and stays in the repo as the ratchet: adding to
+//! it is a reviewed decision, not a side effect.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+
+/// A parsed set of known findings.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: BTreeSet<(String, String, u32)>,
+}
+
+impl Baseline {
+    /// Parses baseline text (the `check --format json` document). `None`
+    /// when the text is not a valid report — a torn baseline must fail
+    /// loudly, not silently suppress everything.
+    pub fn parse(text: &str) -> Option<Baseline> {
+        let doc = oraclesize_runtime::json::parse(text)?;
+        let findings = match doc.get("findings")? {
+            oraclesize_runtime::Json::Array(items) => items,
+            _ => return None,
+        };
+        let mut keys = BTreeSet::new();
+        for f in findings {
+            let rule = f.get("rule")?.as_str()?.to_string();
+            let path = f.get("path")?.as_str()?.to_string();
+            let line = u32::try_from(f.get("line")?.as_u64()?).ok()?;
+            keys.insert((rule, path, line));
+        }
+        Some(Baseline { keys })
+    }
+
+    /// Number of baselined findings.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when the baseline lists nothing.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// `true` when the diagnostic is a known finding.
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        // Key by (rule, path, line): stable across runs of the same tree;
+        // a moved finding resurfaces, which is the safe direction.
+        self.keys
+            .contains(&(d.rule.to_string(), d.path.clone(), d.line))
+    }
+
+    /// Splits diagnostics into (new, suppressed-by-baseline).
+    pub fn partition(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, usize) {
+        let total = diags.len();
+        let fresh: Vec<Diagnostic> = diags.into_iter().filter(|d| !self.contains(d)).collect();
+        let suppressed = total - fresh.len();
+        (fresh, suppressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::render_json;
+
+    fn d(rule: &'static str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_the_json_report_format() {
+        let diags = vec![d("D001", "a.rs", 2), d("P001", "b.rs", 9)];
+        let b = Baseline::parse(&render_json(&diags)).expect("own report must parse");
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(&d("D001", "a.rs", 2)));
+        assert!(!b.contains(&d("D001", "a.rs", 3)));
+        let (fresh, suppressed) = b.partition(vec![d("D001", "a.rs", 2), d("D002", "c.rs", 1)]);
+        assert_eq!(suppressed, 1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].rule, "D002");
+    }
+
+    #[test]
+    fn empty_baseline_suppresses_nothing() {
+        let b = Baseline::parse(&render_json(&[])).unwrap();
+        assert!(b.is_empty());
+        let (fresh, suppressed) = b.partition(vec![d("D001", "a.rs", 2)]);
+        assert_eq!((fresh.len(), suppressed), (1, 0));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Baseline::parse("not json").is_none());
+        assert!(Baseline::parse("{\"count\": 0}").is_none());
+        assert!(Baseline::parse("{\"findings\": [{\"rule\": \"D001\"}], \"count\": 1}").is_none());
+    }
+}

@@ -56,6 +56,69 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         .render()
 }
 
+/// Renders diagnostics as a SARIF 2.1.0 log (one run, one tool driver),
+/// so CI can upload the findings and annotate PRs inline. The document is
+/// rendered through `runtime::Json` and is deterministic: rules appear in
+/// registry order, results in report order, and every result carries a
+/// `ruleIndex` into the driver's rule table.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let rules: Vec<Json> = crate::rules::RULES
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("id", r.id)
+                .field("shortDescription", Json::obj().field("text", r.summary))
+                .field("defaultConfiguration", Json::obj().field("level", "error"))
+        })
+        .collect();
+    let results: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            let rule_index = crate::rules::RULES
+                .iter()
+                .position(|r| r.id == d.rule)
+                .unwrap_or(0);
+            Json::obj()
+                .field("ruleId", d.rule)
+                .field("ruleIndex", rule_index as u64)
+                .field("level", "error")
+                .field("message", Json::obj().field("text", d.message.as_str()))
+                .field(
+                    "locations",
+                    vec![Json::obj().field(
+                        "physicalLocation",
+                        Json::obj()
+                            .field(
+                                "artifactLocation",
+                                Json::obj()
+                                    .field("uri", d.path.as_str())
+                                    .field("uriBaseId", "SRCROOT"),
+                            )
+                            .field("region", Json::obj().field("startLine", u64::from(d.line))),
+                    )],
+                )
+        })
+        .collect();
+    let driver = Json::obj()
+        .field("name", "oraclesize-lint")
+        .field("informationUri", "https://example.org/oraclesize")
+        .field("rules", rules);
+    Json::obj()
+        .field(
+            "$schema",
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        )
+        .field("version", "2.1.0")
+        .field(
+            "runs",
+            vec![Json::obj()
+                .field("tool", Json::obj().field("driver", driver))
+                .field("results", results)
+                .field("columnKind", "utf16CodeUnits")],
+        )
+        .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +154,22 @@ mod tests {
                 ("b.rs", 1, "P001")
             ]
         );
+    }
+
+    #[test]
+    fn sarif_output_is_valid_json_with_rule_metadata() {
+        let v = vec![d("D001", "a.rs", 2), d("A001", "b.rs", 7)];
+        let s = render_sarif(&v);
+        assert!(oraclesize_runtime::json::parses(&s));
+        assert_eq!(s, render_sarif(&v), "must be deterministic");
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"D001\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\"name\": \"oraclesize-lint\""));
+        // Empty runs still render a complete, parseable log.
+        let empty = render_sarif(&[]);
+        assert!(oraclesize_runtime::json::parses(&empty));
+        assert!(empty.contains("\"results\": []"));
     }
 
     #[test]

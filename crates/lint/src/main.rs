@@ -4,20 +4,31 @@
 //! oraclesize-lint check                     # lint the whole workspace
 //! oraclesize-lint check --rule D001         # one rule only
 //! oraclesize-lint check --format json       # machine-readable output
+//! oraclesize-lint check --format sarif      # SARIF 2.1.0 for CI upload
+//! oraclesize-lint check --baseline b.json   # fail only on NEW findings
+//! oraclesize-lint check --paths crates/sim  # restrict to a path prefix
 //! oraclesize-lint check --root /some/tree   # lint another checkout
+//! oraclesize-lint graph                     # dump the call graph (JSON)
+//! oraclesize-lint self-check                # lint the lint crate itself
 //! oraclesize-lint rules                     # list rules
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings, 2 usage error.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use oraclesize_lint::{check_workspace, known_rule, render_json, render_text, RULES};
+use oraclesize_lint::{
+    analyze_sources, build_graph, known_rule, render_json, render_sarif, render_text, walk,
+    Baseline, RULES,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: oraclesize-lint check [--rule <id>] [--format text|json] [--root <path>]\n\
+        "usage: oraclesize-lint check [--rule <id>] [--format text|json|sarif]\n\
+         \x20                           [--baseline <file>] [--paths <prefix>] [--root <path>]\n\
+         \x20      oraclesize-lint graph [--root <path>]\n\
+         \x20      oraclesize-lint self-check [--root <path>]\n\
          \x20      oraclesize-lint rules"
     );
     ExitCode::from(2)
@@ -44,15 +55,51 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("check") => check(&args[1..]),
+        Some("check") => check(&args[1..], None),
+        // `self-check`: the analyzer's own sources must satisfy its own
+        // rules — `check` restricted to crates/lint.
+        Some("self-check") => check(&args[1..], Some("crates/lint/")),
+        Some("graph") => graph(&args[1..]),
         _ => usage(),
     }
 }
 
-fn check(args: &[String]) -> ExitCode {
+fn read_sources(root: &Path) -> Result<Vec<(String, String)>, ExitCode> {
+    walk::collect_sources(root).map_err(|e| {
+        eprintln!(
+            "error: failed to read sources under {}: {e}",
+            root.display()
+        );
+        ExitCode::from(2)
+    })
+}
+
+fn graph(args: &[String]) -> ExitCode {
+    let mut root = default_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let sources = match read_sources(&root) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    println!("{}", build_graph(&sources).to_json().render());
+    ExitCode::SUCCESS
+}
+
+fn check(args: &[String], path_filter: Option<&str>) -> ExitCode {
     let mut rule: Option<String> = None;
     let mut format = "text".to_string();
     let mut root = default_root();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut prefix: Option<String> = path_filter.map(str::to_string);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -61,11 +108,19 @@ fn check(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--format" => match it.next() {
-                Some(v) if v == "text" || v == "json" => format = v.clone(),
+                Some(v) if v == "text" || v == "json" || v == "sarif" => format = v.clone(),
                 _ => return usage(),
             },
             "--root" => match it.next() {
                 Some(v) => root = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--paths" => match it.next() {
+                Some(v) => prefix = Some(v.clone()),
                 None => return usage(),
             },
             _ => return usage(),
@@ -80,20 +135,47 @@ fn check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let diags = match check_workspace(&root, rule.as_deref()) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!(
-                "error: failed to read sources under {}: {e}",
-                root.display()
-            );
-            return ExitCode::from(2);
-        }
+    let baseline = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match Baseline::parse(&text) {
+                Some(b) => Some(b),
+                None => {
+                    eprintln!("error: {} is not a lint JSON report", p.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
-    if format == "json" {
-        println!("{}", render_json(&diags));
-    } else {
-        print!("{}", render_text(&diags));
+    let sources = match read_sources(&root) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    // Analysis always sees the whole workspace — the call graph and
+    // cross-file facts need it — and the prefix filters *findings*.
+    let mut diags = analyze_sources(&sources, rule.as_deref());
+    if let Some(p) = &prefix {
+        diags.retain(|d| d.path.starts_with(p.as_str()));
+    }
+    let mut suppressed = 0usize;
+    if let Some(b) = &baseline {
+        let (fresh, known) = b.partition(diags);
+        diags = fresh;
+        suppressed = known;
+    }
+    match format.as_str() {
+        "json" => println!("{}", render_json(&diags)),
+        "sarif" => println!("{}", render_sarif(&diags)),
+        _ => {
+            print!("{}", render_text(&diags));
+            if suppressed > 0 {
+                println!("lint: {suppressed} baselined finding(s) suppressed");
+            }
+        }
     }
     if diags.is_empty() {
         ExitCode::SUCCESS

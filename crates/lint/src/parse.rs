@@ -1,0 +1,537 @@
+//! Item-level parsing: `fn` definitions and the calls they make.
+//!
+//! Built directly on the token stream of [`crate::lexer`] — no `syn`, no
+//! dependencies. The parser tracks inline `mod`/`impl` nesting with a
+//! brace-depth scope stack, assigns every `fn` a qualified path of the
+//! form `crate::module::Type::name`, records whether it takes `self`,
+//! whether a `// lint:hot-path` marker covers its header line, and
+//! extracts every call expression (`foo(…)`, `a::B::foo(…)`), receiver
+//! method call (`.foo(…)`), and bang macro (`vec![…]`) in its body. The
+//! output feeds [`crate::callgraph`].
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Path segments as written: `[foo]` for `foo(…)` and `.foo(…)`,
+    /// `[Vec, push]` for `Vec::push(…)`, `[a, B, foo]` for `a::B::foo(…)`.
+    pub segments: Vec<String>,
+    /// `true` for a receiver method call (`recv.foo(…)`).
+    pub method: bool,
+    /// `true` for a bang macro (`vec![…]`, `panic!(…)`).
+    pub is_macro: bool,
+    /// 1-based source line of the call's name token.
+    pub line: u32,
+}
+
+impl Call {
+    /// The called name (last path segment).
+    pub fn name(&self) -> &str {
+        self.segments.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// One `fn` definition with its qualified path and extracted calls.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Qualified path: `crate::module::Type::name` (the `Type` segment is
+    /// present only for fns inside an `impl` block).
+    pub path: String,
+    /// Workspace-relative file the fn lives in.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `true` when the parameter list starts with a `self` receiver.
+    pub is_method: bool,
+    /// `true` when a `// lint:hot-path` marker covers the header line.
+    pub hot: bool,
+    /// Calls made directly in this fn's body (nested fns excluded).
+    pub calls: Vec<Call>,
+}
+
+/// Derives the leading module path from a workspace-relative file path:
+/// `crates/sim/src/engine/delivery.rs` → `["sim", "engine", "delivery"]`,
+/// `src/cli.rs` → `["oraclesize", "cli"]`. `lib.rs`, `mod.rs`, and
+/// `main.rs` name their parent module rather than adding a segment.
+pub fn module_base(path: &str) -> Vec<String> {
+    let mut parts: Vec<&str> = path.split('/').collect();
+    let file = parts.pop().unwrap_or("");
+    let mut out: Vec<String> = Vec::new();
+    match parts.first() {
+        Some(&"crates") if parts.len() >= 2 => {
+            out.push(parts[1].to_string());
+            // Skip `crates/<name>/src`; keep deeper directories as modules.
+            for p in parts.iter().skip(2).filter(|p| **p != "src") {
+                out.push((*p).to_string());
+            }
+        }
+        Some(&"src") => {
+            out.push("oraclesize".to_string());
+            for p in parts.iter().skip(1) {
+                out.push((*p).to_string());
+            }
+        }
+        _ => {
+            for p in &parts {
+                out.push((*p).to_string());
+            }
+        }
+    }
+    if !matches!(file, "lib.rs" | "mod.rs" | "main.rs") {
+        if let Some(stem) = file.strip_suffix(".rs") {
+            out.push(stem.to_string());
+        }
+    }
+    out
+}
+
+/// The crate segment of a workspace-relative path (`sim` for
+/// `crates/sim/src/…`, `oraclesize` for `src/…`).
+pub fn crate_of(path: &str) -> String {
+    module_base(path).first().cloned().unwrap_or_default()
+}
+
+/// Scope-stack entry: what kind of item opened the brace at this depth.
+#[derive(Debug)]
+enum Scope {
+    /// `{` from an expression, block, fn body, struct, enum, …
+    Plain,
+    /// `mod name {` — pushed one module segment.
+    Mod,
+    /// `impl … Type … {` — pushed the type name as a segment.
+    Impl,
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "loop", "in", "as", "let", "move", "else",
+    "unsafe", "where", "impl", "dyn",
+];
+
+/// Parses every shipping (non-test) `fn` in `file`.
+pub fn parse_fns(file: &SourceFile) -> Vec<FnDef> {
+    let toks = &file.lexed.toks;
+    let base = module_base(&file.path);
+    let mut fns = Vec::new();
+    let mut path_stack: Vec<String> = base;
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("mod") && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            // `mod name {` opens a module scope; `mod name;` does not.
+            if toks.get(i + 2).is_some_and(|n| n.is_punct("{")) {
+                path_stack.push(toks[i + 1].text.clone());
+                scopes.push(Scope::Mod);
+                i += 3;
+                continue;
+            }
+            i += 2;
+            continue;
+        }
+        if t.is_ident("impl") {
+            if let Some((ty, open)) = impl_type(toks, i) {
+                path_stack.push(ty);
+                scopes.push(Scope::Impl);
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("trait") && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            // `trait Name … {` scopes its method declarations like an impl.
+            let mut k = i + 2;
+            let mut angle = 0isize;
+            let mut open = None;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "<" if toks[k].kind == TokKind::Punct => angle += 1,
+                    ">" if toks[k].kind == TokKind::Punct => angle -= 1,
+                    "{" if toks[k].kind == TokKind::Punct && angle <= 0 => {
+                        open = Some(k);
+                        break;
+                    }
+                    ";" if toks[k].kind == TokKind::Punct && angle <= 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(open) = open {
+                path_stack.push(toks[i + 1].text.clone());
+                scopes.push(Scope::Impl);
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            let (def, next) = parse_one_fn(file, toks, i, &path_stack);
+            if let Some(def) = def {
+                if !file.is_test_file && !file.in_test[i] {
+                    fns.push(def);
+                }
+            }
+            i = next;
+            continue;
+        }
+        if t.is_punct("{") {
+            scopes.push(Scope::Plain);
+        } else if t.is_punct("}") {
+            match scopes.pop() {
+                Some(Scope::Mod) | Some(Scope::Impl) => {
+                    path_stack.pop();
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// For an `impl` at `i`, the implemented type's name and the index of the
+/// body's `{`. `None` when no brace follows at angle/paren depth 0.
+fn impl_type(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    let mut angle = 0isize;
+    let mut after_for: Option<usize> = None;
+    let mut open = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if angle <= 0 => return None,
+                _ => {}
+            }
+        } else if t.is_ident("for") && angle <= 0 {
+            after_for = Some(j + 1);
+        }
+        j += 1;
+    }
+    let open = open?;
+    // The type is the first plain identifier of the (post-`for`) type
+    // expression, skipping `&`, lifetimes, and leading path segments are
+    // kept simple: the *last* ident before `<`/`{` is the type name
+    // (`csr::CsrRows` → `CsrRows`).
+    let start = after_for.unwrap_or(i + 1);
+    let mut name: Option<String> = None;
+    let mut angle2 = 0isize;
+    for t in &toks[start..open] {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle2 += 1,
+                ">" => angle2 -= 1,
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && angle2 <= 0 && !t.is_ident("where") {
+            name = Some(t.text.clone());
+        }
+    }
+    Some((name.unwrap_or_else(|| "_".to_string()), open))
+}
+
+/// Parses the `fn` at `i` (which holds the `fn` keyword). Returns the
+/// definition (None for fn-pointer types or parse failures) and the index
+/// to resume the outer scan at — just past the signature for bodyless
+/// declarations, at the body's `{` for bodied fns (so the outer scan
+/// descends into the body and registers nested items too).
+fn parse_one_fn(
+    file: &SourceFile,
+    toks: &[Tok],
+    i: usize,
+    path_stack: &[String],
+) -> (Option<FnDef>, usize) {
+    let name_tok = &toks[i + 1];
+    let name = name_tok.text.clone();
+    // Walk the signature: past generics `<…>` and params `(…)` to a `{`
+    // (body) or `;` (trait declaration / extern) at depth 0.
+    let mut j = i + 2;
+    let mut angle = 0isize;
+    let mut paren = 0isize;
+    let mut params: Option<(usize, usize)> = None;
+    let mut params_open = None;
+    let mut body_open = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "->" => {} // not a closing angle
+                "(" => {
+                    if paren == 0 && angle <= 0 && params_open.is_none() {
+                        params_open = Some(j);
+                    }
+                    paren += 1;
+                }
+                ")" => {
+                    paren -= 1;
+                    if paren == 0 {
+                        if let Some(open) = params_open {
+                            if params.is_none() {
+                                params = Some((open, j));
+                            }
+                        }
+                    }
+                }
+                "{" if paren == 0 && angle <= 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                ";" if paren == 0 && angle <= 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let is_method = params.is_some_and(|(open, close)| {
+        toks[open + 1..close]
+            .iter()
+            .take(4)
+            .any(|t| t.is_ident("self"))
+            && toks[open + 1..close]
+                .iter()
+                .take_while(|t| !t.is_ident("self"))
+                .all(|t| {
+                    t.kind == TokKind::Lifetime
+                        || (t.kind == TokKind::Punct && matches!(t.text.as_str(), "&" | "mut"))
+                        || t.is_ident("mut")
+                })
+    });
+    let mut full_path = path_stack.to_vec();
+    full_path.push(name.clone());
+    let def = |calls: Vec<Call>| FnDef {
+        name: name.clone(),
+        path: full_path.join("::"),
+        file: file.path.clone(),
+        line: toks[i].line,
+        is_method,
+        hot: file.hot_lines.contains(&toks[i].line),
+        calls,
+    };
+    match body_open {
+        None => (Some(def(Vec::new())), j + 1),
+        Some(open) => {
+            let close = matching_brace(toks, open);
+            let calls = extract_calls(toks, open + 1, close);
+            (Some(def(calls)), open)
+        }
+    }
+}
+
+/// Extracts calls from a body token range, skipping nested `fn` bodies
+/// (the nested fn is its own graph node; its calls belong to it).
+fn extract_calls(toks: &[Tok], start: usize, end: usize) -> Vec<Call> {
+    let mut out = Vec::new();
+    let mut j = start;
+    while j < end.min(toks.len()) {
+        let t = &toks[j];
+        // Nested fn definition: skip its whole body.
+        if t.is_ident("fn") && toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            let mut k = j + 2;
+            let mut paren = 0isize;
+            while k < end {
+                match toks[k].text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "{" if paren == 0 && toks[k].kind == TokKind::Punct => {
+                        k = matching_brace(toks, k);
+                        break;
+                    }
+                    ";" if paren == 0 && toks[k].kind == TokKind::Punct => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident && !NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            let next = toks.get(j + 1);
+            if next.is_some_and(|n| n.is_punct("(")) {
+                let method = j > 0 && toks[j - 1].is_punct(".");
+                let segments = if method {
+                    vec![t.text.clone()]
+                } else {
+                    path_segments_ending_at(toks, j)
+                };
+                out.push(Call {
+                    segments,
+                    method,
+                    is_macro: false,
+                    line: t.line,
+                });
+            } else if next.is_some_and(|n| n.is_punct("!"))
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|n| n.is_punct("(") || n.is_punct("[") || n.is_punct("{"))
+            {
+                out.push(Call {
+                    segments: vec![t.text.clone()],
+                    method: false,
+                    is_macro: true,
+                    line: t.line,
+                });
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// The `::`-joined path ending at the ident at `j`: for `a::B::foo` with
+/// `j` at `foo`, returns `[a, B, foo]`.
+fn path_segments_ending_at(toks: &[Tok], j: usize) -> Vec<String> {
+    let mut rev = vec![toks[j].text.clone()];
+    let mut k = j;
+    while k >= 2 && toks[k - 1].is_punct("::") && toks[k - 2].kind == TokKind::Ident {
+        rev.push(toks[k - 2].text.clone());
+        k -= 2;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Index of the `}` matching the `{` at `open`, or `toks.len()`.
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0isize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(path: &str, src: &str) -> Vec<FnDef> {
+        parse_fns(&SourceFile::new(path, src))
+    }
+
+    #[test]
+    fn module_base_maps_workspace_layouts() {
+        assert_eq!(
+            module_base("crates/sim/src/engine/delivery.rs"),
+            vec!["sim", "engine", "delivery"]
+        );
+        assert_eq!(module_base("crates/sim/src/lib.rs"), vec!["sim"]);
+        assert_eq!(
+            module_base("crates/sim/src/engine/mod.rs"),
+            vec!["sim", "engine"]
+        );
+        assert_eq!(module_base("src/cli.rs"), vec!["oraclesize", "cli"]);
+        assert_eq!(
+            module_base("src/bin/oraclesize.rs"),
+            vec!["oraclesize", "bin", "oraclesize"]
+        );
+    }
+
+    #[test]
+    fn fn_paths_include_mod_and_impl_nesting() {
+        let src = "pub struct S;\n\
+                   impl S {\n    pub fn get(&self) -> u32 { helper() }\n}\n\
+                   mod inner {\n    fn helper() -> u32 { 7 }\n}\n\
+                   fn free() {}\n";
+        let got = fns("crates/graph/src/csr.rs", src);
+        let paths: Vec<&str> = got.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "graph::csr::S::get",
+                "graph::csr::inner::helper",
+                "graph::csr::free"
+            ]
+        );
+        assert!(got[0].is_method);
+        assert!(!got[1].is_method);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = "impl<'a> Display for NetState<'a> {\n    fn fmt(&self) {}\n}\n";
+        let got = fns("crates/sim/src/engine/delivery.rs", src);
+        assert_eq!(got[0].path, "sim::engine::delivery::NetState::fmt");
+    }
+
+    #[test]
+    fn calls_are_extracted_with_shape() {
+        let src = "fn f(x: Vec<u32>) {\n\
+                   \x20   helper();\n\
+                   \x20   x.push(1);\n\
+                   \x20   Box::new(2);\n\
+                   \x20   let v = vec![1, 2];\n\
+                   \x20   drop(v);\n\
+                   }\n";
+        let got = fns("crates/sim/src/x.rs", src);
+        let f = &got[0];
+        let shapes: Vec<(String, bool, bool)> = f
+            .calls
+            .iter()
+            .map(|c| (c.segments.join("::"), c.method, c.is_macro))
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                ("helper".into(), false, false),
+                ("push".into(), true, false),
+                ("Box::new".into(), false, false),
+                ("vec".into(), false, true),
+                ("drop".into(), false, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_path_marker_marks_the_fn() {
+        let src = "// lint:hot-path\nfn hot() {}\nfn cold() {}\n";
+        let got = fns("crates/sim/src/x.rs", src);
+        assert!(got[0].hot);
+        assert!(!got[1].hot);
+    }
+
+    #[test]
+    fn test_region_fns_are_excluded() {
+        let src = "fn shipping() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let got = fns("crates/sim/src/x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "shipping");
+    }
+
+    #[test]
+    fn nested_fn_bodies_do_not_leak_calls() {
+        let src = "fn outer() {\n\
+                   \x20   fn inner() { inner_call(); }\n\
+                   \x20   outer_call();\n\
+                   }\n";
+        let got = fns("crates/sim/src/x.rs", src);
+        let outer = got.iter().find(|f| f.name == "outer").unwrap();
+        assert_eq!(outer.calls.len(), 1);
+        assert_eq!(outer.calls[0].name(), "outer_call");
+        assert!(got.iter().any(|f| f.name == "inner"));
+    }
+
+    #[test]
+    fn keyword_parens_are_not_calls() {
+        let src = "fn f(x: bool) -> u32 {\n    if (x) { 1 } else { 2 }\n}\n";
+        let got = fns("crates/sim/src/x.rs", src);
+        assert!(got[0].calls.is_empty());
+    }
+}

@@ -53,6 +53,21 @@ pub const RULES: &[RuleInfo] = &[
         id: "H001",
         summary: "cross-file matches on #[non_exhaustive] enums carry a `_` arm",
     },
+    RuleInfo {
+        id: "A001",
+        summary:
+            "no allocating constructs (clone/to_vec/push/collect/Box::new/vec!/String::from) in \
+             fns statically reachable from a `lint:hot-path` root",
+    },
+    RuleInfo {
+        id: "O001",
+        summary: "no partial_cmp comparators or float accumulation over hash collections in \
+             deterministic crates (use total_cmp / BTree collections)",
+    },
+    RuleInfo {
+        id: "O002",
+        summary: "no parallel iteration or thread-local merge state outside runtime::pool",
+    },
 ];
 
 /// Crates whose outputs must be exactly replayable: D001's scope.
@@ -63,6 +78,7 @@ const DETERMINISTIC_PREFIXES: &[&str] = &[
     "crates/graph/src",
     "crates/lowerbound/src",
     "crates/bits/src",
+    "crates/analysis/src",
 ];
 
 /// Facts gathered across the whole file set before per-file checks run.
@@ -146,6 +162,12 @@ pub fn check_file(file: &SourceFile, info: &WorkspaceInfo, only: Option<&str>) -
     if want("H001") {
         h001(file, info, &mut out);
     }
+    if want("O001") {
+        crate::rules_order::o001(file, in_deterministic_scope(&file.path), &mut out);
+    }
+    if want("O002") {
+        crate::rules_order::o002(file, &mut out);
+    }
     out
 }
 
@@ -185,7 +207,7 @@ fn d001(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         return;
     }
     let toks = &file.lexed.toks;
-    let hash_names = collect_hash_bindings(toks);
+    let hash_names = hash_bindings(toks);
     let is_hash = |t: &Tok| {
         t.kind == TokKind::Ident
             && (t.text == "HashMap" || t.text == "HashSet" || hash_names.contains(&t.text))
@@ -241,8 +263,9 @@ fn d001(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// Identifiers bound (let/field/param) to a HashMap/HashSet type in this
 /// file. A heuristic: the statement or declarator's leading tokens are
 /// searched for the type names; over-approximation is harmless because
-/// only *iteration* of a collected name is flagged.
-fn collect_hash_bindings(toks: &[Tok]) -> BTreeSet<String> {
+/// only *iteration* of a collected name is flagged. Shared with O001,
+/// which checks float accumulation over the same bindings.
+pub(crate) fn hash_bindings(toks: &[Tok]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for i in 0..toks.len() {
         // let [mut] NAME … = … HashMap/HashSet … ;

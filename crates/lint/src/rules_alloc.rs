@@ -1,0 +1,121 @@
+//! A-rules: allocation freedom on the delivery hot path.
+//!
+//! A001 walks the workspace call graph from the `// lint:hot-path` roots
+//! and flags every allocating construct in a statically reachable fn:
+//! `clone` / `to_vec` / `push` / `collect` method calls, `Box::new` /
+//! `String::from` / `Vec::push` qualified calls, and the `vec!` macro.
+//! The root set lives in the code (markers on the delivery entry points),
+//! not in the linter, so a new scheme that adds an entry point opts into
+//! the same guarantee by annotating it. Escapes are `lint:allow(A001)`
+//! **with a reason** — the duplication-fault branch keeps its deliberate
+//! copy that way.
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::parse::Call;
+
+/// Method-call names that allocate or copy.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "push", "collect"];
+
+/// Qualified call tails that allocate.
+const ALLOC_PATHS: &[&[&str]] = &[&["Box", "new"], &["String", "from"], &["Vec", "push"]];
+
+/// Bang macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec"];
+
+/// `Some(construct-name)` when the call is an allocating construct.
+fn alloc_construct(call: &Call) -> Option<String> {
+    if call.is_macro {
+        return ALLOC_MACROS
+            .contains(&call.name())
+            .then(|| format!("{}!", call.name()));
+    }
+    if call.segments.len() > 1 {
+        let tail2: Vec<&str> = call
+            .segments
+            .iter()
+            .rev()
+            .take(2)
+            .rev()
+            .map(String::as_str)
+            .collect();
+        if ALLOC_PATHS.contains(&tail2.as_slice()) {
+            return Some(tail2.join("::"));
+        }
+    }
+    (ALLOC_METHODS.contains(&call.name()) && (call.method || call.segments.len() == 1))
+        .then(|| call.name().to_string())
+}
+
+/// A001: allocating constructs in fns reachable from hot-path roots.
+pub fn a001(graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    for i in graph.reachable_fns() {
+        let f = &graph.fns[i];
+        let root = graph.witness_root(i).unwrap_or("?");
+        for call in &f.calls {
+            if let Some(construct) = alloc_construct(call) {
+                out.push(Diagnostic {
+                    rule: "A001",
+                    path: f.file.clone(),
+                    line: call.line,
+                    message: format!(
+                        "`{construct}` allocates in `{}`, statically reachable from \
+                         hot-path root `{root}` — the delivery path is zero-alloc by \
+                         contract; restructure or allow with a justification \
+                         (`lint:allow(A001): why`)",
+                        f.path
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources.iter().map(|(p, s)| SourceFile::new(p, s)).collect();
+        let graph = CallGraph::build(&files);
+        let mut out = Vec::new();
+        a001(&graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_allocation_in_transitively_reachable_fn() {
+        let src = "// lint:hot-path\n\
+                   pub fn entry() { helper(); }\n\
+                   fn helper(v: &[u32]) -> Vec<u32> { v.to_vec() }\n\
+                   fn cold(v: &[u32]) -> Vec<u32> { v.to_vec() }\n";
+        let diags = run(&[("crates/sim/src/a.rs", src)]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("sim::a::helper"));
+        assert!(diags[0].message.contains("sim::a::entry"));
+    }
+
+    #[test]
+    fn flags_every_listed_construct() {
+        let src = "// lint:hot-path\n\
+                   pub fn entry(x: &X, v: &mut Vec<u32>) {\n\
+                   \x20   let _ = x.clone();\n\
+                   \x20   v.push(1);\n\
+                   \x20   let _ = Box::new(2);\n\
+                   \x20   let _ = vec![3];\n\
+                   \x20   let _ = String::from(\"s\");\n\
+                   \x20   let _: Vec<u32> = v.iter().copied().collect();\n\
+                   }\n";
+        let diags = run(&[("crates/sim/src/a.rs", src)]);
+        let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![3, 4, 5, 6, 7, 8], "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_allocations_are_silent() {
+        let src = "pub fn not_hot(v: &[u32]) -> Vec<u32> { v.to_vec() }\n";
+        assert!(run(&[("crates/sim/src/a.rs", src)]).is_empty());
+    }
+}

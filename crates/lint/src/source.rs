@@ -15,6 +15,11 @@ pub struct SourceFile {
     pub in_test: Vec<bool>,
     /// `true` when the whole file is test/bench code by path.
     pub is_test_file: bool,
+    /// Lines covered by a `// lint:hot-path` marker (resolved like
+    /// allows: a trailing marker covers its own line, an own-line marker
+    /// the next line with code). A `fn` whose header sits on one of these
+    /// lines is a root of the A001 reachability analysis.
+    pub hot_lines: Vec<u32>,
     /// Each allow directive with the source line it covers.
     resolved_allows: Vec<(Allow, u32)>,
 }
@@ -26,22 +31,36 @@ impl SourceFile {
     pub fn new(path: &str, src: &str) -> SourceFile {
         let lexed = lex(src);
         let in_test = test_regions(&lexed.toks);
+        let next_code_line = |after: u32| {
+            lexed
+                .toks
+                .iter()
+                .map(|t| t.line)
+                .filter(|&l| l > after)
+                .min()
+                .unwrap_or(after + 1)
+        };
         let resolved_allows = lexed
             .allows
             .iter()
             .map(|a| {
                 let covered = if a.own_line {
-                    lexed
-                        .toks
-                        .iter()
-                        .map(|t| t.line)
-                        .filter(|&l| l > a.line)
-                        .min()
-                        .unwrap_or(a.line + 1)
+                    next_code_line(a.line)
                 } else {
                     a.line
                 };
                 (a.clone(), covered)
+            })
+            .collect();
+        let hot_lines = lexed
+            .hot_marks
+            .iter()
+            .map(|m| {
+                if m.own_line {
+                    next_code_line(m.line)
+                } else {
+                    m.line
+                }
             })
             .collect();
         SourceFile {
@@ -49,18 +68,20 @@ impl SourceFile {
             is_test_file: is_test_path(path),
             lexed,
             in_test,
+            hot_lines,
             resolved_allows,
         }
     }
 
     /// `true` when a `lint:allow` directive suppresses `rule` at `line`.
-    /// D005/P001/P002 allows suppress only when they carry a `: reason` —
-    /// a nested layout or panic path kept on purpose must say why.
+    /// A001/D005/P001/P002 allows suppress only when they carry a
+    /// `: reason` — a hot-path allocation, nested layout, or panic path
+    /// kept on purpose must say why.
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
         self.resolved_allows.iter().any(|(a, covered)| {
             *covered == line
                 && a.rules.iter().any(|r| r == rule)
-                && (!matches!(rule, "D005" | "P001" | "P002") || a.reason.is_some())
+                && (!matches!(rule, "A001" | "D005" | "P001" | "P002") || a.reason.is_some())
         })
     }
 }

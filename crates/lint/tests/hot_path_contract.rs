@@ -1,0 +1,63 @@
+//! The A001 contract against the *real* engine sources: the delivery
+//! path's hot-root annotations and its one sanctioned copy — the
+//! duplication-fault `clone` — are load-bearing. Stripping that clone's
+//! `lint:allow(A001)` must make the lint fail, proving the rule watches
+//! the line and the allow is doing real work (not suppressing nothing).
+
+use std::fs;
+use std::path::PathBuf;
+
+use oraclesize_lint::{analyze_sources, walk};
+
+fn workspace_sources() -> Vec<(String, String)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    walk::collect_sources(&root).expect("workspace sources must be readable")
+}
+
+#[test]
+fn delivery_hot_roots_are_annotated() {
+    let src = fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../sim/src/engine/delivery.rs"),
+    )
+    .expect("read delivery.rs");
+    assert_eq!(
+        src.matches("lint:hot-path").count(),
+        2,
+        "enqueue and take_in_flight must both carry the hot-path marker"
+    );
+}
+
+#[test]
+fn stripping_the_duplication_clone_allow_fails_the_lint() {
+    let mut sources = workspace_sources();
+    let delivery = sources
+        .iter_mut()
+        .find(|(p, _)| p == "crates/sim/src/engine/delivery.rs")
+        .expect("delivery.rs in workspace");
+    // Sanity: the annotated tree is clean.
+    assert!(
+        analyze_sources(&workspace_sources(), Some("A001")).is_empty(),
+        "annotated workspace must be A001-clean"
+    );
+    // Strip the allow covering the duplication-fault `message.clone()`.
+    let before = delivery.1.clone();
+    delivery.1 = before
+        .lines()
+        .filter(|l| !(l.contains("lint:allow(A001)") && l.contains("sanctioned copy")))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(
+        before, delivery.1,
+        "the sanctioned-copy allow must exist to strip"
+    );
+    let diags = analyze_sources(&sources, Some("A001"));
+    assert!(
+        diags.iter().any(|d| {
+            d.rule == "A001"
+                && d.path == "crates/sim/src/engine/delivery.rs"
+                && d.message.contains("`clone`")
+        }),
+        "stripping the duplication-branch allow must surface A001, got:\n{}",
+        oraclesize_lint::render_text(&diags)
+    );
+}

@@ -53,8 +53,8 @@ fn d001_clean_on_btreemap_and_lookup_only_hashmap() {
 fn d001_ignores_out_of_scope_crates_and_tests() {
     let src = "use std::collections::HashMap;\n\
                fn f(m: &HashMap<u32, u32>) -> u32 { m.keys().sum() }\n";
-    // `analysis` is not a deterministic crate.
-    assert!(lint_one("crates/analysis/src/fixture.rs", src).is_empty());
+    // `explore` is not a deterministic crate.
+    assert!(lint_one("crates/explore/src/fixture.rs", src).is_empty());
     // Test modules inside a deterministic crate are exempt.
     let test_src = "#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n\
                     fn f(m: &HashMap<u32, u32>) -> u32 { m.keys().sum() }\n}\n";
@@ -430,4 +430,188 @@ fn rule_filter_restricts_output() {
     assert_eq!(rules_of(&only_d003), vec!["D003"]);
     let only_p001 = analyze_sources(&sources, Some("P001"));
     assert_eq!(rules_of(&only_p001), vec!["P001"]);
+}
+
+// ---------------------------------------------------------------- A001
+
+#[test]
+fn a001_fires_on_allocation_reachable_from_hot_root() {
+    let src = "// lint:hot-path\n\
+               pub fn entry() { helper(); }\n\
+               fn helper(v: &[u32]) -> Vec<u32> { v.to_vec() }\n";
+    let diags = lint_one("crates/sim/src/fixture.rs", src);
+    assert_eq!(rules_of(&diags), vec!["A001"]);
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("sim::fixture::entry"));
+}
+
+#[test]
+fn a001_crosses_crates_through_method_calls() {
+    let sources = vec![
+        (
+            "crates/sim/src/engine.rs".to_string(),
+            "// lint:hot-path\npub fn entry(b: &B) { b.grow(); }\n".to_string(),
+        ),
+        (
+            "crates/bits/src/b.rs".to_string(),
+            "pub struct B { v: Vec<u32> }\nimpl B {\n    pub fn grow(&mut self) { self.v.push(1); }\n}\n"
+                .to_string(),
+        ),
+    ];
+    let diags = analyze_sources(&sources, Some("A001"));
+    assert_eq!(rules_of(&diags), vec!["A001"]);
+    assert_eq!(diags[0].path, "crates/bits/src/b.rs");
+    assert!(diags[0].message.contains("`push`"), "{}", diags[0].message);
+}
+
+#[test]
+fn a001_is_silent_without_hot_roots_or_reachability() {
+    // Allocation with no hot-path marker anywhere: silent.
+    let src = "pub fn cold(v: &[u32]) -> Vec<u32> { v.to_vec() }\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", src).is_empty());
+    // A hot root that never reaches the allocating fn: silent.
+    let src = "// lint:hot-path\n\
+               pub fn entry() {}\n\
+               fn stray(v: &[u32]) -> Vec<u32> { v.to_vec() }\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn a001_allow_requires_a_reason() {
+    let bare = "// lint:hot-path\n\
+                pub fn entry(v: &mut Vec<u32>) {\n\
+                \x20   v.push(1); // lint:allow(A001)\n\
+                }\n";
+    let diags = lint_one("crates/sim/src/fixture.rs", bare);
+    assert_eq!(rules_of(&diags), vec!["A001"], "bare allow must not count");
+    let reasoned = "// lint:hot-path\n\
+                    pub fn entry(v: &mut Vec<u32>) {\n\
+                    \x20   v.push(1); // lint:allow(A001): pre-reserved staging\n\
+                    }\n";
+    assert!(lint_one("crates/sim/src/fixture.rs", reasoned).is_empty());
+}
+
+// ---------------------------------------------------------------- O001
+
+#[test]
+fn o001_fires_on_partial_cmp_comparators_in_deterministic_crates() {
+    let src = "pub fn f(v: &mut [f64]) {\n\
+               \x20   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+               }\n";
+    let diags = analyze_sources(
+        &[(
+            "crates/analysis/src/fixture.rs".to_string(),
+            src.to_string(),
+        )],
+        Some("O001"),
+    );
+    assert_eq!(rules_of(&diags), vec!["O001"]);
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].message.contains("total_cmp"));
+}
+
+#[test]
+fn o001_clean_on_total_cmp_and_out_of_scope_crates() {
+    let total = "pub fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n";
+    assert!(analyze_sources(
+        &[(
+            "crates/analysis/src/fixture.rs".to_string(),
+            total.to_string()
+        )],
+        Some("O001"),
+    )
+    .is_empty());
+    // Same partial_cmp sort in a non-deterministic crate: out of scope.
+    let partial = "pub fn f(v: &mut [f64]) {\n\
+                   \x20   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   }\n";
+    assert!(analyze_sources(
+        &[(
+            "crates/explore/src/fixture.rs".to_string(),
+            partial.to_string()
+        )],
+        Some("O001"),
+    )
+    .is_empty());
+}
+
+#[test]
+fn o001_fires_on_float_sum_over_hash_collection() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn f(m: &HashMap<u32, f64>) -> f64 {\n\
+               \x20   m.values().sum::<f64>()\n\
+               }\n";
+    let diags = analyze_sources(
+        &[(
+            "crates/analysis/src/fixture.rs".to_string(),
+            src.to_string(),
+        )],
+        Some("O001"),
+    );
+    assert_eq!(rules_of(&diags), vec!["O001"]);
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn o001_clean_on_integer_sums_and_btree_floats() {
+    let ints = "use std::collections::HashMap;\n\
+                pub fn f(m: &HashMap<u32, u64>) -> u64 { m.values().sum::<u64>() }\n";
+    assert!(analyze_sources(
+        &[(
+            "crates/analysis/src/fixture.rs".to_string(),
+            ints.to_string()
+        )],
+        Some("O001"),
+    )
+    .is_empty());
+    let btree = "use std::collections::BTreeMap;\n\
+                 pub fn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().sum::<f64>() }\n";
+    assert!(analyze_sources(
+        &[(
+            "crates/analysis/src/fixture.rs".to_string(),
+            btree.to_string()
+        )],
+        Some("O001"),
+    )
+    .is_empty());
+}
+
+// ---------------------------------------------------------------- O002
+
+#[test]
+fn o002_fires_on_parallel_markers_outside_the_pool() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n\
+               \x20   v.par_iter().copied().max().unwrap_or(0)\n\
+               }\n";
+    let diags = analyze_sources(
+        &[(
+            "crates/analysis/src/fixture.rs".to_string(),
+            src.to_string(),
+        )],
+        Some("O002"),
+    );
+    assert_eq!(rules_of(&diags), vec!["O002"]);
+    assert!(diags[0].message.contains("runtime::pool"));
+    let tls = "thread_local! { static SCRATCH: u32 = 0; }\n";
+    let diags = analyze_sources(
+        &[("crates/sim/src/fixture.rs".to_string(), tls.to_string())],
+        Some("O002"),
+    );
+    assert_eq!(rules_of(&diags), vec!["O002"]);
+}
+
+#[test]
+fn o002_exempts_the_pool_and_tests() {
+    let src = "pub fn f() { thread_local! { static S: u32 = 0; } }\n";
+    assert!(analyze_sources(
+        &[("crates/runtime/src/pool.rs".to_string(), src.to_string())],
+        Some("O002"),
+    )
+    .is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { let x = thread_local; }\n}\n";
+    assert!(analyze_sources(
+        &[("crates/sim/src/fixture.rs".to_string(), in_test.to_string())],
+        Some("O002"),
+    )
+    .is_empty());
 }

@@ -58,7 +58,10 @@ impl MsgSlab {
         self.free.reserve(need);
         for _ in 0..need {
             let idx = self.slots.len() as u32;
+            // lint:allow(A001): bulk amortised slot growth — one reserve per
+            // batch, deliberately uncounted (see the MsgSlab contract above)
             self.slots.push(None);
+            // lint:allow(A001): free-list half of the same bulk reserve
             self.free.push(idx);
         }
     }
@@ -75,6 +78,8 @@ impl MsgSlab {
             None => {
                 self.queue_allocs += 1;
                 let idx = self.slots.len() as u32;
+                // lint:allow(A001): forced growth past the reserve — duplication
+                // faults only, and every occurrence is counted in queue_allocs
                 self.slots.push(Some(m));
                 idx
             }
@@ -86,6 +91,8 @@ impl MsgSlab {
     pub fn take(&mut self, idx: u32) -> Option<InFlight> {
         let m = self.slots.get_mut(idx as usize)?.take();
         if m.is_some() {
+            // lint:allow(A001): recycles a slot index into capacity the matching
+            // reserve already created — never grows on a fault-free run
             self.free.push(idx);
         }
         m
@@ -185,6 +192,7 @@ impl<'a> NetState<'a> {
     }
 
     /// Removes the in-flight message in slab slot `idx` for delivery.
+    // lint:hot-path
     pub fn take_in_flight(&mut self, idx: u32) -> Option<InFlight> {
         self.slab.take(idx)
     }
@@ -205,6 +213,7 @@ impl<'a> NetState<'a> {
     /// [`FaultCounts::queue_allocs`](crate::faults::FaultCounts::queue_allocs).
     /// Trace emission is likewise free when off: event construction sits
     /// behind the recorder's cached `on` flag and events are stack-only.
+    // lint:hot-path
     pub fn enqueue(
         &mut self,
         v: NodeId,
@@ -308,6 +317,8 @@ impl<'a> NetState<'a> {
                     bits,
                     carries_source: message.carries_source,
                 });
+                // lint:allow(A001): the one sanctioned copy — a duplication fault
+                // manufactures an extra delivery, counted in payload_copies
                 let delivered = self.maybe_flip(copy_id, message.clone());
                 let slot = self.slab.insert(InFlight {
                     msg: copy_id,
