@@ -1,0 +1,153 @@
+//! Scaling record for the work-stealing batch scheduler.
+//!
+//! Runs one large sweep (10⁵ cells by default) through
+//! `Pool::run_chunked` at several thread counts, verifies the merged
+//! reports are identical at every count (the determinism contract under
+//! real stealing pressure), and writes a `BENCH_STEAL.json` record of
+//! the measurement: elapsed time, speedup, steal/contention counters,
+//! and the machine's core count.
+//!
+//! Unlike the `BENCH_T*.json` artifacts, this file is a *measurement*,
+//! not a deterministic artifact — elapsed times vary run to run, so CI
+//! never diffs it. The committed copy documents one honest run of the
+//! machine that produced it (see the `cores` field before reading the
+//! speedup column: on a single-core container, "8 threads" measures
+//! scheduling overhead, not parallelism).
+//!
+//! ```text
+//! steal_bench                       # 100 000 cells, threads 1/2/4/8
+//! steal_bench --cells 5000         # smaller sweep (smoke tests)
+//! steal_bench --out out/STEAL.json # write the record elsewhere
+//! ```
+
+use std::sync::Arc;
+
+use oraclesize_core::oracle::EmptyOracle;
+use oraclesize_graph::families;
+use oraclesize_runtime::{run_cell_report, ChunkPlan, Json, Pool, RunRequest};
+use oraclesize_sim::protocol::FloodOnce;
+use oraclesize_sim::{Instance, SimConfig};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A mixed-size request list: mostly tiny cells with a heavier cell
+/// every 64th slot, so the cost-hint planner has real skew to work with
+/// (cheap cells batch into shared chunks, heavy cells close theirs).
+fn build_requests(cells: usize) -> Vec<RunRequest> {
+    let sizes = [8usize, 12, 16, 24];
+    let instances: Vec<Arc<Instance>> = sizes
+        .iter()
+        .map(|&n| Instance::build(Arc::new(families::cycle(n)), 0, &EmptyOracle))
+        .collect();
+    let heavy = Instance::build(Arc::new(families::cycle(96)), 0, &EmptyOracle);
+    let protocol: Arc<dyn oraclesize_sim::protocol::Protocol + Send + Sync> = Arc::new(FloodOnce);
+    (0..cells)
+        .map(|cell| {
+            let instance = if cell % 64 == 63 {
+                Arc::clone(&heavy)
+            } else {
+                Arc::clone(&instances[cell % instances.len()])
+            };
+            RunRequest::new(instance, Arc::clone(&protocol), SimConfig::default())
+        })
+        .collect()
+}
+
+fn main() {
+    let mut cells = 100_000usize;
+    let mut out = String::from("BENCH_STEAL.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--cells" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--cells requires a value");
+                    std::process::exit(2);
+                });
+                cells = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--cells expects a positive integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; usage: steal_bench [--cells N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+    eprintln!("building {cells} cells ({cores} core(s) available)…");
+    let requests = build_requests(cells);
+    let costs: Vec<u64> = requests.iter().map(RunRequest::cost_hint).collect();
+
+    // Untimed warm-up: the first dispatch pays page faults, allocator
+    // growth, and cold instruction caches; without it the serial row
+    // looks artificially slow and every speedup reads superlinear.
+    let warmup = Pool::new(2).run(requests.len(), |i| run_cell_report(i, &requests[i]));
+    drop(warmup);
+
+    let mut baseline: Option<Vec<_>> = None;
+    let mut serial_micros = 0u128;
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = Pool::new(threads);
+        let plan = ChunkPlan::from_costs(&costs, threads);
+        // lint:allow(D002): the wall clock is the *measurement* here —
+        // this binary records throughput; the scheduler itself stays
+        // clock-free.
+        let started = std::time::Instant::now();
+        let (reports, stats) = pool.run_chunked(&plan, |i| run_cell_report(i, &requests[i]));
+        let micros = started.elapsed().as_micros();
+        match &baseline {
+            None => {
+                serial_micros = micros.max(1);
+                baseline = Some(reports);
+            }
+            Some(serial) => {
+                // The record is worthless if parallel dispatch changed a
+                // single report, so this check is load-bearing, not
+                // decorative.
+                assert!(
+                    serial == &reports,
+                    "reports diverged from the serial run at {threads} threads"
+                );
+            }
+        }
+        // Fixed-point milli-speedup keeps the JSON writer integer-only.
+        let speedup_milli = (serial_micros * 1000) / micros.max(1);
+        eprintln!(
+            "threads {threads}: {:.3}s, speedup {:.2}x, {} steals, {} contended",
+            micros as f64 / 1e6,
+            speedup_milli as f64 / 1000.0,
+            stats.steals,
+            stats.contended
+        );
+        rows.push(
+            Json::obj()
+                .field("threads", threads)
+                .field("chunks", stats.chunks)
+                .field("elapsed_micros", micros as u64)
+                .field("speedup_milli", speedup_milli as u64)
+                .field("steals", stats.steals)
+                .field("contended", stats.contended),
+        );
+    }
+
+    let record = Json::obj()
+        .field("experiment", "steal")
+        .field("cells", cells)
+        .field("cores", cores)
+        .field("runs", rows);
+    std::fs::write(&out, format!("{}\n", record.render())).unwrap_or_else(|e| {
+        eprintln!("write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}

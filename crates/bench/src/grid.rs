@@ -8,11 +8,12 @@
 //! any thread count (the runtime's determinism contract).
 
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use oraclesize_runtime::trace::stats_json;
 use oraclesize_runtime::{
     drain, run_supervised_batch, Aggregate, ChaosPlan, Json, MetricsSink, Pool, RunReport,
-    RunRequest, SuperviseConfig, SweepOptions, SweepRun,
+    RunRequest, SchedStats, SuperviseConfig, SweepOptions, SweepRun,
 };
 use oraclesize_sim::TraceStats;
 
@@ -39,6 +40,16 @@ pub struct ExpOptions {
     /// Failure injection for chaos drills; inert outside tests and the
     /// chaos-smoke harness.
     pub chaos: ChaosPlan,
+    /// Fixed scheduler sub-task size (the `--chunk` override); `None`
+    /// sizes chunks from the grid's cost hints. Granularity only — never
+    /// results.
+    pub chunk: Option<usize>,
+    /// Merged scheduling telemetry for every grid dispatched under these
+    /// options. Shared behind an `Arc` so the experiment driver can read
+    /// the tally after `run_experiment` returns — the report string
+    /// itself must stay thread-count-invariant, so the stats travel out
+    /// of band and only binaries render them (as footers).
+    pub stats: Arc<Mutex<SchedStats>>,
 }
 
 impl ExpOptions {
@@ -71,7 +82,27 @@ impl ExpOptions {
             resume: self.resume,
             seeds: None,
             chaos: self.chaos.clone(),
+            chunk: self.chunk,
+            // Cost hints belong to the grid being dispatched; the grid
+            // fills them in at dispatch time.
+            costs: None,
         }
+    }
+
+    /// Folds one dispatch's scheduling telemetry into the shared tally.
+    pub fn record_stats(&self, stats: &SchedStats) {
+        self.stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(stats);
+    }
+
+    /// A snapshot of the scheduling telemetry accumulated so far.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -81,6 +112,9 @@ impl ExpOptions {
 pub struct CellGrid {
     labels: Vec<String>,
     requests: Vec<RunRequest>,
+    /// Per-cell scheduling cost hints, kept parallel to `requests` — the
+    /// chunk planner batches cheap cells and isolates expensive ones.
+    costs: Vec<u64>,
 }
 
 impl CellGrid {
@@ -91,9 +125,17 @@ impl CellGrid {
 
     /// Appends one cell. The label is for the JSON artifact only; tables
     /// derive their columns from the same iteration that built the grid.
+    /// The cell's scheduling cost hint comes from the request's instance
+    /// size ([`RunRequest::cost_hint`]).
     pub fn cell(&mut self, label: impl Into<String>, request: RunRequest) {
         self.labels.push(label.into());
+        self.costs.push(request.cost_hint());
         self.requests.push(request);
+    }
+
+    /// The per-cell cost hints, in cell order.
+    pub fn costs(&self) -> &[u64] {
+        &self.costs
     }
 
     /// Number of cells added so far.
@@ -116,14 +158,22 @@ impl CellGrid {
     pub fn dispatch(&self, opts: &ExpOptions) -> Vec<RunReport> {
         let mut sweep_opts = opts.sweep_options("");
         sweep_opts.journal = None;
-        run_supervised_batch(&opts.pool(), &self.requests, &sweep_opts).reports()
+        sweep_opts.costs = Some(self.costs.clone());
+        let run = run_supervised_batch(&opts.pool(), &self.requests, &sweep_opts);
+        opts.record_stats(&run.sched);
+        run.reports()
     }
 
     /// Dispatches with the full failure model: cells already checkpointed
     /// in `<journal_dir>/<tag>.journal` are skipped on resume, and every
-    /// newly completed cell is checkpointed as it finishes.
+    /// newly completed cell is checkpointed when the journal's in-order
+    /// cursor reaches it.
     pub fn dispatch_supervised(&self, opts: &ExpOptions, tag: &str) -> SweepRun {
-        run_supervised_batch(&opts.pool(), &self.requests, &opts.sweep_options(tag))
+        let mut sweep_opts = opts.sweep_options(tag);
+        sweep_opts.costs = Some(self.costs.clone());
+        let run = run_supervised_batch(&opts.pool(), &self.requests, &sweep_opts);
+        opts.record_stats(&run.sched);
+        run
     }
 
     /// Renders this grid's reports as a deterministic JSON fragment:

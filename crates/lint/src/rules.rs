@@ -66,7 +66,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "O002",
-        summary: "no parallel iteration or thread-local merge state outside runtime::pool",
+        summary: "no parallel iteration or thread-local merge state outside \
+             runtime::{pool, sched}",
     },
 ];
 

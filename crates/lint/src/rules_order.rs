@@ -6,9 +6,10 @@
 //! `sort_unstable`, platform-dependent), and float accumulation
 //! (`sum`/`product`/`fold`) over an unordered hash collection, where the
 //! iteration order changes the rounding. O002 keeps parallel iteration
-//! and thread-local state out of everything but `runtime::pool`, whose
-//! in-order slot merge is the one sanctioned way to combine results
-//! across threads.
+//! and thread-local state out of everything but the runtime's scheduling
+//! split — `runtime::pool` (the executor, whose in-order slot merge is
+//! the one sanctioned way to combine results across threads) and
+//! `runtime::sched` (the work-stealing scheduler feeding it).
 
 use crate::diag::Diagnostic;
 use crate::lexer::{Tok, TokKind};
@@ -176,9 +177,15 @@ pub fn o001(file: &SourceFile, deterministic: bool, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// O002: parallel iteration / thread-local merges outside `runtime::pool`.
+/// Modules sanctioned to hold parallel iteration and thread-local merge
+/// state: the two halves of the runtime's block-STM-style split — the
+/// executor (`pool`) and the work-stealing scheduler (`sched`).
+const O002_ALLOWED: &[&str] = &["crates/runtime/src/pool.rs", "crates/runtime/src/sched.rs"];
+
+/// O002: parallel iteration / thread-local merges outside
+/// `runtime::{pool, sched}`.
 pub fn o002(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if file.path == "crates/runtime/src/pool.rs" {
+    if O002_ALLOWED.contains(&file.path.as_str()) {
         return;
     }
     let toks = &file.lexed.toks;
@@ -192,8 +199,9 @@ pub fn o002(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 path: file.path.clone(),
                 line: t.line,
                 message: format!(
-                    "`{}` merges results outside runtime::pool — cross-thread combination \
-                     must go through the pool's deterministic in-order slot merge",
+                    "`{}` merges results outside runtime::{{pool, sched}} — cross-thread \
+                     combination must go through the pool's deterministic in-order slot \
+                     merge",
                     t.text
                 ),
             });

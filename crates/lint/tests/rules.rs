@@ -591,7 +591,7 @@ fn o002_fires_on_parallel_markers_outside_the_pool() {
         Some("O002"),
     );
     assert_eq!(rules_of(&diags), vec!["O002"]);
-    assert!(diags[0].message.contains("runtime::pool"));
+    assert!(diags[0].message.contains("runtime::{pool, sched}"));
     let tls = "thread_local! { static SCRATCH: u32 = 0; }\n";
     let diags = analyze_sources(
         &[("crates/sim/src/fixture.rs".to_string(), tls.to_string())],
@@ -614,4 +614,27 @@ fn o002_exempts_the_pool_and_tests() {
         Some("O002"),
     )
     .is_empty());
+}
+
+#[test]
+fn o002_exempts_the_scheduler_but_nothing_else_new() {
+    // The scheduler half of the runtime's executor/scheduler split is
+    // sanctioned alongside the pool…
+    let src = "pub fn f() { thread_local! { static DEQUE: u32 = 0; } }\n";
+    assert!(analyze_sources(
+        &[("crates/runtime/src/sched.rs".to_string(), src.to_string())],
+        Some("O002"),
+    )
+    .is_empty());
+    // …but the exemption is those two files, not the runtime crate: the
+    // same marker in a sibling module still fires.
+    for path in [
+        "crates/runtime/src/supervise.rs",
+        "crates/runtime/src/batch.rs",
+        "crates/bench/src/grid.rs",
+    ] {
+        let diags = analyze_sources(&[(path.to_string(), src.to_string())], Some("O002"));
+        assert_eq!(rules_of(&diags), vec!["O002"], "path {path}");
+        assert!(diags[0].message.contains("runtime::{pool, sched}"));
+    }
 }

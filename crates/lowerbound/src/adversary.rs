@@ -31,14 +31,6 @@ impl GameInstance {
     }
 }
 
-/// Old name of [`GameInstance`], kept for one release so downstream code
-/// migrates away from the collision with [`oraclesize_sim::Instance`]
-/// (a frozen simulation input, an unrelated concept).
-///
-/// [`oraclesize_sim::Instance`]: https://docs.rs/oraclesize-sim
-#[deprecated(note = "renamed to `GameInstance`")]
-pub type Instance = GameInstance;
-
 /// The adversary's answer to a probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeResult {

@@ -6,9 +6,15 @@
 //! is an independent, seeded, deterministic engine run. This crate turns
 //! such sweeps into a batch:
 //!
-//! * [`pool`] — a [`Pool`] of `std::thread` scoped workers pulling cell
-//!   indices off a shared atomic counter (the workspace is offline, so no
+//! * [`pool`] — a [`Pool`] of `std::thread` scoped workers: the executor
+//!   half of a block-STM-style split, driving the [`sched`] scheduler and
+//!   merging results into per-index slots (the workspace is offline, so no
 //!   rayon; plain scoped threads are all that is needed),
+//! * [`sched`] — the scheduler half: cells chunked into sub-tasks by cost
+//!   hints ([`sched::ChunkPlan`]), a sharded-mutex task queue with
+//!   per-worker deques and back-half stealing ([`sched::Scheduler`]), and
+//!   out-of-band scheduling telemetry ([`sched::SchedStats`]) for report
+//!   footers,
 //! * [`batch`] — [`RunRequest`] → [`RunReport`]: the cell description and
 //!   the comparable, fully deterministic result record. Cells are built
 //!   over [`oraclesize_sim::Instance`], the `Arc`-shared immutable
@@ -71,6 +77,7 @@ pub mod chaos;
 pub mod journal;
 pub mod json;
 pub mod pool;
+pub mod sched;
 pub mod sink;
 pub mod supervise;
 pub mod trace;
@@ -80,6 +87,7 @@ pub use chaos::ChaosPlan;
 pub use journal::Journal;
 pub use json::Json;
 pub use pool::Pool;
+pub use sched::{Chunk, ChunkPlan, SchedStats};
 pub use sink::{drain, Aggregate, MetricsSink, ReportCollector};
 pub use supervise::{
     run_cell_supervised, run_supervised_batch, CellStatus, SuperviseConfig, SupervisedReport,

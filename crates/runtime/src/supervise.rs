@@ -19,6 +19,18 @@
 //! * **resume** — with a [journal](crate::journal) configured, completed
 //!   cells are checkpointed as they finish and skipped on the next run.
 //!
+//! Dispatch goes through the work-stealing scheduler
+//! ([`crate::sched`]): cells are grouped into chunks (sized by the grid
+//! layer's cost hints or a `--chunk` override), but supervision is
+//! strictly **per sub-task** — isolation, retries, and the watchdog wrap
+//! each cell inside a chunk individually, so one failing cell never
+//! drags its chunk-mates into a retry. Journal records stay per-cell and
+//! are committed **in cell order** through an in-order committer:
+//! out-of-order completions buffer until every lower-indexed cell has
+//! settled, so the journal's bytes are identical at any thread count and
+//! under any steal schedule — a guarantee the CI smoke jobs diff, not a
+//! timing accident.
+//!
 //! Every cell ends in a [`CellStatus`]: `Completed` (clean first
 //! attempt), `Resumed` (replayed from the journal), `Degraded { retries }`
 //! (recovered after failures), or `Aborted` (retry budget exhausted).
@@ -28,6 +40,7 @@
 //! artifacts stay byte-identical across crash/resume boundaries and
 //! supervision levels alike.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -36,6 +49,7 @@ use crate::batch::{run_cell_report, RunReport, RunRequest};
 use crate::chaos::{ChaosPlan, Injection};
 use crate::journal::Journal;
 use crate::pool::Pool;
+use crate::sched::{ChunkPlan, SchedStats};
 
 /// How one cell of a supervised sweep concluded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +127,15 @@ pub struct SweepOptions {
     pub seeds: Option<Vec<u64>>,
     /// Failure injection (inert by default; see [`crate::chaos`]).
     pub chaos: ChaosPlan,
+    /// Fixed sub-task chunk size (the CLI `--chunk` override). `None`
+    /// sizes chunks from [`SweepOptions::costs`] (or uniformly when no
+    /// hints are set). Chunking never changes reports — only scheduling
+    /// granularity.
+    pub chunk: Option<usize>,
+    /// Per-cell cost hints from the grid layer (e.g. node counts), used
+    /// to size chunks so cheap cells amortize scheduling overhead while
+    /// expensive cells get chunks of their own.
+    pub costs: Option<Vec<u64>>,
 }
 
 impl SweepOptions {
@@ -122,6 +145,19 @@ impl SweepOptions {
             .as_ref()
             .and_then(|s| s.get(cell).copied())
             .unwrap_or(cell as u64)
+    }
+
+    /// The chunk plan these options describe for a `cells`-cell sweep
+    /// dispatched on `pool`: the explicit `chunk` size when set, cost-hint
+    /// sizing when hints are present, a balanced uniform cut otherwise.
+    pub fn chunk_plan(&self, cells: usize, pool: &Pool) -> ChunkPlan {
+        if let Some(size) = self.chunk {
+            return ChunkPlan::uniform(cells, size);
+        }
+        match &self.costs {
+            Some(costs) if costs.len() == cells => ChunkPlan::from_costs(costs, pool.threads()),
+            _ => ChunkPlan::balanced(cells, pool.threads()),
+        }
     }
 }
 
@@ -135,6 +171,11 @@ pub struct SweepRun {
     /// `true` when chaos killed the sweep mid-flight: some cells never
     /// ran and the merge step must not publish an artifact.
     pub interrupted: bool,
+    /// Scheduling telemetry for the dispatch (steals, chunks, contention,
+    /// per-worker busy shares). Nondeterministic by nature — rendered
+    /// into human-readable footers only, never into artifacts or
+    /// journals.
+    pub sched: SchedStats,
 }
 
 impl SweepRun {
@@ -289,6 +330,57 @@ pub fn run_cell_supervised(
     }
 }
 
+/// Buffers checkpoint appends until every lower-indexed cell has
+/// settled, so journal records hit the file in **cell order** no matter
+/// which worker finished which cell first. Under work stealing,
+/// completion order varies run to run; without this buffer the journal's
+/// bytes would too, and the CI smoke jobs diff those bytes against a
+/// serial run. The cost is a crash-safety trade: a straggler cell holds
+/// back the checkpoints of later-finished cells until it settles, so a
+/// hard kill may lose a few more checkpoints than completion-order
+/// appends would — a resume just re-runs those cells.
+struct OrderedCommitter {
+    journal: Option<Journal>,
+    /// Cells that settled ahead of the commit cursor; `Some` holds a
+    /// record still owed to the journal, `None` means the cell produced
+    /// no append (resumed, aborted, or not journalable).
+    pending: BTreeMap<usize, Option<(u64, RunReport)>>,
+    /// The next cell index the journal is waiting on.
+    next: usize,
+    warnings: Vec<String>,
+}
+
+impl OrderedCommitter {
+    fn new(journal: Option<Journal>) -> Self {
+        OrderedCommitter {
+            journal,
+            pending: BTreeMap::new(),
+            next: 0,
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Marks `cell` settled (with its checkpoint record, if it earned
+    /// one) and flushes every record the cursor can now reach.
+    fn settle(&mut self, cell: usize, record: Option<(u64, RunReport)>) {
+        self.pending.insert(cell, record);
+        while let Some(entry) = self.pending.remove(&self.next) {
+            if let Some((seed, report)) = entry {
+                if let Some(j) = self.journal.as_mut() {
+                    if let Err(e) = j.append(self.next, seed, &report) {
+                        self.warnings.push(format!(
+                            "journal {}: checkpoint for cell {} failed: {e}",
+                            j.path().display(),
+                            self.next
+                        ));
+                    }
+                }
+            }
+            self.next += 1;
+        }
+    }
+}
+
 /// Runs every request across the pool under supervision, checkpointing
 /// and resuming through the journal when one is configured.
 ///
@@ -336,10 +428,23 @@ pub fn run_supervised_batch(pool: &Pool, requests: &[RunRequest], opts: &SweepOp
             )),
         }
     }
-    let journal = Mutex::new(journal);
-    let late_warnings = Mutex::new(Vec::new());
-    let cells_out: Vec<SupervisedReport> = pool.run(cells, |cell| {
+    let committer = Mutex::new(OrderedCommitter::new(journal));
+    // Dispatch through the work-stealing scheduler. Supervision wraps
+    // each *sub-task* (cell) individually — the `catch_unwind`, retry
+    // loop, and watchdog clamp all live inside this closure — so a panic
+    // or timeout in one sub-task never retries or aborts the rest of its
+    // chunk. Every path settles the cell with the committer so the
+    // commit cursor always reaches the end of the sweep.
+    let plan = opts.chunk_plan(cells, pool);
+    let (cells_out, sched): (Vec<SupervisedReport>, SchedStats) = pool.run_chunked(&plan, |cell| {
+        let settle = |record: Option<(u64, RunReport)>| {
+            committer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .settle(cell, record);
+        };
         if let Some(report) = &done[cell] {
+            settle(None);
             return SupervisedReport {
                 report: report.clone(),
                 status: CellStatus::Resumed,
@@ -348,6 +453,7 @@ pub fn run_supervised_batch(pool: &Pool, requests: &[RunRequest], opts: &SweepOp
             };
         }
         if opts.chaos.dies_before(cell) {
+            settle(None);
             return SupervisedReport {
                 report: RunReport {
                     cell,
@@ -360,29 +466,19 @@ pub fn run_supervised_batch(pool: &Pool, requests: &[RunRequest], opts: &SweepOp
             };
         }
         let sup = run_cell_supervised(cell, &requests[cell], &opts.supervise, &opts.chaos);
-        if matches!(
+        let record = matches!(
             sup.status,
             CellStatus::Completed | CellStatus::Degraded { .. }
-        ) {
-            let mut guard = journal.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Some(j) = guard.as_mut() {
-                if let Err(e) = j.append(cell, opts.seed_of(cell), &sup.report) {
-                    late_warnings
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .push(format!(
-                            "journal {}: checkpoint for cell {cell} failed: {e}",
-                            j.path().display()
-                        ));
-                }
-            }
-        }
+        )
+        .then(|| (opts.seed_of(cell), sup.report.clone()));
+        settle(record);
         sup
     });
     warnings.extend(
-        late_warnings
+        committer
             .into_inner()
-            .unwrap_or_else(PoisonError::into_inner),
+            .unwrap_or_else(PoisonError::into_inner)
+            .warnings,
     );
     let interrupted = cells_out
         .iter()
@@ -391,5 +487,6 @@ pub fn run_supervised_batch(pool: &Pool, requests: &[RunRequest], opts: &SweepOp
         cells: cells_out,
         warnings,
         interrupted,
+        sched,
     }
 }

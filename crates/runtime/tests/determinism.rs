@@ -1,13 +1,15 @@
 //! The determinism contract, pinned down: for a fixed request list, the
 //! batch report vector — and everything derived from it (aggregates,
-//! rendered JSON) — is identical at `--threads 1`, `2`, and `8`.
+//! rendered JSON) — is identical at `--threads 1`, `2`, `8`, and `16`
+//! (the last oversubscribing this machine, so workers genuinely
+//! interleave and steal), under any chunk plan.
 
 use std::sync::Arc;
 
 use oraclesize_core::oracle::EmptyOracle;
 use oraclesize_graph::families::Family;
 use oraclesize_runtime::{
-    drain, run_batch, Aggregate, MetricsSink, Pool, ReportCollector, RunRequest,
+    drain, run_batch, Aggregate, ChunkPlan, MetricsSink, Pool, ReportCollector, RunRequest,
 };
 use oraclesize_sim::protocol::FloodOnce;
 use oraclesize_sim::{FaultPlan, Instance, SchedulerKind, SimConfig, TraceSpec};
@@ -53,7 +55,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Satellite 3: for a fixed seed, `RunReport`s are identical for
-    /// `--threads` 1, 2, and 8 — and so are the aggregate JSON bytes.
+    /// `--threads` 1, 2, 8, and 16 — and so are the aggregate JSON bytes.
     #[test]
     fn reports_identical_across_thread_counts(
         fam in proptest::sample::select(Family::ALL.to_vec()),
@@ -62,7 +64,7 @@ proptest! {
     ) {
         let requests = grid(fam, n, seed, 12);
         let serial = run_batch(&Pool::new(1), &requests);
-        for threads in [2usize, 8] {
+        for threads in [2usize, 8, 16] {
             let parallel = run_batch(&Pool::new(threads), &requests);
             prop_assert_eq!(&serial, &parallel, "threads = {}", threads);
 
@@ -79,6 +81,24 @@ proptest! {
             prop_assert_eq!(coll_s.finish().render(), coll_p.finish().render());
         }
     }
+
+    /// Chunk plans set scheduling granularity, never results: any chunk
+    /// size, at any thread count, merges to the serial report vector.
+    #[test]
+    fn reports_identical_across_chunk_plans(
+        seed in any::<u64>(),
+        chunk in 1usize..16,
+        threads in proptest::sample::select(vec![2usize, 8, 16]),
+    ) {
+        let requests = grid(Family::Torus, 16, seed, 18);
+        let serial = run_batch(&Pool::new(1), &requests);
+        let pool = Pool::new(threads);
+        let plan = ChunkPlan::uniform(requests.len(), chunk);
+        let (chunked, stats) =
+            pool.run_chunked(&plan, |i| oraclesize_runtime::run_cell_report(i, &requests[i]));
+        prop_assert_eq!(&serial, &chunked, "threads = {}, chunk = {}", threads, chunk);
+        prop_assert_eq!(stats.tasks as usize, requests.len());
+    }
 }
 
 /// A deterministic (non-property) pin of the same contract, so the
@@ -89,7 +109,7 @@ fn fixed_grid_is_thread_count_invariant() {
     let serial = run_batch(&Pool::new(1), &requests);
     assert_eq!(serial.len(), 24);
     assert!(serial.iter().any(|r| r.outcome().is_some()));
-    for threads in [2, 3, 8] {
+    for threads in [2, 3, 8, 16] {
         assert_eq!(serial, run_batch(&Pool::new(threads), &requests));
     }
 }

@@ -74,6 +74,43 @@ fn unsupervised_and_supervised_reports_agree() {
         .all(|c| c.status == CellStatus::Completed));
 }
 
+/// The in-order committer's guarantee: journal *bytes* — not just loaded
+/// records — are identical at any thread count and chunk size, even
+/// though workers finish cells out of order under stealing. The CI
+/// steal-smoke job diffs exactly these bytes against a serial run.
+#[test]
+fn journal_bytes_are_identical_across_thread_counts_and_chunks() {
+    let requests = grid(Family::Torus, 12, 99, 14);
+    let serial_path = temp_journal("bytes-serial");
+    run_supervised_batch(
+        &Pool::new(1),
+        &requests,
+        &options(Some(serial_path.clone())),
+    );
+    let serial_bytes = std::fs::read(&serial_path).unwrap();
+    assert!(!serial_bytes.is_empty());
+    for threads in [2usize, 8, 16] {
+        for chunk in [None, Some(1), Some(5)] {
+            let path = temp_journal(&format!("bytes-{threads}-{chunk:?}"));
+            run_supervised_batch(
+                &Pool::new(threads),
+                &requests,
+                &SweepOptions {
+                    chunk,
+                    ..options(Some(path.clone()))
+                },
+            );
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(
+                bytes, serial_bytes,
+                "journal bytes diverged at threads = {threads}, chunk = {chunk:?}"
+            );
+        }
+    }
+    std::fs::remove_file(&serial_path).ok();
+}
+
 #[test]
 fn injected_panic_recovers_as_degraded() {
     let requests = grid(Family::Path, 8, 7, 6);
@@ -318,7 +355,8 @@ fn seed_mismatch_reruns_the_cell() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// The tentpole invariant at the report level: kill at a random cell,
+    /// The tentpole invariant at the report level: kill at a random cell
+    /// — mid-steal when single-cell chunks oversubscribe the workers —
     /// resume at a random thread count (possibly killing again), and the
     /// final reports equal an uninterrupted serial run's.
     #[test]
@@ -328,7 +366,8 @@ proptest! {
         seed in any::<u64>(),
         kill_a in 0usize..10,
         kill_b in 0usize..10,
-        threads in proptest::sample::select(vec![1usize, 2, 8]),
+        threads in proptest::sample::select(vec![1usize, 2, 8, 16]),
+        chunk in proptest::sample::select(vec![None, Some(1usize), Some(4)]),
     ) {
         let cells = 10;
         let requests = grid(fam, n, seed, cells);
@@ -337,6 +376,7 @@ proptest! {
         // First flight: fresh journal, killed at kill_a.
         let first = run_supervised_batch(&Pool::new(threads), &requests, &SweepOptions {
             chaos: ChaosPlan::new().die_before(kill_a),
+            chunk,
             ..options(Some(path.clone()))
         });
         prop_assert!(first.interrupted || kill_a >= cells);
@@ -345,12 +385,14 @@ proptest! {
         let second = run_supervised_batch(&Pool::new(threads), &requests, &SweepOptions {
             resume: true,
             chaos: ChaosPlan::new().die_before(kill2),
+            chunk,
             ..options(Some(path.clone()))
         });
         prop_assert!(second.interrupted || kill2 >= cells);
         // Final flight: resumed to completion.
         let last = run_supervised_batch(&Pool::new(threads), &requests, &SweepOptions {
             resume: true,
+            chunk,
             ..options(Some(path.clone()))
         });
         std::fs::remove_file(&path).ok();

@@ -99,12 +99,6 @@ impl SimConfig {
         SimConfig::default().with_mode(TaskMode::Wakeup)
     }
 
-    /// Asynchronous broadcast under the given scheduler.
-    #[deprecated(note = "use `SimConfig::broadcast().with_scheduler(kind)`")]
-    pub fn asynchronous(scheduler: SchedulerKind) -> Self {
-        SimConfig::broadcast().with_scheduler(scheduler)
-    }
-
     /// Sets the task rules to enforce.
     #[must_use]
     pub fn with_mode(mut self, mode: TaskMode) -> Self {
@@ -192,14 +186,5 @@ mod tests {
         assert!(cfg.anonymous);
         assert_eq!(cfg.max_quiescence_polls, 3);
         assert_eq!(cfg.trace, TraceSpec::Ring { capacity: 16 });
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_asynchronous_matches_builder() {
-        let old = SimConfig::asynchronous(SchedulerKind::Lifo);
-        let new = SimConfig::broadcast().with_scheduler(SchedulerKind::Lifo);
-        assert!(!old.synchronous && !new.synchronous);
-        assert_eq!(old.scheduler, new.scheduler);
     }
 }

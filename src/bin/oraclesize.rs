@@ -5,11 +5,24 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match oraclesize::cli::parse_args(&args)
-        .and_then(|cmd| oraclesize::cli::run_command_status(&cmd))
-    {
+    // lint:allow(D002): the wall clock lives at the binary edge only —
+    // the library never reads it, so reports and artifacts stay
+    // deterministic; this rate line is telemetry, not an artifact.
+    let started = std::time::Instant::now();
+    let parsed = oraclesize::cli::parse_args(&args);
+    let sweep_runs = match &parsed {
+        Ok(oraclesize::cli::Command::Sweep(a)) => Some(a.runs),
+        _ => None,
+    };
+    match parsed.and_then(|cmd| oraclesize::cli::run_command_status(&cmd)) {
         Ok((report, healthy)) => {
             print!("{report}");
+            if let Some(runs) = sweep_runs {
+                let secs = started.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    println!("rate:         {:.1} runs/sec", runs as f64 / secs);
+                }
+            }
             if !healthy {
                 eprintln!("sweep degraded; pass --allow-degraded to tolerate this");
                 std::process::exit(1);
