@@ -6,7 +6,6 @@
 //! output.
 
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 use oraclesize_analysis::fit::{best_model, fit_model, Model};
 use oraclesize_analysis::table::{fmt_num, Table};
@@ -26,9 +25,10 @@ use oraclesize_lowerbound::discovery::{
     all_edges, AdaptiveNeighborStrategy, DiscoveryStrategy, RandomStrategy, SequentialStrategy,
 };
 use oraclesize_lowerbound::truncation::tradeoff_curve;
-use oraclesize_runtime::RunRequest;
-use oraclesize_sim::protocol::{FloodOnce, Protocol};
-use oraclesize_sim::{advice_size, Instance, Oracle, SchedulerKind, SimConfig};
+use oraclesize_runtime::spec::to_ppm;
+use oraclesize_runtime::{AdviceSpec, CellSpec, FaultSpec, InstanceSpec, SchedulerSpec, SweepSpec};
+use oraclesize_sim::protocol::FloodOnce;
+use oraclesize_sim::{advice_size, Oracle, SchedulerKind, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -545,42 +545,62 @@ pub fn t9_threshold_remark() -> String {
     report.render()
 }
 
+/// The canonical job description behind [`t10_robustness_matrix`]: 16
+/// cells of `(scheduler × anonymity × scheme)` over two instances that
+/// share one random graph. The CI service-smoke job submits exactly this
+/// spec to a sweep server and diffs the merged artifact against the
+/// committed `BENCH_T10.json` bytes.
+pub fn t10_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("t10", MASTER_SEED);
+    for oracle in ["spanning-tree", "light-tree"] {
+        spec.instances.push(InstanceSpec {
+            family: "random-connected".to_string(),
+            n: 128,
+            // The pre-spec harness drew the graph from `rng_for(10)`.
+            seed: MASTER_SEED ^ 10,
+            p_ppm: Some(to_ppm(0.08)),
+            source: 0,
+            oracle: oracle.to_string(),
+        });
+    }
+    // Declare the matrix in the exact order the table prints its rows.
+    for kind in SchedulerKind::sweep(MASTER_SEED) {
+        for anonymous in [false, true] {
+            for (scheme, instance, mode) in [
+                ("tree-wakeup", 0u64, "wakeup"),
+                ("scheme-b", 1, "broadcast"),
+            ] {
+                let seed = spec.cells.len() as u64;
+                spec.cells.push(CellSpec {
+                    label: format!("{scheme}/{}/anon={anonymous}", kind.name()),
+                    instance,
+                    scheme: scheme.to_string(),
+                    retries: None,
+                    mode: mode.to_string(),
+                    scheduler: Some(SchedulerSpec::of(kind)),
+                    anonymous,
+                    max_message_bits: Some(0),
+                    quiescence_polls: None,
+                    seed,
+                    faults: FaultSpec::default(),
+                });
+            }
+        }
+    }
+    spec
+}
+
 /// T10 — §1.3 robustness matrix as a declarative grid: 16 cells of
 /// `(scheduler × anonymity × scheme)` over two `Arc`-shared instances,
 /// dispatched to the runtime pool in one batch.
 pub fn t10_robustness_matrix(opts: &ExpOptions) -> Result<String, String> {
     let mut report =
         Report::new("T10 — upper bounds hold async, anonymous, bounded messages (§1.3)");
-    let mut rng = rng_for(10);
-    let g = Arc::new(families::random_connected(128, 0.08, &mut rng));
-    let wakeup = Instance::build(Arc::clone(&g), 0, &SpanningTreeOracle::default());
-    let broadcast = Instance::build(Arc::clone(&g), 0, &LightTreeOracle);
-    let tree_wakeup: Arc<dyn Protocol + Send + Sync> = Arc::new(TreeWakeup);
-    let scheme_b: Arc<dyn Protocol + Send + Sync> = Arc::new(SchemeB);
-
-    // Declare the matrix in the exact order the table prints its rows.
-    let mut grid = CellGrid::new();
+    let grid = CellGrid::from_spec(&t10_spec())?;
     let mut meta = Vec::new();
     for kind in SchedulerKind::sweep(MASTER_SEED) {
         for anonymous in [false, true] {
-            let wakeup_cfg = SimConfig::wakeup()
-                .with_scheduler(kind)
-                .with_anonymous(anonymous)
-                .with_max_message_bits(0);
-            grid.cell(
-                format!("tree-wakeup/{}/anon={anonymous}", kind.name()),
-                RunRequest::new(Arc::clone(&wakeup), Arc::clone(&tree_wakeup), wakeup_cfg),
-            );
             meta.push(("tree-wakeup", kind, anonymous));
-
-            let broadcast_cfg = SimConfig::broadcast()
-                .with_scheduler(kind)
-                .with_anonymous(anonymous)
-                .with_max_message_bits(0);
-            grid.cell(
-                format!("scheme-b/{}/anon={anonymous}", kind.name()),
-                RunRequest::new(Arc::clone(&broadcast), Arc::clone(&scheme_b), broadcast_cfg),
-            );
             meta.push(("scheme-b", kind, anonymous));
         }
     }
@@ -1261,56 +1281,160 @@ pub fn t19_spanner_tradeoff() -> String {
     report.render()
 }
 
+/// T20's corruption rates, shared by the spec and the report table.
+const T20_RATES: [f64; 6] = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+/// T20's drop rates, shared by the spec and the report table.
+const T20_DROP_RATES: [f64; 3] = [0.0, 0.1, 0.3];
+/// T20's retry schemes (table label, retry budget).
+const T20_RETRY_SCHEMES: [(&str, Option<u64>); 3] = [
+    ("tree-wakeup", None),
+    ("retry(2)", Some(2)),
+    ("retry(8)", Some(8)),
+];
+/// T20's crash budgets.
+const T20_BUDGETS: [usize; 3] = [0, 4, 12];
+/// Trials per T20 matrix point.
+const T20_TRIALS: u64 = 5;
+
+/// The shared T20 graph (drawn from `rng_for(20)` in the pre-spec
+/// harness) labeled by `oracle`.
+fn t20_instance(oracle: &str) -> InstanceSpec {
+    InstanceSpec {
+        family: "random-connected".to_string(),
+        n: 96,
+        seed: MASTER_SEED ^ 20,
+        p_ppm: Some(to_ppm(0.08)),
+        source: 0,
+        oracle: oracle.to_string(),
+    }
+}
+
+/// The advice-corruption grid of [`t20_fault_robustness`] as a spec:
+/// corruption rate × (brittle | robust) wakeup scheme × trial.
+pub fn t20_corruption_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("t20-corruption", MASTER_SEED);
+    spec.instances.push(t20_instance("spanning-tree"));
+    spec.instances.push(t20_instance("robust-wakeup"));
+    for rate in T20_RATES {
+        for robust in [false, true] {
+            for trial in 0..T20_TRIALS {
+                let seed = spec.cells.len() as u64;
+                spec.cells.push(CellSpec {
+                    label: format!(
+                        "corrupt={rate:.2}/{}/trial={trial}",
+                        if robust { "robust" } else { "brittle" }
+                    ),
+                    instance: robust as u64,
+                    scheme: if robust {
+                        "robust-tree-wakeup"
+                    } else {
+                        "tree-wakeup"
+                    }
+                    .to_string(),
+                    retries: None,
+                    mode: "wakeup".to_string(),
+                    scheduler: None,
+                    anonymous: false,
+                    max_message_bits: None,
+                    quiescence_polls: None,
+                    seed,
+                    faults: FaultSpec {
+                        seed: MASTER_SEED ^ (trial + 1),
+                        advice: AdviceSpec::Garbage {
+                            prob_ppm: to_ppm(rate),
+                            bits: 40,
+                        },
+                        ..FaultSpec::default()
+                    },
+                });
+            }
+        }
+    }
+    spec
+}
+
+/// The message-drop grid of [`t20_fault_robustness`] as a spec: drop
+/// rate × retry budget × trial.
+pub fn t20_drops_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("t20-drops", MASTER_SEED);
+    spec.instances.push(t20_instance("spanning-tree"));
+    for rate in T20_DROP_RATES {
+        for (label, retries) in T20_RETRY_SCHEMES {
+            for trial in 0..T20_TRIALS {
+                let seed = spec.cells.len() as u64;
+                spec.cells.push(CellSpec {
+                    label: format!("drop={rate:.2}/{label}/trial={trial}"),
+                    instance: 0,
+                    scheme: if retries.is_some() {
+                        "retry-broadcast"
+                    } else {
+                        "tree-wakeup"
+                    }
+                    .to_string(),
+                    retries,
+                    mode: "broadcast".to_string(),
+                    scheduler: None,
+                    anonymous: false,
+                    max_message_bits: None,
+                    quiescence_polls: Some(16),
+                    seed,
+                    faults: FaultSpec {
+                        seed: MASTER_SEED ^ (trial + 31),
+                        drop_ppm: to_ppm(rate),
+                        ..FaultSpec::default()
+                    },
+                });
+            }
+        }
+    }
+    spec
+}
+
+/// The crash-stop grid of [`t20_fault_robustness`] as a spec. The crash
+/// sets come from the connectivity-preserving generator, so the spec
+/// constructor builds the (small) T20 graph to draw them.
+pub fn t20_crashes_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("t20-crashes", MASTER_SEED);
+    spec.instances.push(t20_instance("robust-wakeup"));
+    let g = families::random_connected(96, 0.08, &mut rng_for(20));
+    for budget in T20_BUDGETS {
+        let crash_set =
+            oraclesize_graph::connectivity_preserving_crash_set(&g, &[0], budget, MASTER_SEED);
+        let seed = spec.cells.len() as u64;
+        spec.cells.push(CellSpec {
+            label: format!("crashes={budget}"),
+            instance: 0,
+            scheme: "robust-tree-wakeup".to_string(),
+            retries: None,
+            mode: "wakeup".to_string(),
+            scheduler: None,
+            anonymous: false,
+            max_message_bits: None,
+            quiescence_polls: None,
+            seed,
+            faults: FaultSpec {
+                seed: MASTER_SEED,
+                crashes: crash_set.iter().map(|&v| (v as u64, 0u64)).collect(),
+                ..FaultSpec::default()
+            },
+        });
+    }
+    spec
+}
+
 /// T20 — fault injection as three declarative grids (advice corruption,
 /// message drops, crash-stops), each dispatched to the runtime pool.
 pub fn t20_fault_robustness(opts: &ExpOptions) -> Result<String, String> {
-    use oraclesize_core::robust::{RetryBroadcast, RobustTreeWakeup, RobustWakeupOracle};
-    use oraclesize_sim::{AdviceAdversary, FaultPlan};
-
     let mut report = Report::new("T20 — fault injection: brittle vs self-healing schemes");
-    let mut rng = rng_for(20);
-    let g = Arc::new(families::random_connected(96, 0.08, &mut rng));
-    let n = g.num_nodes() as u64;
-    let trials: u64 = 5;
-
-    let brittle = Instance::build(Arc::clone(&g), 0, &SpanningTreeOracle::default());
-    let robust_inst = Instance::build(Arc::clone(&g), 0, &RobustWakeupOracle::default());
-    let tree_wakeup: Arc<dyn Protocol + Send + Sync> = Arc::new(TreeWakeup);
-    let robust_proto: Arc<dyn Protocol + Send + Sync> = Arc::new(RobustTreeWakeup);
+    let trials = T20_TRIALS;
 
     // Sweep 1: advice-corruption rate × wakeup scheme × trial. The brittle
     // scheme loses subtrees as soon as advice breaks; the robust scheme
     // detects the corruption and pays messages (flooding) instead of
     // coverage. The engine corrupts a private copy of the shared advice,
     // so one instance serves every cell.
-    const RATES: [f64; 6] = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
-    let mut corruption = CellGrid::new();
-    for rate in RATES {
-        for robust in [false, true] {
-            for trial in 0..trials {
-                let plan = FaultPlan::advice_only(
-                    MASTER_SEED ^ (trial + 1),
-                    AdviceAdversary::Garbage {
-                        prob: rate,
-                        bits: 40,
-                    },
-                );
-                let cfg = SimConfig::wakeup().with_faults(plan);
-                let (inst, proto) = if robust {
-                    (&robust_inst, &robust_proto)
-                } else {
-                    (&brittle, &tree_wakeup)
-                };
-                corruption.cell(
-                    format!(
-                        "corrupt={rate:.2}/{}/trial={trial}",
-                        if robust { "robust" } else { "brittle" }
-                    ),
-                    RunRequest::new(Arc::clone(inst), Arc::clone(proto), cfg),
-                );
-            }
-        }
-    }
+    let corruption = CellGrid::from_spec(&t20_corruption_spec())?;
+    let n = corruption.requests()[0].instance.graph.num_nodes() as u64;
     let corruption_sweep = corruption.dispatch_supervised(opts, "t20-corruption");
     if corruption_sweep.interrupted {
         return Err(format!(
@@ -1330,7 +1454,7 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> Result<String, String> {
     ]);
     let mut healed_everywhere = true;
     let mut chunks = corruption_reports.chunks(trials as usize);
-    for rate in RATES {
+    for rate in T20_RATES {
         for robust in [false, true] {
             let chunk = chunks.next().expect("grid covers the matrix");
             let mut completed = 0u64;
@@ -1376,31 +1500,7 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> Result<String, String> {
     // Sweep 2: message-drop rate × retry budget × trial. Acks double the
     // fault-free cost; each retry multiplies the per-edge survival
     // probability.
-    const DROP_RATES: [f64; 3] = [0.0, 0.1, 0.3];
-    const RETRY_SCHEMES: [(&str, Option<u32>); 3] = [
-        ("tree-wakeup", None),
-        ("retry(2)", Some(2)),
-        ("retry(8)", Some(8)),
-    ];
-    let mut drop_grid = CellGrid::new();
-    for rate in DROP_RATES {
-        for (label, retries) in RETRY_SCHEMES {
-            for trial in 0..trials {
-                let plan = FaultPlan::message_faults(MASTER_SEED ^ (trial + 31), rate, 0.0, 0.0);
-                let cfg = SimConfig::broadcast()
-                    .with_faults(plan)
-                    .with_quiescence_polls(16);
-                let proto: Arc<dyn Protocol + Send + Sync> = match retries {
-                    None => Arc::clone(&tree_wakeup),
-                    Some(r) => Arc::new(RetryBroadcast { retries: r }),
-                };
-                drop_grid.cell(
-                    format!("drop={rate:.2}/{label}/trial={trial}"),
-                    RunRequest::new(Arc::clone(&brittle), proto, cfg),
-                );
-            }
-        }
-    }
+    let drop_grid = CellGrid::from_spec(&t20_drops_spec())?;
     let drop_sweep = drop_grid.dispatch_supervised(opts, "t20-drops");
     if drop_sweep.interrupted {
         return Err(format!(
@@ -1419,8 +1519,8 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> Result<String, String> {
     ]);
     let mut retries_recovered = true;
     let mut chunks = drop_reports.chunks(trials as usize);
-    for rate in DROP_RATES {
-        for (label, retries) in RETRY_SCHEMES {
+    for rate in T20_DROP_RATES {
+        for (label, retries) in T20_RETRY_SCHEMES {
             let chunk = chunks.next().expect("grid covers the matrix");
             let mut completed = 0u64;
             let mut informed_sum = 0u64;
@@ -1455,24 +1555,13 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> Result<String, String> {
     // Sweep 3: crash-stop failures drawn from the connectivity-preserving
     // generator — survivors stay connected, so the robust scheme should
     // inform every survivor.
-    const BUDGETS: [usize; 3] = [0, 4, 12];
-    let mut crash_grid = CellGrid::new();
-    let mut crash_sizes = Vec::new();
-    for budget in BUDGETS {
-        let crash_set =
-            oraclesize_graph::connectivity_preserving_crash_set(&g, &[0], budget, MASTER_SEED);
-        crash_sizes.push(crash_set.len());
-        let plan = FaultPlan {
-            seed: MASTER_SEED,
-            crashes: crash_set.iter().map(|&v| (v, 0u64)).collect(),
-            ..Default::default()
-        };
-        let cfg = SimConfig::wakeup().with_faults(plan);
-        crash_grid.cell(
-            format!("crashes={budget}"),
-            RunRequest::new(Arc::clone(&robust_inst), Arc::clone(&robust_proto), cfg),
-        );
-    }
+    let crash_spec = t20_crashes_spec();
+    let crash_sizes: Vec<usize> = crash_spec
+        .cells
+        .iter()
+        .map(|c| c.faults.crashes.len())
+        .collect();
+    let crash_grid = CellGrid::from_spec(&crash_spec)?;
     let crash_sweep = crash_grid.dispatch_supervised(opts, "t20-crashes");
     if crash_sweep.interrupted {
         return Err(format!(
@@ -1484,13 +1573,13 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> Result<String, String> {
 
     let mut crashes = Table::new(["crashes", "completed", "informed survivors", "messages"]);
     let mut survivors_informed = true;
-    for ((budget, crashed), r) in BUDGETS.iter().zip(&crash_sizes).zip(&crash_reports) {
+    for ((budget, crashed), r) in T20_BUDGETS.iter().zip(&crash_sizes).zip(&crash_reports) {
         let out = r.outcome().expect("wakeup runs");
         // Dead relays are advice corruption in disguise: the tree routes
         // through them, so survivors behind a crashed parent stay asleep
         // unless some neighbor floods. Completion here is not guaranteed —
         // the run is classified, not asserted.
-        let survivors = g.num_nodes() - out.crashed_nodes;
+        let survivors = n as usize - out.crashed_nodes;
         let informed = survivors - out.uninformed;
         survivors_informed &= *budget == 0 || informed > 0;
         let classified = if out.completed {
@@ -1501,7 +1590,7 @@ pub fn t20_fault_robustness(opts: &ExpOptions) -> Result<String, String> {
         crashes.row([
             crashed.to_string(),
             classified,
-            format!("{}/{}", informed, g.num_nodes() - crashed),
+            format!("{}/{}", informed, n as usize - crashed),
             out.metrics.messages.to_string(),
         ]);
     }
@@ -1655,6 +1744,50 @@ fn scale_orders(large: bool) -> Vec<usize> {
     orders
 }
 
+/// Node count of the fully subdivided clique `K*_b`: the `b` original
+/// nodes plus one subdivision node per edge of `K_b`.
+fn subdivided_clique_nodes(b: usize) -> usize {
+    b + b * (b - 1) / 2
+}
+
+/// The SCALE curve as a spec: wakeup on fully subdivided cliques,
+/// tree-advice vs no-advice flooding; `large` appends the million-node
+/// order. Subdividing *every* edge of `K*_b` gives the densest `G_{n,S}`,
+/// built deterministically (no RNG: the edge list is CSR iteration
+/// order).
+pub fn scale_spec(large: bool) -> SweepSpec {
+    let mut spec = SweepSpec::new("scale", MASTER_SEED);
+    for b in scale_orders(large) {
+        let nodes = subdivided_clique_nodes(b);
+        for (scheme, oracle) in [("tree-wakeup", "spanning-tree"), ("flood", "empty")] {
+            let instance = spec.instances.len() as u64;
+            spec.instances.push(InstanceSpec {
+                family: "subdivided-clique".to_string(),
+                n: b as u64,
+                seed: 0,
+                p_ppm: None,
+                source: 0,
+                oracle: oracle.to_string(),
+            });
+            let seed = spec.cells.len() as u64;
+            spec.cells.push(CellSpec {
+                label: format!("{scheme}/n={nodes}"),
+                instance,
+                scheme: scheme.to_string(),
+                retries: None,
+                mode: "wakeup".to_string(),
+                scheduler: None,
+                anonymous: false,
+                max_message_bits: None,
+                quiescence_polls: None,
+                seed,
+                faults: FaultSpec::default(),
+            });
+        }
+    }
+    spec
+}
+
 /// The decade a count falls in, rendered as a half-open interval. Steps
 /// are bucketed this way as the *deterministic* wall-time proxy: wall
 /// clock is deliberately excluded from every artifact (lint rule D002),
@@ -1683,28 +1816,11 @@ fn decade_bucket(x: u64) -> String {
 pub fn scale_curve(opts: &ExpOptions) -> Result<String, String> {
     let mut report =
         Report::new("SCALE — engine scaling on subdivided cliques (Theorem 2.2 graphs)");
-    let mut grid = CellGrid::new();
+    let grid = CellGrid::from_spec(&scale_spec(opts.large))?;
     let mut meta = Vec::new();
-    let tree: Arc<dyn Protocol + Send + Sync> = Arc::new(TreeWakeup);
-    let flood: Arc<dyn Protocol + Send + Sync> = Arc::new(FloodOnce);
     for b in scale_orders(opts.large) {
-        // Subdivide *every* edge of `K*_b` — the densest G_{n,S}, built
-        // deterministically (no RNG: the edge list is CSR iteration order).
-        let base = families::complete_rotational(b);
-        let edges: Vec<_> = base.edges().collect();
-        let g = Arc::new(gadgets::subdivide_edges(&base, &edges));
-        let nodes = g.num_nodes();
-        let with_tree = Instance::build(Arc::clone(&g), 0, &SpanningTreeOracle::default());
-        let no_advice = Instance::build(Arc::clone(&g), 0, &EmptyOracle);
-        grid.cell(
-            format!("tree-wakeup/n={nodes}"),
-            RunRequest::new(with_tree, Arc::clone(&tree), SimConfig::wakeup()),
-        );
+        let nodes = subdivided_clique_nodes(b);
         meta.push(("tree-wakeup", b, nodes));
-        grid.cell(
-            format!("flood/n={nodes}"),
-            RunRequest::new(no_advice, Arc::clone(&flood), SimConfig::wakeup()),
-        );
         meta.push(("flood", b, nodes));
     }
     let sweep = grid.dispatch_supervised(opts, "scale");

@@ -10,12 +10,25 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 
-use oraclesize_runtime::trace::stats_json;
+use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
+use oraclesize_core::oracle::EmptyOracle;
+use oraclesize_core::robust::{RetryBroadcast, RobustTreeWakeup, RobustWakeupOracle};
+use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
+use oraclesize_graph::families::{self, Family};
+use oraclesize_graph::{gadgets, PortGraph};
+use oraclesize_runtime::spec::{artifact_json, from_ppm, grid_json};
 use oraclesize_runtime::{
-    drain, run_supervised_batch, Aggregate, ChaosPlan, Json, MetricsSink, Pool, RunReport,
-    RunRequest, SchedStats, SuperviseConfig, SweepOptions, SweepRun,
+    run_supervised_batch, ChaosPlan, Json, Pool, RunReport, RunRequest, SchedStats,
+    SuperviseConfig, SweepOptions, SweepRun, SweepSpec,
 };
-use oraclesize_sim::TraceStats;
+use oraclesize_sim::protocol::{FloodOnce, Protocol};
+use oraclesize_sim::Instance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Protocol instances built so far while lowering a spec, keyed by
+/// `(scheme, retries)` so identical cells share one `Arc`.
+type ProtocolCache = Vec<((String, Option<u64>), Arc<dyn Protocol + Send + Sync>)>;
 
 /// Options shared by every experiment invocation.
 #[derive(Debug, Clone, Default)]
@@ -119,6 +132,10 @@ pub struct CellGrid {
 
 impl CellGrid {
     /// An empty grid.
+    #[deprecated(
+        since = "0.1.0",
+        note = "describe the sweep as a SweepSpec and build the grid with CellGrid::from_spec"
+    )]
     pub fn new() -> Self {
         CellGrid::default()
     }
@@ -127,15 +144,97 @@ impl CellGrid {
     /// derive their columns from the same iteration that built the grid.
     /// The cell's scheduling cost hint comes from the request's instance
     /// size ([`RunRequest::cost_hint`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare cells in a SweepSpec and build the grid with CellGrid::from_spec"
+    )]
     pub fn cell(&mut self, label: impl Into<String>, request: RunRequest) {
-        self.labels.push(label.into());
+        self.add_cell(label.into(), request);
+    }
+
+    fn add_cell(&mut self, label: String, request: RunRequest) {
+        self.labels.push(label);
         self.costs.push(request.cost_hint());
         self.requests.push(request);
+    }
+
+    /// Materializes the grid a [`SweepSpec`] describes: graphs are built
+    /// (and `Arc`-shared between instances with identical construction
+    /// parameters), oracles label them, and every cell becomes a
+    /// [`RunRequest`] in spec order. This is the only construction path —
+    /// the bench experiments, the `sweep` CLI, and the sweep service all
+    /// funnel through it, which is what makes their artifacts comparable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a first-error message naming the offending spec path for
+    /// unknown family/oracle/scheme names, an out-of-range source node,
+    /// or an invalid cell configuration.
+    pub fn from_spec(spec: &SweepSpec) -> Result<CellGrid, String> {
+        spec.validate()?;
+        let mut graphs: Vec<(String, Arc<PortGraph>)> = Vec::new();
+        let mut instances = Vec::with_capacity(spec.instances.len());
+        for (i, inst) in spec.instances.iter().enumerate() {
+            let key = format!("{}/{}/{}/{:?}", inst.family, inst.n, inst.seed, inst.p_ppm);
+            let g = match graphs.iter().find(|(k, _)| *k == key) {
+                Some((_, g)) => Arc::clone(g),
+                None => {
+                    let g = Arc::new(
+                        build_family(&inst.family, inst.n as usize, inst.seed, inst.p_ppm)
+                            .map_err(|e| format!("instances[{i}].{e}"))?,
+                    );
+                    graphs.push((key, Arc::clone(&g)));
+                    g
+                }
+            };
+            if inst.source >= g.num_nodes() as u64 {
+                return Err(format!(
+                    "instances[{i}].source: node {} out of range ({} nodes)",
+                    inst.source,
+                    g.num_nodes()
+                ));
+            }
+            instances.push(
+                build_instance(g, inst.source as usize, &inst.oracle)
+                    .map_err(|e| format!("instances[{i}].{e}"))?,
+            );
+        }
+        let mut protocols: ProtocolCache = Vec::new();
+        let mut grid = CellGrid::default();
+        for (i, cell) in spec.cells.iter().enumerate() {
+            let pkey = (cell.scheme.clone(), cell.retries);
+            let protocol = match protocols.iter().find(|(k, _)| *k == pkey) {
+                Some((_, p)) => Arc::clone(p),
+                None => {
+                    let p = build_protocol(&cell.scheme, cell.retries)
+                        .map_err(|e| format!("cells[{i}].{e}"))?;
+                    protocols.push((pkey, Arc::clone(&p)));
+                    p
+                }
+            };
+            let config = cell.sim_config().map_err(|e| format!("cells[{i}]: {e}"))?;
+            let instance = Arc::clone(&instances[cell.instance as usize]);
+            grid.add_cell(
+                cell.label.clone(),
+                RunRequest::new(instance, protocol, config),
+            );
+        }
+        Ok(grid)
     }
 
     /// The per-cell cost hints, in cell order.
     pub fn costs(&self) -> &[u64] {
         &self.costs
+    }
+
+    /// The cell labels, in cell order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The cell requests, in cell order.
+    pub fn requests(&self) -> &[RunRequest] {
+        &self.requests
     }
 
     /// Number of cells added so far.
@@ -178,51 +277,75 @@ impl CellGrid {
 
     /// Renders this grid's reports as a deterministic JSON fragment:
     /// one labeled record per cell plus an aggregate, all folded in cell
-    /// order.
+    /// order. Delegates to [`grid_json`], the single renderer shared with
+    /// the sweep service's merged artifacts.
     pub fn to_json(&self, reports: &[RunReport]) -> Json {
-        let cells: Vec<Json> = self
-            .labels
-            .iter()
-            .zip(reports)
-            .enumerate()
-            .map(|(i, (label, report))| {
-                let base = Json::obj().field("cell", i).field("label", label.as_str());
-                match &report.result {
-                    Ok(out) => {
-                        let record = base
-                            .field("completed", out.completed)
-                            .field("uninformed", out.uninformed)
-                            .field("crashed_nodes", out.crashed_nodes)
-                            .field("oracle_bits", out.oracle_bits)
-                            .field("messages", out.metrics.messages)
-                            .field("payload_bits", out.metrics.payload_bits)
-                            .field("max_message_bits", out.metrics.max_message_bits)
-                            .field("rounds", out.metrics.rounds)
-                            .field("steps", out.metrics.steps)
-                            .field("informed_nodes", out.metrics.informed_nodes)
-                            .field("dropped", out.metrics.faults.dropped)
-                            .field("duplicated", out.metrics.faults.duplicated)
-                            .field("payload_flips", out.metrics.faults.payload_flips)
-                            .field("advice_mutations", out.metrics.faults.advice_mutations);
-                        // Untraced cells (the committed BENCH_T*.json
-                        // artifacts) carry zeroed stats and keep their
-                        // exact historical bytes.
-                        if out.trace_stats == TraceStats::default() {
-                            record
-                        } else {
-                            record.field("trace", stats_json(&out.trace_stats))
-                        }
-                    }
-                    Err(e) => base.field("error", e.as_str()),
-                }
-            })
-            .collect();
-        let mut agg = Aggregate::new();
-        drain(&mut agg, reports);
-        Json::obj()
-            .field("cells", cells)
-            .field("aggregate", agg.finish())
+        grid_json(&self.labels, reports)
     }
+}
+
+/// Builds a named graph family. Beyond [`Family::ALL`] two spec-only
+/// names exist: `"random-connected"` (takes `p_ppm`) and
+/// `"subdivided-clique"` (every edge of `K*_n` subdivided, no RNG) — the
+/// constructions T10/T20 and the SCALE curve sweep.
+fn build_family(
+    family: &str,
+    n: usize,
+    seed: u64,
+    p_ppm: Option<u64>,
+) -> Result<PortGraph, String> {
+    if let Some(fam) = Family::ALL.iter().find(|f| f.name() == family) {
+        return Ok(fam.build(n, &mut StdRng::seed_from_u64(seed)));
+    }
+    match family {
+        "random-connected" => {
+            let p = p_ppm
+                .ok_or_else(|| "p_ppm: required by family \"random-connected\"".to_string())?;
+            Ok(families::random_connected(
+                n,
+                from_ppm(p),
+                &mut StdRng::seed_from_u64(seed),
+            ))
+        }
+        "subdivided-clique" => {
+            let base = families::complete_rotational(n);
+            let edges: Vec<_> = base.edges().collect();
+            Ok(gadgets::subdivide_edges(&base, &edges))
+        }
+        other => Err(format!("family: unknown family {other:?}")),
+    }
+}
+
+/// Labels a graph with a named oracle and packages the shared instance.
+fn build_instance(g: Arc<PortGraph>, source: usize, oracle: &str) -> Result<Arc<Instance>, String> {
+    Ok(match oracle {
+        "empty" => Instance::build(g, source, &EmptyOracle),
+        "spanning-tree" => Instance::build(g, source, &SpanningTreeOracle::default()),
+        "light-tree" => Instance::build(g, source, &LightTreeOracle),
+        "robust-wakeup" => Instance::build(g, source, &RobustWakeupOracle::default()),
+        other => return Err(format!("oracle: unknown oracle {other:?}")),
+    })
+}
+
+/// Instantiates a named scheme.
+fn build_protocol(
+    scheme: &str,
+    retries: Option<u64>,
+) -> Result<Arc<dyn Protocol + Send + Sync>, String> {
+    Ok(match scheme {
+        "tree-wakeup" => Arc::new(TreeWakeup),
+        "scheme-b" => Arc::new(SchemeB),
+        "flood" => Arc::new(FloodOnce),
+        "robust-tree-wakeup" => Arc::new(RobustTreeWakeup),
+        "retry-broadcast" => {
+            let retries = retries
+                .ok_or_else(|| "retries: required by scheme \"retry-broadcast\"".to_string())?;
+            Arc::new(RetryBroadcast {
+                retries: retries as u32,
+            })
+        }
+        other => return Err(format!("scheme: unknown scheme {other:?}")),
+    })
 }
 
 /// Writes `BENCH_<ID>.json` into the options' `json_dir` (no-op when the
@@ -240,10 +363,7 @@ pub fn emit_json(opts: &ExpOptions, id: &str, body: Json) -> Result<Option<PathB
         return Ok(None);
     };
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let json = Json::obj()
-        .field("experiment", id.to_lowercase())
-        .field("seed", crate::harness::MASTER_SEED)
-        .field("body", body);
+    let json = artifact_json(id, crate::harness::MASTER_SEED, body);
     let path = dir.join(format!("BENCH_{}.json", id.to_uppercase()));
     std::fs::write(&path, format!("{}\n", json.render()))
         .map_err(|e| format!("write {}: {e}", path.display()))?;
@@ -253,22 +373,83 @@ pub fn emit_json(opts: &ExpOptions, id: &str, body: Json) -> Result<Option<PathB
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oraclesize_core::oracle::EmptyOracle;
-    use oraclesize_graph::families;
-    use oraclesize_sim::protocol::FloodOnce;
-    use oraclesize_sim::{Instance, SimConfig, TraceSpec};
-    use std::sync::Arc;
+    use oraclesize_runtime::{CellSpec, FaultSpec, InstanceSpec};
+    use oraclesize_sim::{SimConfig, TraceSpec};
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new("t0", 2006);
+        spec.instances.push(InstanceSpec {
+            family: "cycle".to_string(),
+            n: 6,
+            seed: 0,
+            p_ppm: None,
+            source: 0,
+            oracle: "empty".to_string(),
+        });
+        for i in 0..4u64 {
+            spec.cells.push(CellSpec {
+                label: format!("cell-{i}"),
+                instance: 0,
+                scheme: "flood".to_string(),
+                retries: None,
+                mode: "broadcast".to_string(),
+                scheduler: None,
+                anonymous: false,
+                max_message_bits: None,
+                quiescence_polls: None,
+                seed: i,
+                faults: FaultSpec::default(),
+            });
+        }
+        spec
+    }
 
     fn tiny_grid() -> CellGrid {
-        let inst = Instance::build(Arc::new(families::cycle(6)), 0, &EmptyOracle);
-        let mut grid = CellGrid::new();
-        for i in 0..4 {
-            grid.cell(
-                format!("cell-{i}"),
-                RunRequest::new(Arc::clone(&inst), Arc::new(FloodOnce), SimConfig::default()),
-            );
-        }
-        grid
+        CellGrid::from_spec(&tiny_spec()).expect("tiny spec materializes")
+    }
+
+    #[test]
+    fn from_spec_names_bad_entries() {
+        let mut spec = tiny_spec();
+        spec.instances[0].family = "klein-bottle".to_string();
+        let err = CellGrid::from_spec(&spec).map(|_| ()).unwrap_err();
+        assert_eq!(err, "instances[0].family: unknown family \"klein-bottle\"");
+
+        let mut spec = tiny_spec();
+        spec.instances[0].source = 6;
+        let err = CellGrid::from_spec(&spec).map(|_| ()).unwrap_err();
+        assert_eq!(err, "instances[0].source: node 6 out of range (6 nodes)");
+
+        let mut spec = tiny_spec();
+        spec.cells[2].scheme = "telepathy".to_string();
+        let err = CellGrid::from_spec(&spec).map(|_| ()).unwrap_err();
+        assert_eq!(err, "cells[2].scheme: unknown scheme \"telepathy\"");
+
+        let mut spec = tiny_spec();
+        spec.cells[0].scheme = "retry-broadcast".to_string();
+        let err = CellGrid::from_spec(&spec).map(|_| ()).unwrap_err();
+        assert_eq!(
+            err,
+            "cells[0].retries: required by scheme \"retry-broadcast\""
+        );
+    }
+
+    #[test]
+    fn from_spec_shares_graphs_between_instances() {
+        let mut spec = tiny_spec();
+        // Same construction parameters, different oracle: one graph build.
+        spec.instances.push(InstanceSpec {
+            oracle: "spanning-tree".to_string(),
+            ..spec.instances[0].clone()
+        });
+        spec.cells[1].instance = 1;
+        spec.cells[1].scheme = "tree-wakeup".to_string();
+        spec.cells[1].mode = "wakeup".to_string();
+        let grid = CellGrid::from_spec(&spec).expect("spec materializes");
+        assert!(Arc::ptr_eq(
+            &grid.requests()[0].instance.graph,
+            &grid.requests()[1].instance.graph
+        ));
     }
 
     #[test]
@@ -284,6 +465,10 @@ mod tests {
     }
 
     #[test]
+    // Tracing is a debugging knob, not part of the sweep description, so
+    // this test keeps the legacy construction path (which also pins the
+    // shim's behavior).
+    #[allow(deprecated)]
     fn traced_cells_get_a_trace_record_untraced_cells_do_not() {
         let inst = Instance::build(Arc::new(families::cycle(6)), 0, &EmptyOracle);
         let mut grid = CellGrid::new();

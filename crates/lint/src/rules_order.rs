@@ -179,8 +179,17 @@ pub fn o001(file: &SourceFile, deterministic: bool, out: &mut Vec<Diagnostic>) {
 
 /// Modules sanctioned to hold parallel iteration and thread-local merge
 /// state: the two halves of the runtime's block-STM-style split — the
-/// executor (`pool`) and the work-stealing scheduler (`sched`).
-const O002_ALLOWED: &[&str] = &["crates/runtime/src/pool.rs", "crates/runtime/src/sched.rs"];
+/// executor (`pool`) and the work-stealing scheduler (`sched`) — plus
+/// the sweep service's server, which is the service layer's one
+/// sanctioned cross-thread merge point: connection handlers feed worker
+/// results into the runtime's `OrderedCommitter` under a single lock, so
+/// the merged artifact stays deterministic in cell order regardless of
+/// handler interleaving.
+const O002_ALLOWED: &[&str] = &[
+    "crates/runtime/src/pool.rs",
+    "crates/runtime/src/sched.rs",
+    "crates/service/src/server.rs",
+];
 
 /// O002: parallel iteration / thread-local merges outside
 /// `runtime::{pool, sched}`.

@@ -74,14 +74,15 @@ impl SourceFile {
     }
 
     /// `true` when a `lint:allow` directive suppresses `rule` at `line`.
-    /// A001/D005/P001/P002 allows suppress only when they carry a
-    /// `: reason` — a hot-path allocation, nested layout, or panic path
-    /// kept on purpose must say why.
+    /// A001/D003/D005/P001/P002 allows suppress only when they carry a
+    /// `: reason` — a hot-path allocation, an ad-hoc thread, a nested
+    /// layout, or a panic path kept on purpose must say why.
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
         self.resolved_allows.iter().any(|(a, covered)| {
             *covered == line
                 && a.rules.iter().any(|r| r == rule)
-                && (!matches!(rule, "A001" | "D005" | "P001" | "P002") || a.reason.is_some())
+                && (!matches!(rule, "A001" | "D003" | "D005" | "P001" | "P002")
+                    || a.reason.is_some())
         })
     }
 }

@@ -626,8 +626,8 @@ fn o002_exempts_the_scheduler_but_nothing_else_new() {
         Some("O002"),
     )
     .is_empty());
-    // …but the exemption is those two files, not the runtime crate: the
-    // same marker in a sibling module still fires.
+    // …but the exemption is a file list, not a crate grant: the same
+    // marker in a sibling module still fires.
     for path in [
         "crates/runtime/src/supervise.rs",
         "crates/runtime/src/batch.rs",
@@ -637,4 +637,62 @@ fn o002_exempts_the_scheduler_but_nothing_else_new() {
         assert_eq!(rules_of(&diags), vec!["O002"], "path {path}");
         assert!(diags[0].message.contains("runtime::{pool, sched}"));
     }
+}
+
+#[test]
+fn o002_exempts_the_sweep_server_but_not_the_rest_of_the_service() {
+    // The sweep service's server is its sanctioned cross-thread merge
+    // point (results settle through the runtime's OrderedCommitter under
+    // one lock), so it sits in the allow list…
+    let src = "pub fn f() { thread_local! { static MERGE: u32 = 0; } }\n";
+    assert!(analyze_sources(
+        &[("crates/service/src/server.rs".to_string(), src.to_string())],
+        Some("O002"),
+    )
+    .is_empty());
+    // …while the service's worker, client, and protocol modules get no
+    // such grant: parallel merge state anywhere else in the crate fires.
+    for path in [
+        "crates/service/src/worker.rs",
+        "crates/service/src/client.rs",
+        "crates/service/src/proto.rs",
+        "crates/service/src/lib.rs",
+    ] {
+        let diags = analyze_sources(&[(path.to_string(), src.to_string())], Some("O002"));
+        assert_eq!(rules_of(&diags), vec!["O002"], "path {path}");
+        assert!(diags[0].message.contains("runtime::{pool, sched}"));
+    }
+}
+
+#[test]
+fn d003_still_fires_on_service_threads_without_a_reason() {
+    // The server's connection handlers carry reasoned `lint:allow(D003)`
+    // comments; the same spawn without one (or with a bare allow) is
+    // still a violation anywhere outside runtime::pool.
+    let src = "pub fn f() { std::thread::spawn(|| {}); }\n";
+    let diags = analyze_sources(
+        &[("crates/service/src/server.rs".to_string(), src.to_string())],
+        Some("D003"),
+    );
+    assert_eq!(rules_of(&diags), vec!["D003"]);
+    let bare = "pub fn f() {\n\
+                \x20   std::thread::spawn(|| {}); // lint:allow(D003)\n\
+                }\n";
+    let diags = analyze_sources(
+        &[("crates/service/src/server.rs".to_string(), bare.to_string())],
+        Some("D003"),
+    );
+    assert_eq!(rules_of(&diags), vec!["D003"], "bare allow needs a reason");
+    let reasoned = "pub fn f() {\n\
+                    \x20   // lint:allow(D003): I/O-bound waiter, results merge in cell order\n\
+                    \x20   std::thread::spawn(|| {});\n\
+                    }\n";
+    assert!(analyze_sources(
+        &[(
+            "crates/service/src/server.rs".to_string(),
+            reasoned.to_string()
+        )],
+        Some("D003"),
+    )
+    .is_empty());
 }

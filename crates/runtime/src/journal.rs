@@ -39,7 +39,18 @@ use crate::json::{self, Json};
 
 /// Magic prefix of the header line; the suffix pins the cell count so a
 /// journal from a differently-shaped sweep is never silently replayed.
+/// Segment journals (one shard of a larger sweep) additionally pin their
+/// cell range: `oraclesize-journal v1 cells=<N> range=<LO>..<HI>`.
 const HEADER_PREFIX: &str = "oraclesize-journal v1 cells=";
+
+/// The exact header line (without newline) for a journal of `cells`
+/// cells, optionally restricted to the `[lo, hi)` segment.
+fn header_for(cells: usize, range: Option<(usize, usize)>) -> String {
+    match range {
+        None => format!("{HEADER_PREFIX}{cells}"),
+        Some((lo, hi)) => format!("{HEADER_PREFIX}{cells} range={lo}..{hi}"),
+    }
+}
 
 /// FNV-1a 64-bit hash — the record integrity digest. Not cryptographic;
 /// it guards against truncation and bit rot, not adversaries.
@@ -127,7 +138,10 @@ fn metrics_from_json(j: &Json) -> Option<RunMetrics> {
     })
 }
 
-fn report_json(report: &RunReport) -> Json {
+/// Renders a report as the journal's (and the sweep service's wire)
+/// record body: `{"ok": {…}}` for completed runs, `{"err": "…"}` for
+/// failures. Traces are never encoded — see [`journalable`].
+pub fn report_json(report: &RunReport) -> Json {
     match &report.result {
         Ok(o) => Json::obj().field(
             "ok",
@@ -142,7 +156,10 @@ fn report_json(report: &RunReport) -> Json {
     }
 }
 
-fn report_from_json(cell: usize, j: &Json) -> Option<RunReport> {
+/// Decodes a [`report_json`] body back into a report for `cell`.
+/// Returns `None` on any shape violation — callers treat that as a
+/// corrupt record.
+pub fn report_from_json(cell: usize, j: &Json) -> Option<RunReport> {
     let result = if let Some(ok) = j.get("ok") {
         Ok(CellOutcome {
             oracle_bits: ok.get("oracle_bits")?.as_u64()?,
@@ -204,11 +221,36 @@ impl Journal {
     ///
     /// Propagates filesystem errors (unwritable path, full disk).
     pub fn create(path: &Path, cells: usize) -> std::io::Result<Journal> {
+        Journal::create_with(path, cells, None)
+    }
+
+    /// Starts a fresh *segment* journal: one shard's checkpoints for the
+    /// `[lo, hi)` cells of a `cells`-cell sweep. Records carry sweep-wide
+    /// cell indices, and the header pins the range so a segment is never
+    /// replayed into the wrong shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (unwritable path, full disk).
+    pub fn create_segment(
+        path: &Path,
+        cells: usize,
+        lo: usize,
+        hi: usize,
+    ) -> std::io::Result<Journal> {
+        Journal::create_with(path, cells, Some((lo, hi)))
+    }
+
+    fn create_with(
+        path: &Path,
+        cells: usize,
+        range: Option<(usize, usize)>,
+    ) -> std::io::Result<Journal> {
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir)?;
         }
         let mut file = std::fs::File::create(path)?;
-        file.write_all(format!("{HEADER_PREFIX}{cells}\n").as_bytes())?;
+        file.write_all(format!("{}\n", header_for(cells, range)).as_bytes())?;
         file.sync_all()?;
         Ok(Journal {
             file,
@@ -233,8 +275,32 @@ impl Journal {
     /// Propagates filesystem errors from the rewrite; a merely *corrupt*
     /// journal is not an error.
     pub fn resume(path: &Path, cells: usize) -> std::io::Result<(Journal, LoadedJournal)> {
-        let loaded = load(path, cells)?;
-        let mut journal = Journal::create(path, cells)?;
+        Journal::resume_with(path, cells, None)
+    }
+
+    /// [`Journal::resume`] for a segment journal: loads, validates, and
+    /// rewrites the `[lo, hi)` shard's checkpoints, then reopens the file
+    /// for appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the rewrite.
+    pub fn resume_segment(
+        path: &Path,
+        cells: usize,
+        lo: usize,
+        hi: usize,
+    ) -> std::io::Result<(Journal, LoadedJournal)> {
+        Journal::resume_with(path, cells, Some((lo, hi)))
+    }
+
+    fn resume_with(
+        path: &Path,
+        cells: usize,
+        range: Option<(usize, usize)>,
+    ) -> std::io::Result<(Journal, LoadedJournal)> {
+        let loaded = load_with(path, cells, range)?;
+        let mut journal = Journal::create_with(path, cells, range)?;
         for rec in &loaded.records {
             journal.append(rec.cell, rec.seed, &rec.report)?;
         }
@@ -275,6 +341,45 @@ impl Journal {
 ///
 /// Propagates filesystem read errors other than "not found".
 pub fn load(path: &Path, cells: usize) -> std::io::Result<LoadedJournal> {
+    load_with(path, cells, None)
+}
+
+/// [`load`] for a segment journal holding the `[lo, hi)` shard of a
+/// `cells`-cell sweep: the header must pin the same range, and records
+/// outside it are dropped with a warning.
+///
+/// # Errors
+///
+/// Propagates filesystem read errors other than "not found".
+pub fn load_segment(
+    path: &Path,
+    cells: usize,
+    lo: usize,
+    hi: usize,
+) -> std::io::Result<LoadedJournal> {
+    load_with(path, cells, Some((lo, hi)))
+}
+
+/// Merges segment loads into one sweep-wide view: records sorted by cell
+/// (first occurrence wins on duplicates), warnings concatenated in input
+/// order. The sort is stable, so merging the segments of a sweep yields
+/// exactly the records a single whole-sweep journal would hold.
+pub fn merge_segments(segments: Vec<LoadedJournal>) -> LoadedJournal {
+    let mut out = LoadedJournal::default();
+    for seg in segments {
+        out.records.extend(seg.records);
+        out.warnings.extend(seg.warnings);
+    }
+    out.records.sort_by_key(|r| r.cell);
+    out.records.dedup_by_key(|r| r.cell);
+    out
+}
+
+fn load_with(
+    path: &Path,
+    cells: usize,
+    range: Option<(usize, usize)>,
+) -> std::io::Result<LoadedJournal> {
     let mut text = String::new();
     match std::fs::File::open(path) {
         Ok(mut f) => {
@@ -292,16 +397,17 @@ pub fn load(path: &Path, cells: usize) -> std::io::Result<LoadedJournal> {
             .push(format!("journal {display}: missing header; starting fresh"));
         return Ok(out);
     };
-    match header.strip_prefix(HEADER_PREFIX).map(str::parse::<usize>) {
-        Some(Ok(n)) if n == cells => {}
-        _ => {
-            out.warnings.push(format!(
-                "journal {display}: header {header:?} does not match a {cells}-cell sweep; \
-                 ignoring journal"
-            ));
-            return Ok(out);
-        }
+    if header != header_for(cells, range) {
+        let shape = match range {
+            None => format!("a {cells}-cell sweep"),
+            Some((lo, hi)) => format!("segment {lo}..{hi} of a {cells}-cell sweep"),
+        };
+        out.warnings.push(format!(
+            "journal {display}: header {header:?} does not match {shape}; ignoring journal"
+        ));
+        return Ok(out);
     }
+    let (lo, hi) = range.unwrap_or((0, cells));
     loop {
         if rest.is_empty() {
             break;
@@ -339,9 +445,9 @@ pub fn load(path: &Path, cells: usize) -> std::io::Result<LoadedJournal> {
         };
         rest = after;
         match decode_record(line) {
-            Some(rec) if rec.cell < cells => out.records.push(rec),
+            Some(rec) if rec.cell >= lo && rec.cell < hi => out.records.push(rec),
             Some(rec) => out.warnings.push(format!(
-                "journal {display}: record for cell {} outside a {cells}-cell sweep; dropping it",
+                "journal {display}: record for cell {} outside cells {lo}..{hi}; dropping it",
                 rec.cell
             )),
             None => out.warnings.push(format!(
@@ -517,6 +623,86 @@ mod tests {
         let mut j = Journal::create(&path, 2).unwrap();
         j.append(0, 1, &traced).unwrap();
         assert!(load(&path, 2).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn segment_roundtrip_and_range_validation() {
+        let path = temp_path("segment");
+        let mut j = Journal::create_segment(&path, 8, 2, 5).unwrap();
+        j.append(2, 2, &sample_report(2)).unwrap();
+        j.append(4, 4, &err_report(4)).unwrap();
+        let loaded = load_segment(&path, 8, 2, 5).unwrap();
+        assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+        assert_eq!(loaded.records.len(), 2);
+        // A whole-sweep load refuses the segment header…
+        let whole = load(&path, 8).unwrap();
+        assert!(whole.records.is_empty());
+        assert!(whole.warnings[0].contains("does not match"));
+        // …and so does a differently-ranged segment load.
+        let shifted = load_segment(&path, 8, 0, 5).unwrap();
+        assert!(shifted.records.is_empty());
+        assert!(shifted.warnings[0].contains("segment 0..5"));
+    }
+
+    #[test]
+    fn segment_load_drops_out_of_range_records() {
+        let path = temp_path("segment-range");
+        let mut j = Journal::create_segment(&path, 8, 2, 5).unwrap();
+        j.append(2, 2, &sample_report(2)).unwrap();
+        j.append(7, 7, &sample_report(7)).unwrap();
+        let loaded = load_segment(&path, 8, 2, 5).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.records[0].cell, 2);
+        assert!(loaded.warnings[0].contains("outside cells 2..5"));
+    }
+
+    #[test]
+    fn merged_segments_match_a_whole_journal() {
+        let whole_path = temp_path("merge-whole");
+        let mut whole = Journal::create(&whole_path, 6).unwrap();
+        for cell in 0..6 {
+            whole
+                .append(cell, cell as u64, &sample_report(cell))
+                .unwrap();
+        }
+        let dir = whole_path.parent().unwrap().to_path_buf();
+        let mut segs = Vec::new();
+        for (lo, hi) in [(0usize, 2usize), (2, 4), (4, 6)] {
+            let path = dir.join(format!("shard-{lo}-{hi}.journal"));
+            let mut j = Journal::create_segment(&path, 6, lo, hi).unwrap();
+            // Reverse order inside the shard: the merge re-sorts.
+            for cell in (lo..hi).rev() {
+                j.append(cell, cell as u64, &sample_report(cell)).unwrap();
+            }
+            segs.push(load_segment(&path, 6, lo, hi).unwrap());
+        }
+        let merged = merge_segments(segs);
+        assert!(merged.warnings.is_empty(), "{:?}", merged.warnings);
+        assert_eq!(merged.records, load(&whole_path, 6).unwrap().records);
+    }
+
+    #[test]
+    fn merge_keeps_first_record_per_cell() {
+        let a = LoadedJournal {
+            records: vec![JournalRecord {
+                cell: 1,
+                seed: 10,
+                report: sample_report(1),
+            }],
+            warnings: vec!["a".to_string()],
+        };
+        let b = LoadedJournal {
+            records: vec![JournalRecord {
+                cell: 1,
+                seed: 99,
+                report: err_report(1),
+            }],
+            warnings: vec!["b".to_string()],
+        };
+        let merged = merge_segments(vec![a, b]);
+        assert_eq!(merged.records.len(), 1);
+        assert_eq!(merged.records[0].seed, 10);
+        assert_eq!(merged.warnings, vec!["a".to_string(), "b".to_string()]);
     }
 
     #[test]

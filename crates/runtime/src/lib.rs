@@ -27,6 +27,9 @@
 //! * [`trace`] — deterministic JSONL rendering of engine traces
 //!   ([`trace::JsonlSink`], [`trace::event_json`]) for the `trace`
 //!   subcommand and the CI trace-smoke job,
+//! * [`spec`] — the canonical serializable [`SweepSpec`] job description:
+//!   every sweep (bench grid, CLI flags, service submission) lowers into
+//!   one spec type, and the artifact renderer lives beside it,
 //! * [`journal`] — the append-only checkpoint file that makes sweeps
 //!   resumable: completed cells are recorded as they finish and skipped
 //!   after a crash,
@@ -79,6 +82,7 @@ pub mod json;
 pub mod pool;
 pub mod sched;
 pub mod sink;
+pub mod spec;
 pub mod supervise;
 pub mod trace;
 
@@ -89,8 +93,9 @@ pub use json::Json;
 pub use pool::Pool;
 pub use sched::{Chunk, ChunkPlan, SchedStats};
 pub use sink::{drain, Aggregate, MetricsSink, ReportCollector};
+pub use spec::{AdviceSpec, CellSpec, FaultSpec, InstanceSpec, KnobSpec, SchedulerSpec, SweepSpec};
 pub use supervise::{
-    run_cell_supervised, run_supervised_batch, CellStatus, SuperviseConfig, SupervisedReport,
-    SweepOptions, SweepRun,
+    run_cell_supervised, run_supervised_batch, run_supervised_shard, CellStatus, OrderedCommitter,
+    SuperviseConfig, SupervisedReport, SweepOptions, SweepRun,
 };
 pub use trace::JsonlSink;

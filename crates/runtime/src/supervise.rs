@@ -139,12 +139,15 @@ pub struct SweepOptions {
 }
 
 impl SweepOptions {
-    /// The seed recorded for `cell` in journal records.
-    fn seed_of(&self, cell: usize) -> u64 {
+    /// The seed recorded for the shard-local cell `local` (sweep-wide
+    /// index `base + local`) in journal records. `seeds`, like `costs`,
+    /// is indexed by shard-local position; the default seed is the
+    /// sweep-wide cell index.
+    fn shard_seed(&self, local: usize, base: usize) -> u64 {
         self.seeds
             .as_ref()
-            .and_then(|s| s.get(cell).copied())
-            .unwrap_or(cell as u64)
+            .and_then(|s| s.get(local).copied())
+            .unwrap_or((base + local) as u64)
     }
 
     /// The chunk plan these options describe for a `cells`-cell sweep
@@ -339,7 +342,7 @@ pub fn run_cell_supervised(
 /// back the checkpoints of later-finished cells until it settles, so a
 /// hard kill may lose a few more checkpoints than completion-order
 /// appends would — a resume just re-runs those cells.
-struct OrderedCommitter {
+pub struct OrderedCommitter {
     journal: Option<Journal>,
     /// Cells that settled ahead of the commit cursor; `Some` holds a
     /// record still owed to the journal, `None` means the cell produced
@@ -351,18 +354,38 @@ struct OrderedCommitter {
 }
 
 impl OrderedCommitter {
-    fn new(journal: Option<Journal>) -> Self {
+    /// A committer whose cursor starts at cell 0.
+    pub fn new(journal: Option<Journal>) -> Self {
+        OrderedCommitter::with_base(journal, 0)
+    }
+
+    /// A committer whose cursor starts at `base` — the first cell of a
+    /// shard, or 0 for a whole sweep. Every cell from `base` upward must
+    /// eventually settle for the cursor to advance past it.
+    pub fn with_base(journal: Option<Journal>, base: usize) -> Self {
         OrderedCommitter {
             journal,
             pending: BTreeMap::new(),
-            next: 0,
+            next: base,
             warnings: Vec::new(),
         }
     }
 
+    /// The first cell index that has not yet flushed — settled cells
+    /// below it are durably committed (or recorded as no-ops).
+    pub fn flushed_up_to(&self) -> usize {
+        self.next
+    }
+
+    /// Consumes the committer, returning the journal (if any) and the
+    /// checkpoint warnings accumulated along the way.
+    pub fn into_parts(self) -> (Option<Journal>, Vec<String>) {
+        (self.journal, self.warnings)
+    }
+
     /// Marks `cell` settled (with its checkpoint record, if it earned
     /// one) and flushes every record the cursor can now reach.
-    fn settle(&mut self, cell: usize, record: Option<(u64, RunReport)>) {
+    pub fn settle(&mut self, cell: usize, record: Option<(u64, RunReport)>) {
         self.pending.insert(cell, record);
         while let Some(entry) = self.pending.remove(&self.next) {
             if let Some((seed, report)) = entry {
@@ -393,17 +416,49 @@ impl OrderedCommitter {
 /// Journal problems never fail the sweep; they surface as warnings and
 /// the sweep simply runs without checkpoints.
 pub fn run_supervised_batch(pool: &Pool, requests: &[RunRequest], opts: &SweepOptions) -> SweepRun {
-    let cells = requests.len();
+    run_supervised_shard(pool, requests, 0, requests.len(), opts)
+}
+
+/// [`run_supervised_batch`] for one shard of a larger sweep: `requests`
+/// holds the `[base, base + requests.len())` cells of a `total_cells`-cell
+/// grid, and every report, journal record, and chaos decision uses the
+/// sweep-wide cell index. `opts.seeds` and `opts.costs` stay shard-local
+/// (aligned with `requests`), matching how a worker slices a grid.
+///
+/// With a journal configured, a whole-sweep shard (`base == 0` and a
+/// full-length slice) writes the classic journal format; a proper shard
+/// writes a range-pinned segment (see
+/// [`Journal::create_segment`](crate::journal::Journal::create_segment))
+/// so segments from different shards can later be merged into exactly the
+/// records a single-journal run would have produced.
+pub fn run_supervised_shard(
+    pool: &Pool,
+    requests: &[RunRequest],
+    base: usize,
+    total_cells: usize,
+    opts: &SweepOptions,
+) -> SweepRun {
+    let span = requests.len();
+    let whole = base == 0 && span == total_cells;
     let mut warnings = Vec::new();
-    let mut done: Vec<Option<RunReport>> = (0..cells).map(|_| None).collect();
+    let mut done: Vec<Option<RunReport>> = (0..span).map(|_| None).collect();
     let mut journal = None;
     if let Some(path) = &opts.journal {
         let opened = if opts.resume {
-            Journal::resume(path, cells).map(|(j, loaded)| {
+            let resumed = if whole {
+                Journal::resume(path, total_cells)
+            } else {
+                Journal::resume_segment(path, total_cells, base, base + span)
+            };
+            resumed.map(|(j, loaded)| {
                 warnings.extend(loaded.warnings);
                 for rec in loaded.records {
-                    if rec.seed == opts.seed_of(rec.cell) {
-                        done[rec.cell] = Some(rec.report);
+                    // The loader already bounds rec.cell to the shard.
+                    let Some(local) = rec.cell.checked_sub(base).filter(|l| *l < span) else {
+                        continue;
+                    };
+                    if rec.seed == opts.shard_seed(local, base) {
+                        done[local] = Some(rec.report);
                     } else {
                         warnings.push(format!(
                             "journal {}: cell {} was journaled under seed {}, expected {}; \
@@ -411,14 +466,16 @@ pub fn run_supervised_batch(pool: &Pool, requests: &[RunRequest], opts: &SweepOp
                             path.display(),
                             rec.cell,
                             rec.seed,
-                            opts.seed_of(rec.cell)
+                            opts.shard_seed(local, base)
                         ));
                     }
                 }
                 j
             })
+        } else if whole {
+            Journal::create(path, total_cells)
         } else {
-            Journal::create(path, cells)
+            Journal::create_segment(path, total_cells, base, base + span)
         };
         match opened {
             Ok(j) => journal = Some(j),
@@ -428,52 +485,54 @@ pub fn run_supervised_batch(pool: &Pool, requests: &[RunRequest], opts: &SweepOp
             )),
         }
     }
-    let committer = Mutex::new(OrderedCommitter::new(journal));
+    let committer = Mutex::new(OrderedCommitter::with_base(journal, base));
     // Dispatch through the work-stealing scheduler. Supervision wraps
     // each *sub-task* (cell) individually — the `catch_unwind`, retry
     // loop, and watchdog clamp all live inside this closure — so a panic
     // or timeout in one sub-task never retries or aborts the rest of its
     // chunk. Every path settles the cell with the committer so the
-    // commit cursor always reaches the end of the sweep.
-    let plan = opts.chunk_plan(cells, pool);
-    let (cells_out, sched): (Vec<SupervisedReport>, SchedStats) = pool.run_chunked(&plan, |cell| {
-        let settle = |record: Option<(u64, RunReport)>| {
-            committer
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .settle(cell, record);
-        };
-        if let Some(report) = &done[cell] {
-            settle(None);
-            return SupervisedReport {
-                report: report.clone(),
-                status: CellStatus::Resumed,
-                attempts: 0,
-                backoff_ticks: 0,
+    // commit cursor always reaches the end of the shard.
+    let plan = opts.chunk_plan(span, pool);
+    let (cells_out, sched): (Vec<SupervisedReport>, SchedStats) =
+        pool.run_chunked(&plan, |local| {
+            let cell = base + local;
+            let settle = |record: Option<(u64, RunReport)>| {
+                committer
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .settle(cell, record);
             };
-        }
-        if opts.chaos.dies_before(cell) {
-            settle(None);
-            return SupervisedReport {
-                report: RunReport {
-                    cell,
-                    result: Err("sweep interrupted before cell ran".to_string()),
-                    post_mortem: Vec::new(),
-                },
-                status: CellStatus::Aborted,
-                attempts: 0,
-                backoff_ticks: 0,
-            };
-        }
-        let sup = run_cell_supervised(cell, &requests[cell], &opts.supervise, &opts.chaos);
-        let record = matches!(
-            sup.status,
-            CellStatus::Completed | CellStatus::Degraded { .. }
-        )
-        .then(|| (opts.seed_of(cell), sup.report.clone()));
-        settle(record);
-        sup
-    });
+            if let Some(report) = &done[local] {
+                settle(None);
+                return SupervisedReport {
+                    report: report.clone(),
+                    status: CellStatus::Resumed,
+                    attempts: 0,
+                    backoff_ticks: 0,
+                };
+            }
+            if opts.chaos.dies_before(cell) {
+                settle(None);
+                return SupervisedReport {
+                    report: RunReport {
+                        cell,
+                        result: Err("sweep interrupted before cell ran".to_string()),
+                        post_mortem: Vec::new(),
+                    },
+                    status: CellStatus::Aborted,
+                    attempts: 0,
+                    backoff_ticks: 0,
+                };
+            }
+            let sup = run_cell_supervised(cell, &requests[local], &opts.supervise, &opts.chaos);
+            let record = matches!(
+                sup.status,
+                CellStatus::Completed | CellStatus::Degraded { .. }
+            )
+            .then(|| (opts.shard_seed(local, base), sup.report.clone()));
+            settle(record);
+            sup
+        });
     warnings.extend(
         committer
             .into_inner()

@@ -1,0 +1,94 @@
+//! Shard execution equivalence: a sweep split into shards produces the
+//! same reports as one batch, and its segment journals merge into
+//! exactly the records a whole-sweep journal holds.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use oraclesize_core::oracle::EmptyOracle;
+use oraclesize_graph::families;
+use oraclesize_runtime::journal::{load, load_segment, merge_segments};
+use oraclesize_runtime::{
+    run_supervised_batch, run_supervised_shard, Pool, RunRequest, SweepOptions,
+};
+use oraclesize_sim::protocol::FloodOnce;
+use oraclesize_sim::{Instance, SimConfig};
+
+fn requests(n: usize) -> Vec<RunRequest> {
+    let inst = Instance::build(Arc::new(families::cycle(8)), 0, &EmptyOracle);
+    (0..n)
+        .map(|_| RunRequest::new(Arc::clone(&inst), Arc::new(FloodOnce), SimConfig::default()))
+        .collect()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oraclesize-shard-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn shards_reproduce_the_batch_and_their_segments_merge() {
+    let reqs = requests(6);
+    let dir = temp_dir("merge");
+    let whole_opts = SweepOptions {
+        journal: Some(dir.join("whole.journal")),
+        ..Default::default()
+    };
+    let pool = Pool::new(2);
+    let whole = run_supervised_batch(&pool, &reqs, &whole_opts);
+    assert!(whole.warnings.is_empty(), "{:?}", whole.warnings);
+
+    let mut shard_reports = Vec::new();
+    let mut segments = Vec::new();
+    for (lo, hi) in [(0usize, 2usize), (2, 6)] {
+        let path = dir.join(format!("shard-{lo}-{hi}.journal"));
+        let opts = SweepOptions {
+            journal: Some(path.clone()),
+            ..Default::default()
+        };
+        let run = run_supervised_shard(&pool, &reqs[lo..hi], lo, reqs.len(), &opts);
+        assert!(run.warnings.is_empty(), "{:?}", run.warnings);
+        shard_reports.extend(run.reports());
+        segments.push(load_segment(&path, reqs.len(), lo, hi).unwrap());
+    }
+    // Reports carry sweep-wide cell ids and match the batch exactly.
+    assert_eq!(shard_reports, whole.reports());
+    // Merged segment records are byte-equivalent to the whole journal's.
+    let merged = merge_segments(segments);
+    let reference = load(&dir.join("whole.journal"), reqs.len()).unwrap();
+    assert!(merged.warnings.is_empty(), "{:?}", merged.warnings);
+    assert_eq!(merged.records, reference.records);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_resumes_from_its_segment() {
+    let reqs = requests(5);
+    let dir = temp_dir("resume");
+    let path = dir.join("shard.journal");
+    let opts = SweepOptions {
+        journal: Some(path.clone()),
+        ..Default::default()
+    };
+    let pool = Pool::new(1);
+    let first = run_supervised_shard(&pool, &reqs[1..4], 1, reqs.len(), &opts);
+    let resumed = run_supervised_shard(
+        &pool,
+        &reqs[1..4],
+        1,
+        reqs.len(),
+        &SweepOptions {
+            journal: Some(path),
+            resume: true,
+            ..Default::default()
+        },
+    );
+    assert!(resumed.warnings.is_empty(), "{:?}", resumed.warnings);
+    assert_eq!(resumed.reports(), first.reports());
+    assert!(resumed
+        .cells
+        .iter()
+        .all(|c| matches!(c.status, oraclesize_runtime::CellStatus::Resumed)));
+    std::fs::remove_dir_all(&dir).ok();
+}

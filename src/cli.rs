@@ -8,20 +8,30 @@
 //! oraclesize sweep --task broadcast --n 128 --runs 64 --threads 4 --drop 0.1
 //! oraclesize trace --task broadcast --n 32 --out run.jsonl
 //! oraclesize trace-diff left.jsonl right.jsonl
+//! oraclesize spec t10 > t10.json
+//! oraclesize serve --addr 127.0.0.1:7401 --journal-dir ckpt
+//! oraclesize work --connect 127.0.0.1:7401 --threads 4 --journal-dir ckpt
+//! oraclesize submit --connect 127.0.0.1:7401 --spec t10.json --out BENCH_T10.json
 //! oraclesize list
 //! ```
 //!
-//! `sweep` builds one `Arc`-shared instance, declares one cell per seeded
-//! run, and dispatches the grid to the `oraclesize-runtime` pool —
-//! `--threads N` changes wall-clock time only, never the report.
+//! `sweep` lowers its flags into the runtime's canonical [`SweepSpec`],
+//! materializes the grid with [`CellGrid::from_spec`], and dispatches it
+//! to the `oraclesize-runtime` pool — `--threads N` changes wall-clock
+//! time only, never the report.
 //!
 //! `trace` streams one run's event trace as deterministic JSONL (to
 //! `--out` or stdout); `trace-diff` compares two such artifacts and
 //! reports the first divergence with node/round context.
+//!
+//! `spec` prints a committed experiment's canonical spec JSON; `serve`,
+//! `work`, and `submit` run the same spec distributed across the sweep
+//! service — the merged artifact is byte-identical to a local run.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use oraclesize_bench::grid::CellGrid;
 use oraclesize_core::broadcast::{LightTreeOracle, SchemeB};
 use oraclesize_core::construction::{
     collect_parent_ports, verify_bfs_tree, verify_mst, BfsTreeOracle, DistributedBfs, MstOracle,
@@ -36,10 +46,12 @@ use oraclesize_core::spanner::{collect_port_sets, verify_spanner, SpannerOracle}
 use oraclesize_core::wakeup::{SpanningTreeOracle, TreeWakeup};
 use oraclesize_core::{execute, OracleRun};
 use oraclesize_graph::families::Family;
+use oraclesize_runtime::spec::to_ppm;
 use oraclesize_runtime::{
-    drain, run_supervised_batch, Aggregate, JsonlSink, Pool, RunRequest, SuperviseConfig,
-    SweepOptions,
+    drain, run_supervised_batch, Aggregate, CellSpec, FaultSpec, InstanceSpec, JsonlSink, KnobSpec,
+    Pool, SchedulerSpec, SuperviseConfig, SweepOptions, SweepSpec,
 };
+use oraclesize_service::{Server, ServerConfig, WorkerConfig, WorkerOutcome};
 use oraclesize_sim::protocol::{FloodOnce, Protocol};
 use oraclesize_sim::trace::diff_lines;
 use oraclesize_sim::{run_streamed, FaultPlan, Instance, SchedulerKind, SimConfig};
@@ -119,10 +131,78 @@ pub enum Command {
     Trace(TraceArgs),
     /// `trace-diff <left> <right>`
     TraceDiff(TraceDiffArgs),
+    /// `spec <name>`
+    Spec(SpecArgs),
+    /// `serve …`
+    Serve(ServeArgs),
+    /// `work …`
+    Work(WorkArgs),
+    /// `submit …`
+    Submit(SubmitArgs),
     /// `list`
     List,
     /// `help` (also the zero-argument default)
     Help,
+}
+
+/// Arguments of the `spec` subcommand: print a committed experiment's
+/// canonical [`SweepSpec`] JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecArgs {
+    /// Experiment name (`t10`, `t20-corruption`, `t20-drops`,
+    /// `t20-crashes`, `scale`).
+    pub name: String,
+    /// Use the bigger grid for the sweeps that have one (`scale`).
+    pub large: bool,
+}
+
+/// Arguments of the `serve` subcommand: run the sweep service's job
+/// server until every job has been delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address.
+    pub addr: String,
+    /// Job journal directory; `None` disables server-side resume.
+    pub journal_dir: Option<String>,
+    /// Number of jobs to serve before exiting.
+    pub jobs: usize,
+    /// Expected worker count — a sharding hint, not a limit.
+    pub workers: usize,
+}
+
+/// Arguments of the `work` subcommand: run one sweep worker against a
+/// server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkArgs {
+    /// Server address to pull shards from.
+    pub connect: String,
+    /// Local pool threads.
+    pub threads: usize,
+    /// Segment journal directory; share it between workers for crash
+    /// handoff.
+    pub journal_dir: Option<String>,
+    /// Fault drill: abandon the Nth claimed shard half-journaled.
+    pub die_mid_shard: Option<u64>,
+    /// Idle poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Worker name for server logs.
+    pub name: String,
+}
+
+/// Arguments of the `submit` subcommand: send a spec to a server and
+/// collect the merged artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Server address.
+    pub connect: String,
+    /// Path of the sweep spec JSON file.
+    pub spec: String,
+    /// Write the artifact here instead of returning it on stdout.
+    pub out: Option<String>,
+    /// Poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Skip server-side journal resume and recompute every cell.
+    pub fresh: bool,
 }
 
 /// Arguments of the `run` subcommand.
@@ -515,9 +595,139 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::TraceDiff(TraceDiffArgs { left, right }))
         }
+        Some("spec") => {
+            let name = it
+                .next()
+                .ok_or_else(|| format!("spec needs an experiment name ({SPEC_NAMES})"))?
+                .clone();
+            let mut large = false;
+            for flag in it {
+                match flag.as_str() {
+                    "--large" => large = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Spec(SpecArgs { name, large }))
+        }
+        Some("serve") => {
+            let mut addr = "127.0.0.1:7401".to_string();
+            let mut journal_dir = None;
+            let mut jobs = 1usize;
+            let mut workers = 2usize;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--addr" => addr = value("--addr")?.clone(),
+                    "--journal-dir" => journal_dir = Some(value("--journal-dir")?.clone()),
+                    "--jobs" => {
+                        jobs = value("--jobs")?
+                            .parse()
+                            .map_err(|_| "--jobs needs an integer".to_string())?;
+                    }
+                    "--workers" => {
+                        workers = value("--workers")?
+                            .parse()
+                            .map_err(|_| "--workers needs an integer".to_string())?;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if jobs == 0 {
+                return Err("--jobs must be at least 1".into());
+            }
+            Ok(Command::Serve(ServeArgs {
+                addr,
+                journal_dir,
+                jobs,
+                workers,
+            }))
+        }
+        Some("work") => {
+            let mut connect = "127.0.0.1:7401".to_string();
+            let mut threads = 2usize;
+            let mut journal_dir = None;
+            let mut die_mid_shard = None;
+            let mut poll_ms = 50u64;
+            let mut name = "worker".to_string();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--connect" => connect = value("--connect")?.clone(),
+                    "--threads" => {
+                        threads = value("--threads")?
+                            .parse()
+                            .map_err(|_| "--threads needs an integer".to_string())?;
+                    }
+                    "--journal-dir" => journal_dir = Some(value("--journal-dir")?.clone()),
+                    "--die-mid-shard" => {
+                        let v: u64 = value("--die-mid-shard")?
+                            .parse()
+                            .map_err(|_| "--die-mid-shard needs an integer".to_string())?;
+                        if v == 0 {
+                            return Err("--die-mid-shard counts claimed shards from 1".into());
+                        }
+                        die_mid_shard = Some(v);
+                    }
+                    "--poll-ms" => {
+                        poll_ms = value("--poll-ms")?
+                            .parse()
+                            .map_err(|_| "--poll-ms needs an integer".to_string())?;
+                    }
+                    "--name" => name = value("--name")?.clone(),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Work(WorkArgs {
+                connect,
+                threads,
+                journal_dir,
+                die_mid_shard,
+                poll_ms,
+                name,
+            }))
+        }
+        Some("submit") => {
+            let mut connect = "127.0.0.1:7401".to_string();
+            let mut spec = None;
+            let mut out = None;
+            let mut poll_ms = 100u64;
+            let mut fresh = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--connect" => connect = value("--connect")?.clone(),
+                    "--spec" => spec = Some(value("--spec")?.clone()),
+                    "--out" => out = Some(value("--out")?.clone()),
+                    "--poll-ms" => {
+                        poll_ms = value("--poll-ms")?
+                            .parse()
+                            .map_err(|_| "--poll-ms needs an integer".to_string())?;
+                    }
+                    "--fresh" => fresh = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let spec = spec.ok_or("submit requires --spec".to_string())?;
+            Ok(Command::Submit(SubmitArgs {
+                connect,
+                spec,
+                out,
+                poll_ms,
+                fresh,
+            }))
+        }
         Some(other) => Err(format!("unknown subcommand {other:?}")),
     }
 }
+
+/// The experiment names `spec` can print.
+const SPEC_NAMES: &str = "t10, t20-corruption, t20-drops, t20-crashes, scale";
 
 /// The `help` text.
 pub fn usage() -> String {
@@ -536,10 +746,20 @@ pub fn usage() -> String {
          \x20                [--n <size>] [--source <node>] [--scheduler <s>]\n\
          \x20                [--drop <p>] [--seed <u64>] [--out <file.jsonl>]\n\
          \x20 oraclesize trace-diff <left.jsonl> <right.jsonl>\n\
+         \x20 oraclesize spec <{SPEC_NAMES_USAGE}> [--large]\n\
+         \x20 oraclesize serve [--addr <host:port>] [--journal-dir <dir>]\n\
+         \x20                [--jobs <k>] [--workers <k>]\n\
+         \x20 oraclesize work [--connect <host:port>] [--threads <t>]\n\
+         \x20                [--journal-dir <dir>] [--die-mid-shard <k>]\n\
+         \x20                [--poll-ms <ms>] [--name <worker>]\n\
+         \x20 oraclesize submit --spec <file.json> [--connect <host:port>]\n\
+         \x20                [--out <file.json>] [--poll-ms <ms>] [--fresh]\n\
          \x20 oraclesize list\n\n\
-         TASKS:    {}\nFAMILIES: {}\n",
+         TASKS:    {}\nFAMILIES: {}\nSPECS:    {}\n",
         Task::NAMES.join(" "),
-        Family::ALL.map(|f| f.name()).join(" ")
+        Family::ALL.map(|f| f.name()).join(" "),
+        SPEC_NAMES,
+        SPEC_NAMES_USAGE = SPEC_NAMES.replace(", ", "|"),
     )
 }
 
@@ -575,6 +795,84 @@ pub fn run_command_status(cmd: &Command) -> Result<(String, bool), String> {
         Command::Sweep(args) => run_sweep(args),
         Command::Trace(args) => run_trace(args).map(|r| (r, true)),
         Command::TraceDiff(args) => run_trace_diff(args).map(|r| (r, true)),
+        Command::Spec(args) => render_spec(args).map(|r| (r, true)),
+        Command::Serve(args) => run_serve(args).map(|r| (r, true)),
+        Command::Work(args) => run_work(args).map(|r| (r, true)),
+        Command::Submit(args) => run_submit(args).map(|r| (r, true)),
+    }
+}
+
+/// Looks up a committed experiment's canonical spec and renders it as
+/// one JSON document (what `submit --spec` consumes).
+fn render_spec(args: &SpecArgs) -> Result<String, String> {
+    let spec = match args.name.as_str() {
+        "t10" => oraclesize_bench::experiments::t10_spec(),
+        "t20-corruption" => oraclesize_bench::experiments::t20_corruption_spec(),
+        "t20-drops" => oraclesize_bench::experiments::t20_drops_spec(),
+        "t20-crashes" => oraclesize_bench::experiments::t20_crashes_spec(),
+        "scale" => oraclesize_bench::experiments::scale_spec(args.large),
+        other => return Err(format!("unknown spec {other:?} (expected {SPEC_NAMES})")),
+    };
+    Ok(format!("{}\n", spec.render()))
+}
+
+/// Runs the sweep service's server until every job has been delivered.
+fn run_serve(args: &ServeArgs) -> Result<String, String> {
+    let server = Server::bind(ServerConfig {
+        addr: args.addr.clone(),
+        journal_dir: args.journal_dir.as_ref().map(std::path::PathBuf::from),
+        jobs: args.jobs,
+        workers_hint: args.workers,
+    })
+    .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    eprintln!("serve: listening on {addr} ({} job(s))", args.jobs);
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    Ok(format!("served {} job(s) on {addr}\n", args.jobs))
+}
+
+/// Runs one sweep worker until the server signals shutdown.
+fn run_work(args: &WorkArgs) -> Result<String, String> {
+    let outcome = oraclesize_service::run_worker(&WorkerConfig {
+        connect: args.connect.clone(),
+        threads: args.threads,
+        journal_dir: args.journal_dir.as_ref().map(std::path::PathBuf::from),
+        poll_ms: args.poll_ms,
+        die_mid_shard: args.die_mid_shard,
+        name: args.name.clone(),
+    })?;
+    Ok(match outcome {
+        WorkerOutcome::Finished { shards, cells } => format!(
+            "worker {}: finished ({shards} shard(s), {cells} cell(s))\n",
+            args.name
+        ),
+        WorkerOutcome::Died { shards } => format!(
+            "worker {}: die-mid-shard drill fired after {shards} completed shard(s)\n",
+            args.name
+        ),
+    })
+}
+
+/// Submits a spec file to a running server and returns (or writes) the
+/// merged artifact.
+fn run_submit(args: &SubmitArgs) -> Result<String, String> {
+    let text = std::fs::read_to_string(&args.spec)
+        .map_err(|e| format!("cannot read {:?}: {e}", args.spec))?;
+    let artifact = oraclesize_service::submit(&args.connect, &text, !args.fresh, args.poll_ms)?;
+    match &args.out {
+        Some(path) => {
+            if let Some(dir) = std::path::Path::new(path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+            {
+                std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+            }
+            std::fs::write(path, &artifact).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            Ok(format!("wrote:        {path} ({} bytes)\n", artifact.len()))
+        }
+        None => Ok(artifact),
     }
 }
 
@@ -737,61 +1035,79 @@ fn run_task(args: &RunArgs) -> Result<String, String> {
     Ok(out)
 }
 
-/// Builds one shared instance, declares `runs` seeded cells, dispatches
-/// them across the pool under supervision, and folds the reports in cell
-/// order — the output is identical at any `--threads` value, and (with
-/// `--journal`) across kill/resume boundaries.
-fn run_sweep(args: &SweepArgs) -> Result<(String, bool), String> {
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let g = args.family.build(args.n, &mut rng).into_shared();
-    if args.source >= g.num_nodes() {
-        return Err(format!(
-            "--source {} out of range (graph has {} nodes)",
-            args.source,
-            g.num_nodes()
-        ));
-    }
-    let (instance, protocol): (Arc<Instance>, Arc<dyn Protocol + Send + Sync>) = match args.task {
-        Task::Broadcast => (
-            Instance::build(Arc::clone(&g), args.source, &LightTreeOracle),
-            Arc::new(SchemeB),
-        ),
-        Task::Wakeup => (
-            Instance::build(Arc::clone(&g), args.source, &SpanningTreeOracle::default()),
-            Arc::new(TreeWakeup),
-        ),
-        Task::Flood => (
-            Instance::build(Arc::clone(&g), args.source, &EmptyOracle),
-            Arc::new(FloodOnce),
-        ),
+/// Lowers the sweep flags into the runtime's canonical [`SweepSpec`] —
+/// the same job description the bench grids and the sweep service
+/// consume, so a CLI sweep can be replayed (or distributed) verbatim.
+/// One instance, one cell per seeded run; a `random` scheduler and any
+/// fault plan are re-seeded per cell so the cells stay independent.
+pub fn sweep_spec(args: &SweepArgs) -> Result<SweepSpec, String> {
+    let (task, oracle, scheme, mode) = match args.task {
+        Task::Broadcast => ("broadcast", "light-tree", "scheme-b", "broadcast"),
+        Task::Wakeup => ("wakeup", "spanning-tree", "tree-wakeup", "wakeup"),
+        Task::Flood => ("flood", "empty", "flood", "broadcast"),
         _ => return Err("sweep supports --task broadcast, wakeup, or flood".into()),
     };
-
-    let requests: Vec<RunRequest> = (0..args.runs)
-        .map(|k| {
-            let cell_seed = args.seed.wrapping_add(k as u64 + 1);
-            let base = if args.task == Task::Wakeup {
-                SimConfig::wakeup()
-            } else {
-                SimConfig::broadcast()
-            };
-            let mut config = match args.scheduler {
-                Some(SchedulerKind::Random { .. }) => {
-                    // Re-seed per cell so the cells sample different
-                    // delivery orders while staying reproducible.
-                    base.with_scheduler(SchedulerKind::Random { seed: cell_seed })
-                }
-                Some(kind) => base.with_scheduler(kind),
-                None => base,
-            };
-            if args.drop > 0.0 {
-                config = config
-                    .with_faults(FaultPlan::message_faults(cell_seed, args.drop, 0.0, 0.0))
-                    .with_quiescence_polls(16);
+    let mut spec = SweepSpec::new(format!("sweep-{task}"), args.seed);
+    spec.instances.push(InstanceSpec {
+        family: args.family.name().to_string(),
+        n: args.n as u64,
+        seed: args.seed,
+        p_ppm: None,
+        source: args.source as u64,
+        oracle: oracle.to_string(),
+    });
+    for k in 0..args.runs {
+        let cell_seed = args.seed.wrapping_add(k as u64 + 1);
+        let scheduler = match args.scheduler {
+            // Re-seed per cell so the cells sample different delivery
+            // orders while staying reproducible.
+            Some(SchedulerKind::Random { .. }) => Some(SchedulerSpec {
+                kind: "random".to_string(),
+                seed: cell_seed,
+            }),
+            Some(kind) => Some(SchedulerSpec::of(kind)),
+            None => None,
+        };
+        let faults = if args.drop > 0.0 {
+            FaultSpec {
+                seed: cell_seed,
+                drop_ppm: to_ppm(args.drop),
+                ..FaultSpec::default()
             }
-            RunRequest::new(Arc::clone(&instance), Arc::clone(&protocol), config)
-        })
-        .collect();
+        } else {
+            FaultSpec::default()
+        };
+        spec.cells.push(CellSpec {
+            label: format!("run-{k}"),
+            instance: 0,
+            scheme: scheme.to_string(),
+            retries: None,
+            mode: mode.to_string(),
+            scheduler,
+            anonymous: false,
+            max_message_bits: None,
+            quiescence_polls: (args.drop > 0.0).then_some(16),
+            seed: cell_seed,
+            faults,
+        });
+    }
+    spec.knobs = KnobSpec {
+        max_retries: u64::from(args.max_retries),
+        cell_timeout: args.cell_timeout,
+        chunk: args.chunk.map(|c| c as u64),
+    };
+    Ok(spec)
+}
+
+/// Lowers the flags into a [`SweepSpec`], materializes the grid with
+/// [`CellGrid::from_spec`], dispatches it across the pool under
+/// supervision, and folds the reports in cell order — the output is
+/// identical at any `--threads` value, and (with `--journal`) across
+/// kill/resume boundaries.
+fn run_sweep(args: &SweepArgs) -> Result<(String, bool), String> {
+    let spec = sweep_spec(args)?;
+    let grid = CellGrid::from_spec(&spec)?;
+    let g = Arc::clone(&grid.requests()[0].instance.graph);
 
     let sweep_opts = SweepOptions {
         supervise: SuperviseConfig {
@@ -803,11 +1119,7 @@ fn run_sweep(args: &SweepArgs) -> Result<(String, bool), String> {
         resume: args.resume,
         // Journal records carry the per-cell seed, so a resume against a
         // different `--seed` re-runs cells instead of replaying them.
-        seeds: Some(
-            (0..args.runs)
-                .map(|k| args.seed.wrapping_add(k as u64 + 1))
-                .collect(),
-        ),
+        seeds: Some(spec.cells.iter().map(|c| c.seed).collect()),
         chaos: Default::default(),
         chunk: args.chunk,
         // Every cell runs the same task on the same graph, so there is
@@ -815,7 +1127,7 @@ fn run_sweep(args: &SweepArgs) -> Result<(String, bool), String> {
         // already optimal.
         costs: None,
     };
-    let sweep = run_supervised_batch(&Pool::new(args.threads), &requests, &sweep_opts);
+    let sweep = run_supervised_batch(&Pool::new(args.threads), grid.requests(), &sweep_opts);
     let reports = sweep.reports();
     let mut agg = Aggregate::new();
     drain(&mut agg, &reports);
@@ -1294,6 +1606,177 @@ mod tests {
     }
 
     #[test]
+    fn parse_service_subcommands() {
+        let cmd = parse_args(&args(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--journal-dir",
+            "ckpt",
+            "--jobs",
+            "3",
+            "--workers",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                addr: "0.0.0.0:9000".to_string(),
+                journal_dir: Some("ckpt".to_string()),
+                jobs: 3,
+                workers: 4,
+            })
+        );
+        let cmd = parse_args(&args(&[
+            "work",
+            "--connect",
+            "10.0.0.1:9000",
+            "--threads",
+            "8",
+            "--die-mid-shard",
+            "2",
+            "--poll-ms",
+            "25",
+            "--name",
+            "w-a",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Work(WorkArgs {
+                connect: "10.0.0.1:9000".to_string(),
+                threads: 8,
+                journal_dir: None,
+                die_mid_shard: Some(2),
+                poll_ms: 25,
+                name: "w-a".to_string(),
+            })
+        );
+        let cmd = parse_args(&args(&[
+            "submit",
+            "--spec",
+            "t10.json",
+            "--out",
+            "merged.json",
+            "--fresh",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Submit(SubmitArgs {
+                connect: "127.0.0.1:7401".to_string(),
+                spec: "t10.json".to_string(),
+                out: Some("merged.json".to_string()),
+                poll_ms: 100,
+                fresh: true,
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&["spec", "scale", "--large"])).unwrap(),
+            Command::Spec(SpecArgs {
+                name: "scale".to_string(),
+                large: true,
+            })
+        );
+    }
+
+    #[test]
+    fn service_subcommands_reject_bad_input() {
+        assert!(parse_args(&args(&["serve", "--jobs", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "--wat"])).is_err());
+        assert!(parse_args(&args(&["work", "--die-mid-shard", "0"])).is_err());
+        assert!(parse_args(&args(&["submit"])).is_err()); // no spec
+        assert!(parse_args(&args(&["spec"])).is_err()); // no name
+        let err = run_command(&parse_args(&args(&["spec", "t99"])).unwrap()).unwrap_err();
+        assert!(err.contains("unknown spec"), "{err}");
+    }
+
+    #[test]
+    fn spec_subcommand_prints_canonical_parseable_specs() {
+        for name in ["t10", "t20-corruption", "t20-drops", "t20-crashes", "scale"] {
+            let cmd = parse_args(&args(&["spec", name])).unwrap();
+            let text = run_command(&cmd).unwrap();
+            let spec = SweepSpec::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.name.to_lowercase(), spec.name, "{name}");
+            assert!(!spec.cells.is_empty(), "{name}");
+            // The printed form is canonical: it re-renders byte for byte.
+            assert_eq!(format!("{}\n", spec.render()), text, "{name}");
+        }
+    }
+
+    #[test]
+    fn sweep_flags_lower_into_the_canonical_spec() {
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "--task",
+            "broadcast",
+            "--family",
+            "hypercube",
+            "--n",
+            "32",
+            "--runs",
+            "3",
+            "--scheduler",
+            "random",
+            "--drop",
+            "0.25",
+            "--seed",
+            "100",
+            "--max-retries",
+            "2",
+            "--chunk",
+            "4",
+        ]))
+        .unwrap();
+        let Command::Sweep(a) = cmd else {
+            panic!("not sweep")
+        };
+        let spec = sweep_spec(&a).unwrap();
+        assert_eq!(spec.name, "sweep-broadcast");
+        assert_eq!(spec.master_seed, 100);
+        assert_eq!(spec.instances.len(), 1);
+        assert_eq!(spec.instances[0].family, "hypercube");
+        assert_eq!(spec.instances[0].oracle, "light-tree");
+        assert_eq!(spec.cells.len(), 3);
+        for (k, cell) in spec.cells.iter().enumerate() {
+            let cell_seed = 100 + k as u64 + 1;
+            assert_eq!(cell.seed, cell_seed);
+            assert_eq!(cell.scheme, "scheme-b");
+            assert_eq!(cell.mode, "broadcast");
+            // The random scheduler and the fault plan are re-seeded per
+            // cell, exactly like the pre-spec construction path.
+            assert_eq!(
+                cell.scheduler,
+                Some(SchedulerSpec {
+                    kind: "random".to_string(),
+                    seed: cell_seed,
+                })
+            );
+            assert_eq!(cell.faults.seed, cell_seed);
+            assert_eq!(cell.faults.drop_ppm, 250_000);
+            assert_eq!(cell.quiescence_polls, Some(16));
+        }
+        assert_eq!(spec.knobs.max_retries, 2);
+        assert_eq!(spec.knobs.chunk, Some(4));
+        // The lowered spec survives the wire format losslessly.
+        assert_eq!(SweepSpec::parse(&spec.render()).unwrap(), spec);
+
+        // Fault-free sweeps keep the engine's quiescence default.
+        let Command::Sweep(a) =
+            parse_args(&args(&["sweep", "--task", "wakeup", "--runs", "2"])).unwrap()
+        else {
+            panic!("not sweep")
+        };
+        let spec = sweep_spec(&a).unwrap();
+        assert_eq!(spec.instances[0].oracle, "spanning-tree");
+        assert_eq!(spec.cells[0].mode, "wakeup");
+        assert_eq!(spec.cells[0].quiescence_polls, None);
+        assert_eq!(spec.cells[0].faults, FaultSpec::default());
+        assert_eq!(spec.cells[0].scheduler, None);
+    }
+
+    #[test]
     fn usage_lists_everything() {
         let u = usage();
         for t in Task::NAMES {
@@ -1312,6 +1795,15 @@ mod tests {
             u.contains("--allow-degraded"),
             "usage missing --allow-degraded"
         );
+        for sub in ["spec", "serve", "work", "submit"] {
+            assert!(u.contains(sub), "usage missing {sub} subcommand");
+        }
+        assert!(
+            u.contains("--die-mid-shard"),
+            "usage missing --die-mid-shard"
+        );
+        assert!(u.contains("--journal-dir"), "usage missing --journal-dir");
+        assert!(u.contains("t20-crashes"), "usage missing spec names");
     }
 
     #[test]

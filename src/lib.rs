@@ -18,6 +18,8 @@
 //! | [`lowerbound`] | adversary, counting bounds, trade-off experiments |
 //! | [`analysis`] | model fitting, statistics, table rendering |
 //! | [`runtime`] | worker pool + deterministic batch/sweep execution |
+//! | [`bench`] | experiment grids and the committed `BENCH_*.json` artifacts |
+//! | [`service`] | distributed sweep server/workers over a framed protocol |
 //!
 //! ## Quickstart
 //!
@@ -37,12 +39,14 @@
 pub mod cli;
 
 pub use oraclesize_analysis as analysis;
+pub use oraclesize_bench as bench;
 pub use oraclesize_bits as bits;
 pub use oraclesize_core as core;
 pub use oraclesize_explore as explore;
 pub use oraclesize_graph as graph;
 pub use oraclesize_lowerbound as lowerbound;
 pub use oraclesize_runtime as runtime;
+pub use oraclesize_service as service;
 pub use oraclesize_sim as sim;
 
 /// The most common imports, for examples and downstream experiments.

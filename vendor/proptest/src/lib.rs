@@ -224,6 +224,8 @@ tuple_strategies! {
     (S0 0, S1 1)
     (S0 0, S1 1, S2 2)
     (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
 }
 
 /// Types with a canonical "any value" strategy.
